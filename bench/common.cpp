@@ -1,0 +1,205 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace gorilla::bench {
+
+Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
+  Options opt;
+  opt.scale = default_scale;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      opt.scale = static_cast<std::uint32_t>(std::strtoul(value("--scale"),
+                                                          nullptr, 10));
+      if (opt.scale == 0) opt.scale = 1;
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value("--seed"), nullptr, 10);
+    } else if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--csv") {
+      opt.csv_dir = value("--csv");
+    } else if (arg.rfind("--benchmark", 0) == 0) {
+      // google-benchmark flags pass through untouched.
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--scale N] [--seed N] [--quick]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+bool maybe_write_csv(const Options& opt, const std::string& name,
+                     const util::CsvDocument& doc) {
+  if (opt.csv_dir.empty()) return false;
+  const std::string path = opt.csv_dir + "/" + name;
+  const bool ok = doc.write_file(path);
+  std::printf("%s csv artifact: %s\n", ok ? "wrote" : "FAILED to write",
+              path.c_str());
+  return ok;
+}
+
+void print_header(const std::string& figure, const Options& opt) {
+  std::printf("%s", util::banner(figure).c_str());
+  std::printf(
+      "world scale 1:%u (populations divided by %u; counts below are\n"
+      "simulated-world counts — multiply by %u for paper-scale numbers),\n"
+      "seed %llu\n\n",
+      opt.scale, opt.scale, opt.scale,
+      static_cast<unsigned long long>(opt.seed));
+}
+
+StudyPipeline::StudyPipeline(const Options& opt, bool with_vantages,
+                             bool with_darknet)
+    : opt_(opt), with_vantages_(with_vantages), with_darknet_(with_darknet) {
+  world_config.scale = opt.scale;
+  world_config.seed = opt.seed;
+  world = std::make_unique<sim::World>(world_config);
+  census = std::make_unique<core::AmplifierCensus>(world->registry(),
+                                                   world->pbl());
+  victims = std::make_unique<core::VictimAnalysis>(world->registry(),
+                                                   world->pbl());
+  // Global collector covers the full horizon; the measured universe is
+  // the paper's 71.5 Tbps average divided by the world scale.
+  global = std::make_unique<telemetry::GlobalTrafficCollector>(
+      181, 71.5e12 / static_cast<double>(opt.scale));
+  labels = std::make_unique<telemetry::AttackLabelStore>();
+  if (with_vantages) {
+    const auto& named = world->registry().named();
+    merit = std::make_unique<telemetry::FlowCollector>(
+        "Merit", std::vector<net::Prefix>{named.merit_space});
+    frgp = std::make_unique<telemetry::FlowCollector>(
+        "FRGP", std::vector<net::Prefix>{named.frgp_space});
+    csu = std::make_unique<telemetry::FlowCollector>(
+        "CSU", std::vector<net::Prefix>{named.csu_space});
+  }
+  if (with_darknet) {
+    telemetry::DarknetConfig cfg;
+    cfg.telescope = world->registry().named().darknet;
+    darknet = std::make_unique<telemetry::DarknetTelescope>(cfg);
+  }
+}
+
+void StudyPipeline::run() {
+  sim::AttackSinks sinks;
+  sinks.global = global.get();
+  sinks.labels = labels.get();
+  if (with_vantages_) {
+    sinks.vantages = {merit.get(), frgp.get(), csu.get()};
+  }
+  sim::AttackEngineConfig attack_cfg;
+  attack_cfg.seed = opt_.seed ^ 0xa77acdULL;
+  sim::AttackEngine attacks(*world, attack_cfg, sinks);
+  sim::ScanTrafficConfig scan_cfg;
+  scan_cfg.seed = opt_.seed ^ 0x5ca7ULL;
+  sim::ScanTraffic scans(*world, scan_cfg);
+  scan::Prober prober(*world, net::Ipv4Address(198, 51, 100, 7));
+
+  const int horizon_weeks = opt_.quick ? 8 : 15;
+  int day = 0;
+  for (int week = 0; week < horizon_weeks; ++week) {
+    const int sample_day = 70 + week * 7;
+    for (; day <= sample_day; ++day) {
+      attacks.run_day(day);
+      if (with_darknet_ || with_vantages_) {
+        std::vector<telemetry::FlowCollector*> vantages;
+        if (with_vantages_) vantages = {merit.get(), frgp.get(), csu.get()};
+        scans.run_day(day, darknet.get(), vantages);
+      }
+    }
+    scans.seed_monitor_tables(week);
+    const auto date = util::onp_sample_dates()[static_cast<std::size_t>(week)];
+    census->begin_sample(week, date);
+    victims->begin_sample(week, date);
+    summaries.push_back(prober.run_monlist_sample(
+        week, [&](const scan::AmplifierObservation& obs) {
+          census->add(obs);
+          victims->add(obs);
+          if (extra_visitor) extra_visitor(week, obs);
+        }));
+    census->end_sample();
+    victims->end_sample();
+  }
+}
+
+RegionalRun::RegionalRun(const Options& opt, bool with_darknet) : opt_(opt) {
+  sim::WorldConfig cfg;
+  cfg.scale = opt.scale;
+  cfg.seed = opt.seed;
+  world = std::make_unique<sim::World>(cfg);
+  const auto& named = world->registry().named();
+  merit = std::make_unique<telemetry::FlowCollector>(
+      "Merit", std::vector<net::Prefix>{named.merit_space});
+  frgp = std::make_unique<telemetry::FlowCollector>(
+      "FRGP", std::vector<net::Prefix>{named.frgp_space});
+  csu = std::make_unique<telemetry::FlowCollector>(
+      "CSU", std::vector<net::Prefix>{named.csu_space});
+  global = std::make_unique<telemetry::GlobalTrafficCollector>(
+      181, 71.5e12 / static_cast<double>(opt.scale));
+  labels = std::make_unique<telemetry::AttackLabelStore>();
+  if (with_darknet) {
+    telemetry::DarknetConfig dcfg;
+    dcfg.telescope = named.darknet;
+    darknet = std::make_unique<telemetry::DarknetTelescope>(dcfg);
+  }
+}
+
+void RegionalRun::run(int from_day, int to_day) {
+  sim::AttackSinks sinks;
+  sinks.global = global.get();
+  sinks.labels = labels.get();
+  sinks.vantages = {merit.get(), frgp.get(), csu.get()};
+  sim::AttackEngineConfig attack_cfg;
+  attack_cfg.seed = opt_.seed ^ 0xa77acdULL;
+  sim::AttackEngine attacks(*world, attack_cfg, sinks);
+  sim::ScanTrafficConfig scan_cfg;
+  scan_cfg.seed = opt_.seed ^ 0x5ca7ULL;
+  sim::ScanTraffic scans(*world, scan_cfg);
+  for (int day = from_day; day < to_day; ++day) {
+    attacks.run_day(day);
+    scans.run_day(day, darknet.get(), sinks.vantages);
+  }
+}
+
+void print_volume_series(const std::string& label,
+                         const telemetry::VolumeSeries& series,
+                         int row_stride_days) {
+  std::printf("%s\n", label.c_str());
+  std::printf("  shape: %s\n",
+              util::log_sparkline(series.bytes).c_str());
+  util::TextTable table({"date", "avg rate", "bytes"});
+  const auto buckets_per_day =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   util::kSecondsPerDay /
+                                   std::max<util::SimTime>(1,
+                                                           series.bucket_seconds)));
+  const std::size_t stride =
+      buckets_per_day * static_cast<std::size_t>(std::max(1, row_stride_days));
+  for (std::size_t b = 0; b < series.bytes.size(); b += stride) {
+    // Aggregate one day's buckets for the row.
+    double day_bytes = 0.0;
+    for (std::size_t k = b; k < std::min(b + buckets_per_day,
+                                         series.bytes.size());
+         ++k) {
+      day_bytes += series.bytes[k];
+    }
+    const util::SimTime t =
+        series.start + static_cast<util::SimTime>(b) * series.bucket_seconds;
+    const double bps = day_bytes * 8.0 / static_cast<double>(
+                                             util::kSecondsPerDay);
+    table.add_row({util::to_string(util::date_from_sim_time(t)),
+                   util::si_count(bps) + "bps", util::bytes_str(day_bytes)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+}  // namespace gorilla::bench

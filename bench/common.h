@@ -1,0 +1,108 @@
+// Shared harness support for the per-figure/table bench binaries.
+//
+// Every bench binary regenerates one of the paper's tables or figures from
+// a fresh simulated study. Common knobs: --scale N (population divisor,
+// default 40 for full-pipeline benches), --seed N. Output is deterministic
+// for a given (scale, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/amplifiers.h"
+#include "core/victims.h"
+#include "scan/prober.h"
+#include "sim/attack.h"
+#include "sim/scanner.h"
+#include "sim/world.h"
+#include "telemetry/darknet.h"
+#include "telemetry/flow.h"
+#include "telemetry/traffic.h"
+#include "util/csv.h"
+#include "util/format.h"
+
+namespace gorilla::bench {
+
+struct Options {
+  std::uint32_t scale = 40;
+  std::uint64_t seed = util::Rng::kDefaultSeed;
+  bool quick = false;  ///< --quick halves the horizon for smoke runs
+  std::string csv_dir;  ///< --csv DIR: also drop machine-readable series
+};
+
+/// Writes a CSV artifact into opt.csv_dir when set (no-op otherwise);
+/// returns true when a file was written.
+bool maybe_write_csv(const Options& opt, const std::string& name,
+                     const util::CsvDocument& doc);
+
+/// Parses --scale/--seed/--quick; exits with usage on unknown flags
+/// (ignores google-benchmark style flags so mixed invocation works).
+[[nodiscard]] Options parse_options(int argc, char** argv,
+                                    std::uint32_t default_scale = 40);
+
+/// Prints the standard provenance header every bench emits.
+void print_header(const std::string& figure, const Options& opt);
+
+/// The full measurement pipeline most §3/§4/§6 benches share: a world that
+/// lives through the study — attacks, scanning, fifteen weekly ONP monlist
+/// probes — with the census and victim analyses attached.
+struct StudyPipeline {
+  explicit StudyPipeline(const Options& opt, bool with_vantages = false,
+                         bool with_darknet = false);
+
+  sim::WorldConfig world_config;
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<core::AmplifierCensus> census;
+  std::unique_ptr<core::VictimAnalysis> victims;
+  std::unique_ptr<telemetry::GlobalTrafficCollector> global;
+  std::unique_ptr<telemetry::AttackLabelStore> labels;
+  std::unique_ptr<telemetry::FlowCollector> merit;
+  std::unique_ptr<telemetry::FlowCollector> frgp;
+  std::unique_ptr<telemetry::FlowCollector> csu;
+  std::unique_ptr<telemetry::DarknetTelescope> darknet;
+  std::vector<scan::MonlistSampleSummary> summaries;
+
+  /// Optional extra per-observation hook (e.g. named-subset counting).
+  std::function<void(int week, const scan::AmplifierObservation&)>
+      extra_visitor;
+
+  /// Runs attacks+scans day-by-day and probes weekly (15 samples).
+  void run();
+
+ private:
+  Options opt_;
+  bool with_vantages_;
+  bool with_darknet_;
+};
+
+/// Lighter harness for the §7 regional benches: attacks and scanning with
+/// the Merit/FRGP/CSU vantage collectors (and optionally the darknet), no
+/// prober. Days default to Dec 1 - Mar 1 (the window Figures 11-15 plot).
+struct RegionalRun {
+  explicit RegionalRun(const Options& opt, bool with_darknet = false);
+
+  /// Runs [from_day, to_day); day 0 = 2013-11-01, Figure 11's window is
+  /// roughly [30, 121).
+  void run(int from_day = 30, int to_day = 121);
+
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<telemetry::FlowCollector> merit;
+  std::unique_ptr<telemetry::FlowCollector> frgp;
+  std::unique_ptr<telemetry::FlowCollector> csu;
+  std::unique_ptr<telemetry::DarknetTelescope> darknet;
+  std::unique_ptr<telemetry::GlobalTrafficCollector> global;
+  std::unique_ptr<telemetry::AttackLabelStore> labels;
+
+ private:
+  Options opt_;
+};
+
+/// Renders a per-day byte-volume series as date rows + log sparkline.
+void print_volume_series(const std::string& label,
+                         const telemetry::VolumeSeries& series,
+                         int row_stride_days = 7);
+
+}  // namespace gorilla::bench

@@ -1,0 +1,109 @@
+// Figure 7: time series of derived attack counts per hour from the monlist
+// table data, with the daily average overlay.
+//
+// Paper shape: attack starts derived from count x interarrival reach back
+// before the first sample; the daily average peaks on February 12th — the
+// day of the CloudFlare/OVH 400 Gbps attack — and the rise/decline tracks
+// the global NTP traffic curve (Figure 1). Mean 514/hr, median 280/hr.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+
+#include "common.h"
+#include "core/episodes.h"
+
+namespace gorilla {
+namespace {
+
+int run(const bench::Options& opt) {
+  bench::print_header("Figure 7: derived attacks per hour", opt);
+
+  bench::StudyPipeline pipeline(opt);
+  // Collect the raw per-amplifier witnesses of the peak sample (week 5,
+  // 2014-02-14) for the finer-grained §4.3.4 episode reconstruction.
+  std::vector<core::WitnessedAttack> peak_witnesses;
+  pipeline.extra_visitor = [&](int week,
+                               const scan::AmplifierObservation& obs) {
+    if (week != 5) return;
+    for (const auto& entry : obs.table) {
+      if (auto w = core::derive_attack(entry, obs.probe_time, obs.address)) {
+        peak_witnesses.push_back(*w);
+      }
+    }
+  };
+  pipeline.run();
+
+  const auto& per_hour = pipeline.victims->attacks_per_hour();
+  std::map<std::int64_t, double> per_day;
+  std::vector<double> hourly;
+  for (const auto& [hour, count] : per_hour) {
+    per_day[hour / 24] += static_cast<double>(count);
+    hourly.push_back(static_cast<double>(count));
+  }
+
+  util::TextTable table({"date", "attacks/day", "avg/hour"});
+  std::vector<double> day_series;
+  std::int64_t peak_day = 0;
+  double peak = 0.0;
+  for (const auto& [day, count] : per_day) {
+    day_series.push_back(count);
+    if (count > peak) {
+      peak = count;
+      peak_day = day;
+    }
+    if (day % 7 == 0) {
+      table.add_row({util::to_string(util::date_from_sim_time(
+                         day * util::kSecondsPerDay)),
+                     util::si_count(count), util::fixed(count / 24.0, 1)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("daily attacks (log scale): %s\n\n",
+              util::log_sparkline(day_series).c_str());
+
+  std::sort(hourly.begin(), hourly.end());
+  const double mean =
+      std::accumulate(hourly.begin(), hourly.end(), 0.0) /
+      static_cast<double>(std::max<std::size_t>(1, hourly.size()));
+  const double median = hourly.empty() ? 0.0 : hourly[hourly.size() / 2];
+  std::printf("mean %.0f/hr, median %.0f/hr"
+              "   (paper full-scale: 514 / 280; divide by ~scale)\n",
+              mean, median);
+  std::printf("peak day: %s   (paper: 2014-02-12, the OVH/CloudFlare "
+              "attack window)\n",
+              util::to_string(util::date_from_sim_time(
+                                  peak_day * util::kSecondsPerDay))
+                  .c_str());
+  std::printf("attacks derived before the first sample (2014-01-10): %s\n",
+              per_day.begin()->first < 70 ? "yes (tables retain history)"
+                                          : "no");
+
+  // §4.3.4's alternative counting: merge the peak sample's witnesses into
+  // campaign episodes instead of one-attack-per-victim-per-sample.
+  const std::size_t victims_in_sample =
+      pipeline.victims->rows()[5].ips;
+  const auto episodes = core::merge_episodes(std::move(peak_witnesses));
+  const auto stats = core::summarize_episodes(episodes);
+  std::printf("\nepisode reconstruction for the 2014-02-14 sample:\n");
+  std::printf("  one-per-victim count: %zu; merged episodes: %zu "
+              "(campaigns can recur within a sample)\n",
+              victims_in_sample, stats.episodes);
+  std::printf("  episode duration median %s s, p95 %s s — monlist's\n"
+              "  integer-second interarrival field truncates sub-second\n"
+              "  trigger streams to zero, so derived durations are a floor\n"
+              "  (the paper's count x interarrival arithmetic shares this)\n",
+              util::compact(stats.median_duration_s).c_str(),
+              util::compact(stats.p95_duration_s).c_str());
+  std::printf("  amplifiers per episode: median %.0f, max %.0f"
+              "   (paper: coordinated sets of 35+ at one ISP)\n",
+              stats.median_amplifiers, stats.max_amplifiers);
+  return 0;
+}
+
+}  // namespace
+}  // namespace gorilla
+
+int main(int argc, char** argv) {
+  return gorilla::run(gorilla::bench::parse_options(argc, argv, 40));
+}

@@ -1,0 +1,225 @@
+// Micro/meso performance benchmarks (google-benchmark) over the hot
+// kernels the reproduction pipeline leans on: prefix-trie lookups, mode 6/7
+// wire (de)serialization, monitor-table updates, checksum, the event queue,
+// and a full single-amplifier probe round trip.
+#include <benchmark/benchmark.h>
+
+#include "net/packet.h"
+#include "net/prefix_trie.h"
+#include "net/registry.h"
+#include "ntp/mode6.h"
+#include "ntp/mode7.h"
+#include "ntp/monlist.h"
+#include "ntp/server.h"
+#include "scan/prober.h"
+#include "sim/attack.h"
+#include "sim/event_queue.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace gorilla {
+namespace {
+
+void BM_PrefixTrieLookup(benchmark::State& state) {
+  util::Rng rng(1);
+  net::PrefixTrie<std::uint32_t> trie;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0));
+       ++i) {
+    trie.insert(net::Prefix(net::Ipv4Address{
+                                static_cast<std::uint32_t>(rng.next())},
+                            static_cast<int>(rng.uniform_int(12, 24))),
+                i);
+  }
+  std::uint64_t x = 12345;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1;
+    benchmark::DoNotOptimize(
+        trie.lookup(net::Ipv4Address{static_cast<std::uint32_t>(x >> 32)}));
+  }
+}
+BENCHMARK(BM_PrefixTrieLookup)->Arg(1000)->Arg(100000);
+
+void BM_RegistryAsnLookup(benchmark::State& state) {
+  net::RegistryConfig cfg;
+  cfg.num_ases = 5000;
+  const net::Registry registry(cfg);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.asn_of(registry.random_address(rng)));
+  }
+}
+BENCHMARK(BM_RegistryAsnLookup);
+
+void BM_MonlistSerialize(benchmark::State& state) {
+  std::vector<ntp::MonitorEntry> entries(
+      static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].address = net::Ipv4Address{static_cast<std::uint32_t>(i + 1)};
+    entries[i].count = static_cast<std::uint32_t>(i * 7);
+  }
+  for (auto _ : state) {
+    const auto packets =
+        ntp::make_monlist_response(entries, ntp::Implementation::kXntpd);
+    std::size_t bytes = 0;
+    for (const auto& p : packets) bytes += ntp::serialize(p).size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonlistSerialize)->Arg(6)->Arg(60)->Arg(600);
+
+void BM_MonlistParseReassemble(benchmark::State& state) {
+  std::vector<ntp::MonitorEntry> entries(600);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].address = net::Ipv4Address{static_cast<std::uint32_t>(i + 1)};
+  }
+  std::vector<std::vector<std::uint8_t>> wire;
+  for (const auto& p :
+       ntp::make_monlist_response(entries, ntp::Implementation::kXntpd)) {
+    wire.push_back(ntp::serialize(p));
+  }
+  for (auto _ : state) {
+    std::vector<ntp::Mode7Packet> parsed;
+    parsed.reserve(wire.size());
+    for (const auto& w : wire) {
+      parsed.push_back(*ntp::parse_mode7_packet(w));
+    }
+    benchmark::DoNotOptimize(ntp::reassemble_monlist(parsed));
+  }
+  state.SetItemsProcessed(state.iterations() * 600);
+}
+BENCHMARK(BM_MonlistParseReassemble);
+
+void BM_MonitorObserve(benchmark::State& state) {
+  ntp::MonitorTable table;
+  std::uint64_t x = 99;
+  util::SimTime now = 0;
+  for (auto _ : state) {
+    x = x * 6364136223846793005ULL + 1;
+    table.observe(net::Ipv4Address{static_cast<std::uint32_t>(
+                      (x >> 32) % static_cast<std::uint32_t>(state.range(0)))},
+                  123, 3, 4, ++now);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorObserve)->Arg(100)->Arg(10000);
+
+void BM_ReadvarRoundTrip(benchmark::State& state) {
+  ntp::SystemVariables vars;
+  vars.version = "ntpd 4.2.6p5@1.2349-o Tue May 10 2011";
+  vars.system = "Linux/2.6.32";
+  vars.processor = "x86_64";
+  for (auto _ : state) {
+    const auto frags = ntp::make_readvar_response(vars, 1);
+    std::vector<ntp::ControlPacket> parsed;
+    for (const auto& f : frags) {
+      parsed.push_back(*ntp::parse_control_packet(ntp::serialize(f)));
+    }
+    benchmark::DoNotOptimize(ntp::reassemble_readvar(parsed));
+  }
+}
+BENCHMARK(BM_ReadvarRoundTrip);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500);
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      q.schedule_at((i * 7919) % 100000, [&fired] { ++fired; });
+    }
+    q.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(1000)->Arg(100000);
+
+void BM_ServerProbeRoundTrip(benchmark::State& state) {
+  ntp::NtpServerConfig cfg;
+  cfg.address = net::Ipv4Address(10, 0, 0, 1);
+  cfg.sysvars.system = "linux";
+  ntp::NtpServer server(cfg);
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0));
+       ++i) {
+    server.monitor().observe(net::Ipv4Address{0x14000000u + i}, 123, 3, 4,
+                             i);
+  }
+  net::UdpPacket probe;
+  probe.src = net::Ipv4Address(198, 51, 100, 7);
+  probe.dst = cfg.address;
+  probe.src_port = 57915;
+  probe.dst_port = net::kNtpPort;
+  probe.payload = ntp::serialize(ntp::make_monlist_request());
+  util::SimTime now = 1000000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle(probe, ++now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServerProbeRoundTrip)->Arg(5)->Arg(600);
+
+// --- Meso benchmarks: the macro paths the study pipeline spends its time
+// in (small worlds so a full google-benchmark repetition loop stays sane).
+
+void BM_WorldBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::WorldConfig cfg;
+    cfg.scale = static_cast<std::uint32_t>(state.range(0));
+    cfg.registry.num_ases = 2000;
+    sim::World world(cfg);
+    benchmark::DoNotOptimize(world.servers().size());
+  }
+}
+BENCHMARK(BM_WorldBuild)->Arg(400)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_AttackDay(benchmark::State& state) {
+  sim::WorldConfig cfg;
+  cfg.scale = 200;
+  cfg.registry.num_ases = 2000;
+  sim::World world(cfg);
+  sim::AttackEngine attacks(world, sim::AttackEngineConfig{}, {});
+  int day = 95;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attacks.run_day(day).size());
+    if (++day > 130) day = 95;  // stay in the busy window
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttackDay)->Unit(benchmark::kMillisecond);
+
+void BM_WeeklyMonlistSample(benchmark::State& state) {
+  sim::WorldConfig cfg;
+  cfg.scale = 400;
+  cfg.registry.num_ases = 2000;
+  sim::World world(cfg);
+  scan::Prober prober(world, net::Ipv4Address(198, 51, 100, 7));
+  for (auto _ : state) {
+    std::uint64_t responders =
+        prober
+            .run_monlist_sample(0,
+                                [](const scan::AmplifierObservation&) {})
+            .responders;
+    benchmark::DoNotOptimize(responders);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              world.amplifier_indices().size()));
+}
+BENCHMARK(BM_WeeklyMonlistSample)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace gorilla
+
+BENCHMARK_MAIN();

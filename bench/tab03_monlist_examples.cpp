@@ -1,0 +1,126 @@
+// Table 3: worked examples of monlist tables returned by probed servers —
+// (a) a normally-used server showing the ONP probe, research scanners, and
+// ordinary mode 3/4 clients; (b) an attack-witnessing server whose "clients"
+// are spoofed victims with enormous counts and zero interarrival.
+//
+// This bench drives a real ntp::NtpServer through the exact packet flow and
+// prints the reassembled tables with the §4.2 classification of each row.
+#include <cstdio>
+
+#include "common.h"
+#include "core/monlist_analysis.h"
+#include "ntp/server.h"
+
+namespace gorilla {
+namespace {
+
+constexpr util::SimTime kProbeTime = 70 * util::kSecondsPerDay;
+
+ntp::NtpServer make_server(std::uint32_t addr) {
+  ntp::NtpServerConfig cfg;
+  cfg.address = net::Ipv4Address{addr};
+  cfg.sysvars.system = "Linux/2.6.32";
+  cfg.sysvars.stratum = 2;
+  return ntp::NtpServer(cfg);
+}
+
+std::vector<ntp::MonitorEntry> probe_table(ntp::NtpServer& server) {
+  net::UdpPacket probe;
+  probe.src = net::Ipv4Address(198, 51, 100, 7);
+  probe.dst = server.config().address;
+  probe.src_port = 57915;
+  probe.dst_port = net::kNtpPort;
+  probe.timestamp = kProbeTime;
+  probe.payload = ntp::serialize(ntp::make_monlist_request());
+  const auto response = server.handle(probe, kProbeTime);
+  std::vector<ntp::Mode7Packet> parsed;
+  for (const auto& pkt : response.packets) {
+    if (auto p = ntp::parse_mode7_packet(pkt.payload)) {
+      parsed.push_back(std::move(*p));
+    }
+  }
+  return ntp::reassemble_monlist(parsed).value_or(
+      std::vector<ntp::MonitorEntry>{});
+}
+
+const char* class_label(const ntp::MonitorEntry& e) {
+  switch (core::classify_client(e)) {
+    case core::ClientClass::kNonVictim: return "normal client";
+    case core::ClientClass::kScannerOrLowVolume: return "scanner/probe";
+    case core::ClientClass::kVictim: return "VICTIM";
+  }
+  return "?";
+}
+
+void print_table(const char* title,
+                 const std::vector<ntp::MonitorEntry>& entries) {
+  std::printf("%s\n", title);
+  util::TextTable table({"Address", "Src.Port", "Count", "Mode",
+                         "Inter-arrival", "Last Seen", "classified as"});
+  for (const auto& e : entries) {
+    table.add_row({net::to_string(e.address), std::to_string(e.port),
+                   std::to_string(e.count),
+                   std::to_string(static_cast<int>(e.mode)),
+                   std::to_string(e.avg_interval),
+                   std::to_string(e.last_seen), class_label(e)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+}
+
+int run(const bench::Options& opt) {
+  bench::print_header("Table 3: monlist table examples", opt);
+
+  // --- (a) a normally-used server ---
+  auto server_a = make_server(0x0a010101);
+  // A research probe seen weekly for 19 weeks (client.a1 in the paper):
+  for (int week = 0; week < 19; ++week) {
+    server_a.monitor().observe(
+        net::Ipv4Address(141, 212, 121, 99), 10151, 6, 2,
+        kProbeTime - 310 - (18 - week) * static_cast<util::SimTime>(154503));
+  }
+  // Two ordinary NTP clients (modes 3 and 4):
+  for (int i = 0; i < 4; ++i) {
+    server_a.monitor().observe(net::Ipv4Address(10, 3, 3, 3), 123, 3, 4,
+                               kProbeTime - 345 - (3 - i) * 1024);
+  }
+  server_a.monitor().observe(net::Ipv4Address(10, 4, 4, 4), 36008, 3, 4,
+                             kProbeTime - 104063);
+  // A slow Internet-survey host (mode 7, spaced ~14 min):
+  server_a.monitor().observe_many(net::Ipv4Address(10, 5, 5, 5), 54660, 7, 2,
+                                  2, kProbeTime - 21618, kProbeTime - 20795);
+  // Previous weekly ONP probes:
+  for (int week = 1; week <= 6; ++week) {
+    server_a.monitor().observe(net::Ipv4Address(198, 51, 100, 7), 57915, 7, 2,
+                               kProbeTime - week * util::kSecondsPerWeek);
+  }
+  print_table("(a) monlist Table A — a normally-used server", probe_table(server_a));
+
+  // --- (b) an attack-witnessing server ---
+  auto server_b = make_server(0x0a020202);
+  server_b.monitor().observe_many(net::Ipv4Address(66, 66, 66, 1), 59436, 7,
+                                  2, 3358227026ULL, kProbeTime - 86400,
+                                  kProbeTime);
+  server_b.monitor().observe_many(net::Ipv4Address(66, 66, 66, 2), 43395, 7,
+                                  2, 25361312ULL, kProbeTime - 43200,
+                                  kProbeTime);
+  server_b.monitor().observe_many(net::Ipv4Address(66, 66, 66, 3), 50231, 7,
+                                  2, 158163232ULL, kProbeTime - 7200,
+                                  kProbeTime);
+  server_b.monitor().observe_many(net::Ipv4Address(66, 66, 66, 4), 80, 7, 2,
+                                  2189, kProbeTime - 2100, kProbeTime - 2);
+  print_table("(b) monlist Table B — spoofed victims of reflection attacks",
+              probe_table(server_b));
+
+  std::printf(
+      "note the Table-3b signatures from the paper: mode 7 'clients' with\n"
+      "counts in the millions-to-billions, inter-arrival ~0, and one victim\n"
+      "targeted on UDP source port 80 — the most-attacked port (Table 4).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace gorilla
+
+int main(int argc, char** argv) {
+  return gorilla::run(gorilla::bench::parse_options(argc, argv, 1));
+}

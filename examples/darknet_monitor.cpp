@@ -1,0 +1,111 @@
+// Darknet early-warning monitor: attach a telescope to unused address
+// space and watch the NTP scanning wave arrive *before* the attack wave —
+// the paper's §5 operational lesson, as a monitoring tool a network
+// operator could actually run.
+//
+// Usage: ./build/examples/darknet_monitor [--scale N]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/attack.h"
+#include "sim/scanner.h"
+#include "sim/world.h"
+#include "telemetry/darknet.h"
+#include "telemetry/flow.h"
+#include "util/format.h"
+
+using namespace gorilla;
+
+int main(int argc, char** argv) {
+  sim::WorldConfig wcfg;
+  wcfg.scale = 200;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--scale")) {
+      wcfg.scale = static_cast<std::uint32_t>(std::atoi(argv[i + 1]));
+    }
+  }
+  sim::World world(wcfg);
+
+  telemetry::DarknetConfig dcfg;
+  dcfg.telescope = world.registry().named().darknet;
+  telemetry::DarknetTelescope telescope(dcfg);
+  std::printf("telescope: %s (~%.0f effective dark /24s)\n\n",
+              net::to_string(dcfg.telescope).c_str(),
+              telescope.effective_dark_slash24s());
+
+  telemetry::FlowCollector merit(
+      "Merit", {world.registry().named().merit_space});
+  sim::AttackSinks sinks;
+  sinks.vantages = {&merit};
+  sim::AttackEngine attacks(world, sim::AttackEngineConfig{}, sinks);
+  sim::ScanTraffic scans(world, sim::ScanTrafficConfig{});
+
+  // A simple online alarm: alert when the day's unique-scanner count
+  // exceeds 4x the trailing 14-day median.
+  std::vector<double> history;
+  int scan_alarm_day = -1, attack_alarm_day = -1;
+  double egress_baseline = 0.0;
+
+  for (int day = 20; day < 110; ++day) {
+    attacks.run_day(day);
+    scans.run_day(day, &telescope, {&merit});
+
+    const auto per_day = telescope.unique_scanners_per_day();
+    const auto it = per_day.find(day);
+    const double scanners =
+        it == per_day.end() ? 0.0 : static_cast<double>(it->second);
+    if (history.size() >= 7 && scan_alarm_day < 0) {
+      std::vector<double> window(history.end() - 7, history.end());
+      std::sort(window.begin(), window.end());
+      const double median = window[3];
+      if (scanners > 4 * std::max(1.0, median)) scan_alarm_day = day;
+    }
+    history.push_back(scanners);
+
+    const auto egress = merit.volume_series(
+        static_cast<util::SimTime>(day) * util::kSecondsPerDay,
+        static_cast<util::SimTime>(day + 1) * util::kSecondsPerDay,
+        util::kSecondsPerDay, telemetry::is_ntp_source);
+    const double today = egress.bytes.empty() ? 0.0 : egress.bytes[0];
+    if (day < 42) egress_baseline = std::max(egress_baseline, today);
+    // Absolute floor keeps a single early flow from tripping the alarm on
+    // an empty baseline.
+    if (attack_alarm_day < 0 && day >= 42 &&
+        today > std::max(100e6, 10 * egress_baseline)) {
+      attack_alarm_day = day;
+    }
+  }
+
+  auto day_str = [](int day) {
+    return util::to_string(util::date_from_sim_time(
+        static_cast<util::SimTime>(day) * util::kSecondsPerDay));
+  };
+  if (scan_alarm_day >= 0) {
+    std::printf("SCAN ALARM:   %s — unique NTP scanners spiked in the "
+                "darknet\n",
+                day_str(scan_alarm_day).c_str());
+  }
+  if (attack_alarm_day >= 0) {
+    std::printf("ATTACK ALARM: %s — NTP egress surged at the Merit "
+                "vantage\n",
+                day_str(attack_alarm_day).c_str());
+  }
+  if (scan_alarm_day >= 0 && attack_alarm_day >= 0) {
+    std::printf("\nlead time: %d days — darknet monitoring flagged the "
+                "threat before the\nattack traffic arrived (the paper saw "
+                "roughly a one-week lead, §5.1)\n",
+                attack_alarm_day - scan_alarm_day);
+  }
+
+  std::printf("\nmonthly darknet volume per dark /24:\n");
+  util::TextTable table({"month", "pkts//24", "benign frac"});
+  for (const auto& m : telescope.monthly_volumes()) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%04d-%02d", m.year, m.month);
+    table.add_row({label, util::fixed(m.total(), 0),
+                   util::fixed(m.benign_fraction(), 2)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  return 0;
+}

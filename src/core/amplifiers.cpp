@@ -1,0 +1,188 @@
+#include "core/amplifiers.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ntp/sysinfo.h"
+
+namespace gorilla::core {
+
+AmplifierCensus::AmplifierCensus(const net::Registry& registry,
+                                 const net::PolicyBlockList& pbl)
+    : registry_(registry), pbl_(pbl) {}
+
+void AmplifierCensus::begin_sample(int week, util::Date date) {
+  if (sample_open_)
+    throw std::logic_error("AmplifierCensus: sample already open");
+  sample_open_ = true;
+  current_ = AmplifierSampleRow{};
+  current_.week = week;
+  current_.date = date;
+  cur_slash24s_.clear();
+  cur_blocks_.clear();
+  cur_asns_.clear();
+  cur_baf_.clear();
+  cur_bytes_.clear();
+}
+
+void AmplifierCensus::add(const scan::AmplifierObservation& obs) {
+  if (!sample_open_)
+    throw std::logic_error("AmplifierCensus: no open sample");
+  ++current_.ips;
+  cur_slash24s_.insert(obs.address.value() >> 8);
+  if (const auto block = registry_.block_index_of(obs.address)) {
+    cur_blocks_.insert(*block);
+  }
+  if (const auto asn = registry_.asn_of(obs.address)) {
+    cur_asns_.insert(*asn);
+  }
+  if (const auto cont = registry_.continent_of(obs.address)) {
+    ++current_.by_continent[static_cast<std::size_t>(*cont)];
+  }
+  if (pbl_.is_end_host(obs.address)) ++current_.end_hosts;
+
+  const double bytes = static_cast<double>(obs.response_wire_bytes);
+  cur_bytes_.add(bytes);
+  cur_baf_.add(bytes / kBafDenominatorBytes);
+  if (obs.response_wire_bytes > kMegaThresholdBytes) ++current_.mega_count;
+
+  auto& per_ip = per_ip_[obs.address.value()];
+  per_ip.total_bytes += obs.response_wire_bytes;
+  per_ip.max_bytes = std::max(per_ip.max_bytes, obs.response_wire_bytes);
+  ++per_ip.samples_seen;
+  if (rows_.empty()) per_ip.seen_first_sample = true;
+}
+
+void AmplifierCensus::end_sample() {
+  if (!sample_open_)
+    throw std::logic_error("AmplifierCensus: no open sample");
+  current_.slash24s = cur_slash24s_.size();
+  current_.routed_blocks = cur_blocks_.size();
+  current_.asns = cur_asns_.size();
+  current_.end_host_pct =
+      current_.ips ? 100.0 * static_cast<double>(current_.end_hosts) /
+                         static_cast<double>(current_.ips)
+                   : 0.0;
+  current_.ips_per_block =
+      current_.routed_blocks
+          ? static_cast<double>(current_.ips) /
+                static_cast<double>(current_.routed_blocks)
+          : 0.0;
+  current_.baf = cur_baf_.boxplot();
+  current_.bytes_median = cur_bytes_.quantile(0.5);
+  current_.bytes_p95 = cur_bytes_.quantile(0.95);
+  current_.bytes_max = cur_bytes_.quantile(1.0);
+  rows_.push_back(current_);
+  sample_open_ = false;
+}
+
+double AmplifierCensus::first_sample_fraction() const {
+  if (per_ip_.empty()) return 0.0;
+  std::uint64_t first = 0;
+  for (const auto& [_, info] : per_ip_) {
+    if (info.seen_first_sample) ++first;
+  }
+  return static_cast<double>(first) / static_cast<double>(per_ip_.size());
+}
+
+double AmplifierCensus::seen_once_fraction() const {
+  if (per_ip_.empty()) return 0.0;
+  std::uint64_t once = 0;
+  for (const auto& [_, info] : per_ip_) {
+    if (info.samples_seen == 1) ++once;
+  }
+  return static_cast<double>(once) / static_cast<double>(per_ip_.size());
+}
+
+std::vector<double> AmplifierCensus::bytes_rank_curve() const {
+  std::vector<double> curve;
+  curve.reserve(per_ip_.size());
+  for (const auto& [_, info] : per_ip_) {
+    curve.push_back(static_cast<double>(info.total_bytes) /
+                    static_cast<double>(info.samples_seen));
+  }
+  std::sort(curve.begin(), curve.end(), std::greater<>());
+  return curve;
+}
+
+std::vector<std::pair<net::Ipv4Address, std::uint64_t>>
+AmplifierCensus::mega_roster() const {
+  std::vector<std::pair<net::Ipv4Address, std::uint64_t>> roster;
+  for (const auto& [addr, info] : per_ip_) {
+    if (info.max_bytes > kMegaThresholdBytes) {
+      roster.emplace_back(net::Ipv4Address{addr}, info.max_bytes);
+    }
+  }
+  std::sort(roster.begin(), roster.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return roster;
+}
+
+void VersionCensus::begin_sample(int vweek, util::Date date) {
+  if (sample_open_)
+    throw std::logic_error("VersionCensus: sample already open");
+  sample_open_ = true;
+  current_ = VersionSampleRow{};
+  current_.week = vweek;
+  current_.date = date;
+  cur_baf_.clear();
+  cur_bytes_.clear();
+}
+
+void VersionCensus::add(const scan::VersionObservation& obs) {
+  if (!sample_open_)
+    throw std::logic_error("VersionCensus: no open sample");
+  ++current_.responders_detailed;
+  ++responders_seen_;
+  const double bytes = static_cast<double>(obs.response_wire_bytes);
+  cur_bytes_.add(bytes);
+  cur_baf_.add(bytes / kBafDenominatorBytes);
+  ++os_counts_[ntp::normalize_os_label(obs.system)];
+  if (obs.stratum == ntp::kStratumUnsynchronized) ++stratum16_;
+  if (const int year = ntp::extract_compile_year(obs.version); year > 0) {
+    ++compile_years_[year];
+    ++compile_year_samples_;
+  }
+}
+
+void VersionCensus::end_sample(std::uint64_t responders_total) {
+  if (!sample_open_)
+    throw std::logic_error("VersionCensus: no open sample");
+  current_.responders_total = responders_total;
+  current_.baf = cur_baf_.boxplot();
+  current_.bytes_median = cur_bytes_.quantile(0.5);
+  rows_.push_back(current_);
+  sample_open_ = false;
+}
+
+std::vector<std::pair<std::string, double>> VersionCensus::os_ranking() const {
+  std::uint64_t total = 0;
+  for (const auto& [_, n] : os_counts_) total += n;
+  std::vector<std::pair<std::string, double>> ranking;
+  for (const auto& [label, n] : os_counts_) {
+    ranking.emplace_back(label, total ? 100.0 * static_cast<double>(n) /
+                                            static_cast<double>(total)
+                                      : 0.0);
+  }
+  std::sort(ranking.begin(), ranking.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return ranking;
+}
+
+double VersionCensus::stratum16_fraction() const {
+  return responders_seen_ ? static_cast<double>(stratum16_) /
+                                static_cast<double>(responders_seen_)
+                          : 0.0;
+}
+
+double VersionCensus::compiled_before_fraction(int year) const {
+  if (compile_year_samples_ == 0) return 0.0;
+  std::uint64_t before = 0;
+  for (const auto& [y, n] : compile_years_) {
+    if (y < year) before += n;
+  }
+  return static_cast<double>(before) /
+         static_cast<double>(compile_year_samples_);
+}
+
+}  // namespace gorilla::core

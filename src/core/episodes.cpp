@@ -1,0 +1,69 @@
+#include "core/episodes.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/stats.h"
+
+namespace gorilla::core {
+
+std::vector<AttackEpisode> merge_episodes(
+    std::vector<WitnessedAttack> witnessed, util::SimTime join_gap) {
+  std::sort(witnessed.begin(), witnessed.end(),
+            [](const WitnessedAttack& a, const WitnessedAttack& b) {
+              if (a.victim != b.victim) return a.victim < b.victim;
+              if (a.start_time != b.start_time) return a.start_time < b.start_time;
+              return a.end_time < b.end_time;
+            });
+
+  std::vector<AttackEpisode> episodes;
+  std::set<std::uint32_t> current_amps;
+  bool open = false;
+  AttackEpisode current;
+
+  auto close = [&] {
+    if (!open) return;
+    current.amplifiers = static_cast<std::uint32_t>(current_amps.size());
+    episodes.push_back(current);
+    current_amps.clear();
+    open = false;
+  };
+
+  for (const auto& w : witnessed) {
+    const bool joins = open && w.victim == current.victim &&
+                       w.start_time <= current.end + join_gap;
+    if (!joins) {
+      close();
+      current = AttackEpisode{};
+      current.victim = w.victim;
+      current.start = w.start_time;
+      current.end = w.end_time;
+      open = true;
+    }
+    current.end = std::max(current.end, w.end_time);
+    current.packets += w.packets;
+    current_amps.insert(w.amplifier.value());
+  }
+  close();
+  return episodes;
+}
+
+EpisodeStats summarize_episodes(const std::vector<AttackEpisode>& episodes) {
+  EpisodeStats stats;
+  stats.episodes = episodes.size();
+  if (episodes.empty()) return stats;
+  std::vector<double> durations, amps;
+  durations.reserve(episodes.size());
+  amps.reserve(episodes.size());
+  for (const auto& e : episodes) {
+    durations.push_back(static_cast<double>(e.duration()));
+    amps.push_back(static_cast<double>(e.amplifiers));
+  }
+  stats.median_duration_s = quantile(durations, 0.5);
+  stats.p95_duration_s = quantile(durations, 0.95);
+  stats.median_amplifiers = quantile(amps, 0.5);
+  stats.max_amplifiers = quantile(amps, 1.0);
+  return stats;
+}
+
+}  // namespace gorilla::core

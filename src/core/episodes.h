@@ -1,0 +1,53 @@
+// Campaign-episode reconstruction — the §4.3.4 disambiguation problem.
+//
+// The paper counts "one attack per victim per weekly sample" and lists the
+// ways that simplification cuts both ways: one campaign may span several
+// samples and amplifiers, while several distinct attacks inside a sample
+// collapse into one. This module implements the finer-grained alternative:
+// merge per-amplifier witnessed attacks into *episodes* — same victim,
+// time-overlapping (or nearly so) intervals — and report per-episode
+// amplifier counts, packet totals, and durations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/monlist_analysis.h"
+
+namespace gorilla::core {
+
+/// One reconstructed attack episode against a single victim.
+struct AttackEpisode {
+  net::Ipv4Address victim;
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  std::uint32_t amplifiers = 0;  ///< distinct amplifiers participating
+  std::uint64_t packets = 0;     ///< spoofed packets across amplifiers
+
+  [[nodiscard]] util::SimTime duration() const noexcept {
+    return end - start;
+  }
+};
+
+/// Merges witnessed attacks into episodes. Two witnessed attacks on the
+/// same victim belong to one episode when their [start, end] intervals
+/// overlap or sit within `join_gap` seconds of each other (coordinated
+/// amplifier sets never fire at exactly the same instant). Input order is
+/// irrelevant; output is sorted by (victim, start).
+[[nodiscard]] std::vector<AttackEpisode> merge_episodes(
+    std::vector<WitnessedAttack> witnessed,
+    util::SimTime join_gap = 3600);
+
+/// Summary statistics over a set of episodes.
+struct EpisodeStats {
+  std::size_t episodes = 0;
+  double median_duration_s = 0.0;
+  double p95_duration_s = 0.0;
+  double median_amplifiers = 0.0;
+  double max_amplifiers = 0.0;
+};
+
+[[nodiscard]] EpisodeStats summarize_episodes(
+    const std::vector<AttackEpisode>& episodes);
+
+}  // namespace gorilla::core

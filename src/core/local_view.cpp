@@ -1,0 +1,229 @@
+#include "core/local_view.h"
+
+#include <algorithm>
+
+#include "net/packet.h"
+
+namespace gorilla::core {
+
+namespace {
+
+std::uint64_t pair_key(net::Ipv4Address amp, net::Ipv4Address victim) {
+  return (std::uint64_t{amp.value()} << 32) | victim.value();
+}
+
+std::optional<std::uint8_t> mode_of(
+    const std::map<std::uint8_t, std::uint64_t>& histogram) {
+  std::optional<std::uint8_t> best;
+  std::uint64_t best_count = 0;
+  for (const auto& [ttl, count] : histogram) {
+    if (count > best_count) {
+      best = ttl;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+LocalForensics::LocalForensics(const telemetry::FlowCollector& collector,
+                               const net::Registry& registry)
+    : collector_(collector), registry_(registry) {
+  // Pass 1: per-local-host NTP send/receive aggregates, per-pair stats.
+  for (const auto& f : collector_.flows()) {
+    const auto dir = collector_.direction(f);
+    if (dir == telemetry::Direction::kEgress && f.src_port == net::kNtpPort) {
+      ntp_speakers_[f.src.value()] = true;
+      auto& amp = amp_stats_[f.src.value()];
+      amp.sent_bytes += f.bytes;
+      amp.sent_payload += f.payload_bytes;
+      auto& pair = pairs_[pair_key(f.src, f.dst)];
+      pair.response_bytes += f.bytes;
+      pair.response_payload += f.payload_bytes;
+      pair.first = pair.first == 0 ? f.first : std::min(pair.first, f.first);
+      pair.last = std::max(pair.last, f.last);
+    } else if (dir == telemetry::Direction::kIngress &&
+               f.dst_port == net::kNtpPort) {
+      auto& amp = amp_stats_[f.dst.value()];
+      amp.received_bytes += f.bytes;
+      amp.received_payload += f.payload_bytes;
+      // Only non-NTP source ports are probe/trigger candidates: sport 123
+      // inbound is NTP-to-NTP traffic (reflection responses aimed at local
+      // victims, or server peering), not a client of a local amplifier.
+      if (f.src_port != net::kNtpPort) {
+        auto& pair = pairs_[pair_key(f.dst, f.src)];
+        pair.trigger_bytes += f.bytes;
+        pair.trigger_payload += f.payload_bytes;
+        auto [it, inserted] = external_probe_sources_.try_emplace(
+            f.src.value(), std::make_pair(f.first, f.last));
+        if (!inserted) {
+          it->second.first = std::min(it->second.first, f.first);
+          it->second.second = std::max(it->second.second, f.last);
+        }
+        // No legitimate prober sends a flood of mode 7 queries to a single
+        // host (the ONP sends exactly one per week); a source hammering one
+        // local destination is a spoofed attack artifact even when the
+        // reflection pair stays under the victim threshold.
+        if (f.packets >= 100) high_rate_sources_[f.src.value()] = true;
+      }
+    }
+  }
+  // Pass 2: qualify victims per footnote 3 and capture TTL histograms.
+  for (const auto& [key, pair] : pairs_) {
+    const double ratio =
+        pair.trigger_payload > 0
+            ? static_cast<double>(pair.response_payload) /
+                  static_cast<double>(pair.trigger_payload)
+            : static_cast<double>(pair.response_payload);
+    if (pair.response_bytes >= kLocalVictimMinBytes &&
+        ratio >= kLocalVictimMinRatio) {
+      victims_[static_cast<std::uint32_t>(key)] = true;
+    }
+  }
+  for (const auto& f : collector_.flows()) {
+    if (collector_.direction(f) != telemetry::Direction::kIngress ||
+        f.dst_port != net::kNtpPort || f.src_port == net::kNtpPort) {
+      continue;
+    }
+    // Spoofed triggers aim exclusively at hosts that actually speak NTP
+    // (the attacker worked from a scan-built amplifier list); sweeps hit
+    // everything, so a probe of a non-speaker marks its source as a
+    // scanner and the packet as scanning traffic.
+    if (!ntp_speakers_.count(f.dst.value())) {
+      swept_nonspeakers_[f.src.value()] = true;
+      scan_ttls_[f.ttl] += f.packets;
+    } else {
+      trigger_ttls_[f.ttl] += f.packets;
+    }
+  }
+}
+
+std::vector<LocalAmplifier> LocalForensics::amplifiers() const {
+  std::vector<LocalAmplifier> out;
+  for (const auto& [addr_value, stats] : amp_stats_) {
+    if (stats.sent_bytes < kLocalAmplifierMinBytes) continue;
+    const double wire_ratio =
+        stats.received_bytes > 0
+            ? static_cast<double>(stats.sent_bytes) /
+                  static_cast<double>(stats.received_bytes)
+            : static_cast<double>(stats.sent_bytes);
+    if (wire_ratio <= kLocalAmplifierMinRatio) continue;
+    LocalAmplifier amp;
+    amp.address = net::Ipv4Address{addr_value};
+    amp.baf = stats.received_payload > 0
+                  ? static_cast<double>(stats.sent_payload) /
+                        static_cast<double>(stats.received_payload)
+                  : 0.0;
+    amp.bytes_sent = stats.sent_bytes;
+    for (const auto& [key, pair] : pairs_) {
+      if (static_cast<std::uint32_t>(key >> 32) == addr_value &&
+          pair.response_bytes > 0) {
+        ++amp.unique_victims;
+      }
+    }
+    out.push_back(amp);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.baf > b.baf;
+  });
+  return out;
+}
+
+std::vector<LocalVictim> LocalForensics::victims() const {
+  std::unordered_map<std::uint32_t, LocalVictim> by_victim;
+  std::unordered_map<std::uint32_t, std::pair<util::SimTime, util::SimTime>>
+      spans;
+  std::unordered_map<std::uint32_t, std::uint64_t> trig_payload;
+  for (const auto& [key, pair] : pairs_) {
+    const auto victim_value = static_cast<std::uint32_t>(key);
+    if (!victims_.count(victim_value)) continue;
+    // Only pairs that actually delivered response traffic count as an
+    // amplifier attacking this victim (trigger-only pairs carry no span).
+    if (pair.response_bytes == 0) continue;
+    auto& v = by_victim[victim_value];
+    if (v.amplifiers == 0) {
+      v.address = net::Ipv4Address{victim_value};
+      v.asn = registry_.asn_of(v.address);
+      if (v.asn) {
+        v.region = net::to_string(registry_.as_info(*v.asn).continent);
+      }
+      spans[victim_value] = {pair.first, pair.last};
+    } else {
+      auto& span = spans[victim_value];
+      span.first = std::min(span.first, pair.first);
+      span.second = std::max(span.second, pair.last);
+    }
+    ++v.amplifiers;
+    v.bytes += pair.response_bytes;
+    v.baf += static_cast<double>(pair.response_payload);
+    trig_payload[victim_value] += pair.trigger_payload;
+  }
+  std::vector<LocalVictim> out;
+  out.reserve(by_victim.size());
+  for (auto& [value, v] : by_victim) {
+    const auto& span = spans[value];
+    v.duration_hours = span.second > span.first
+                           ? static_cast<double>(span.second - span.first) /
+                                 3600.0
+                           : 0.0;
+    const auto tp = trig_payload[value];
+    v.baf = tp > 0 ? v.baf / static_cast<double>(tp) : 0.0;
+    out.push_back(std::move(v));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.bytes > b.bytes;
+  });
+  return out;
+}
+
+std::vector<net::Ipv4Address> LocalForensics::scanners() const {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& [addr, span] : external_probe_sources_) {
+    // Scanners (a) hit local hosts that do not speak NTP — only a sweep
+    // does that — and (b) probe persistently (research sweeps recur
+    // weekly); one-shot or speaker-only sources are spoof artifacts.
+    if (swept_nonspeakers_.count(addr) && !victims_.count(addr) &&
+        !high_rate_sources_.count(addr) &&
+        span.second - span.first >= util::kSecondsPerDay) {
+      out.push_back(net::Ipv4Address{addr});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TtlProfile LocalForensics::ttl_profile() const {
+  return TtlProfile{mode_of(scan_ttls_), mode_of(trigger_ttls_)};
+}
+
+telemetry::VolumeSeries LocalForensics::victim_volume(
+    net::Ipv4Address victim, util::SimTime start, util::SimTime end,
+    util::SimTime bucket_seconds) const {
+  return collector_.volume_series(
+      start, end, bucket_seconds, [&](const telemetry::FlowRecord& f) {
+        return f.dst == victim && f.src_port == net::kNtpPort;
+      });
+}
+
+std::vector<net::Ipv4Address> LocalForensics::common_victims(
+    const LocalForensics& a, const LocalForensics& b) {
+  std::vector<net::Ipv4Address> out;
+  for (const auto& [addr, _] : a.victims_) {
+    if (b.victims_.count(addr)) out.push_back(net::Ipv4Address{addr});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<net::Ipv4Address> LocalForensics::common_scanners(
+    const LocalForensics& a, const LocalForensics& b) {
+  const auto sa = a.scanners();
+  const auto sb = b.scanners();
+  std::vector<net::Ipv4Address> out;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+}  // namespace gorilla::core

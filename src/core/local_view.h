@@ -1,0 +1,124 @@
+// Regional-ISP forensics — §7.
+//
+// Given one vantage point's flow records, LocalForensics recovers what the
+// paper extracted at Merit and FRGP/CSU: the local amplifiers (a local host
+// that *sent* >= 10 MB of sport-123 traffic with a sent/received ratio > 5),
+// their victims (an external client *receiving* >= 100 KB from an amplifier
+// at a >= 100x payload ratio), per-amplifier and per-victim league tables
+// (Tables 5-6), cross-site victim/scanner intersections (Figures 15-16),
+// and the TTL-mode OS inference separating Linux scanners from Windows
+// attack bots (§7.2). Definitions follow the paper's footnote 3.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/registry.h"
+#include "telemetry/flow.h"
+#include "util/time.h"
+
+namespace gorilla::core {
+
+/// footnote-3 thresholds.
+inline constexpr std::uint64_t kLocalAmplifierMinBytes = 10'000'000;
+inline constexpr double kLocalAmplifierMinRatio = 5.0;
+inline constexpr std::uint64_t kLocalVictimMinBytes = 100'000;
+inline constexpr double kLocalVictimMinRatio = 100.0;
+
+struct LocalAmplifier {
+  net::Ipv4Address address;
+  double baf = 0.0;  ///< UDP payload sent/received ratio
+  std::uint64_t unique_victims = 0;
+  std::uint64_t bytes_sent = 0;  ///< on-wire bytes to victims
+};
+
+struct LocalVictim {
+  net::Ipv4Address address;
+  std::optional<net::Asn> asn;
+  std::string region;  ///< continent of the victim's AS (GeoIP analogue)
+  double baf = 0.0;
+  std::uint64_t amplifiers = 0;
+  double duration_hours = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+struct TtlProfile {
+  std::optional<std::uint8_t> scanner_mode_ttl;
+  std::optional<std::uint8_t> attack_mode_ttl;
+};
+
+class LocalForensics {
+ public:
+  LocalForensics(const telemetry::FlowCollector& collector,
+                 const net::Registry& registry);
+
+  /// Local amplifiers ranked by BAF (Table 5's ordering).
+  [[nodiscard]] std::vector<LocalAmplifier> amplifiers() const;
+
+  /// Victims ranked by bytes received (Table 6 / Figure 13 ordering).
+  [[nodiscard]] std::vector<LocalVictim> victims() const;
+
+  [[nodiscard]] std::uint64_t unique_victim_count() const {
+    return victims_.size();
+  }
+
+  /// External sources probing local port 123 that are not attack victims
+  /// (spoofed trigger sources are excluded) — scanner candidates.
+  [[nodiscard]] std::vector<net::Ipv4Address> scanners() const;
+
+  /// §7.2: modal TTLs of scanning vs spoofed attack-trigger traffic.
+  [[nodiscard]] TtlProfile ttl_profile() const;
+
+  /// Per-victim volume series (the Figure 13 stack), bucketed.
+  [[nodiscard]] telemetry::VolumeSeries victim_volume(
+      net::Ipv4Address victim, util::SimTime start, util::SimTime end,
+      util::SimTime bucket_seconds) const;
+
+  /// Victims this site has in common with another site (Figure 15's 291).
+  [[nodiscard]] static std::vector<net::Ipv4Address> common_victims(
+      const LocalForensics& a, const LocalForensics& b);
+
+  /// Scanner IPs seen at both sites (Figure 16's 42).
+  [[nodiscard]] static std::vector<net::Ipv4Address> common_scanners(
+      const LocalForensics& a, const LocalForensics& b);
+
+ private:
+  struct AmpStats {
+    std::uint64_t sent_bytes = 0;          // on-wire, sport 123 egress
+    std::uint64_t sent_payload = 0;
+    std::uint64_t received_bytes = 0;      // on-wire, dport 123 ingress
+    std::uint64_t received_payload = 0;
+  };
+  struct PairStats {
+    std::uint64_t response_bytes = 0;
+    std::uint64_t response_payload = 0;
+    std::uint64_t trigger_bytes = 0;
+    std::uint64_t trigger_payload = 0;
+    util::SimTime first = 0;
+    util::SimTime last = 0;
+  };
+
+  const telemetry::FlowCollector& collector_;
+  const net::Registry& registry_;
+  std::unordered_map<std::uint32_t, AmpStats> amp_stats_;
+  // (amplifier << 32 | victim) -> pair stats
+  std::unordered_map<std::uint64_t, PairStats> pairs_;
+  std::map<std::uint8_t, std::uint64_t> scan_ttls_;
+  std::map<std::uint8_t, std::uint64_t> trigger_ttls_;
+  /// source -> (first, last) time it probed local port 123.
+  std::unordered_map<std::uint32_t, std::pair<util::SimTime, util::SimTime>>
+      external_probe_sources_;
+  std::unordered_map<std::uint32_t, bool> high_rate_sources_;
+  /// Local hosts observed actually speaking NTP (egress sport 123).
+  std::unordered_map<std::uint32_t, bool> ntp_speakers_;
+  /// Sources that probed local hosts which do NOT speak NTP — the
+  /// signature of address-space sweeping rather than spoofed triggering.
+  std::unordered_map<std::uint32_t, bool> swept_nonspeakers_;
+  std::unordered_map<std::uint32_t, bool> victims_;  // victim ip -> qualified
+};
+
+}  // namespace gorilla::core

@@ -1,0 +1,31 @@
+#include "core/monlist_analysis.h"
+
+namespace gorilla::core {
+
+ClientClass classify_client(const ntp::MonitorEntry& entry) noexcept {
+  if (entry.mode < 6) return ClientClass::kNonVictim;
+  if (entry.count < 3 || entry.avg_interval > 3600) {
+    return ClientClass::kScannerOrLowVolume;
+  }
+  return ClientClass::kVictim;
+}
+
+std::optional<WitnessedAttack> derive_attack(const ntp::MonitorEntry& entry,
+                                             util::SimTime probe_time,
+                                             net::Ipv4Address amplifier)
+    noexcept {
+  if (classify_client(entry) != ClientClass::kVictim) return std::nullopt;
+  WitnessedAttack a;
+  a.victim = entry.address;
+  a.amplifier = amplifier;
+  a.victim_port = entry.port;
+  a.mode = entry.mode;
+  a.packets = entry.count;
+  a.end_time = probe_time - static_cast<util::SimTime>(entry.last_seen);
+  a.duration = static_cast<util::SimTime>(entry.count) *
+               static_cast<util::SimTime>(entry.avg_interval);
+  a.start_time = a.end_time - a.duration;
+  return a;
+}
+
+}  // namespace gorilla::core

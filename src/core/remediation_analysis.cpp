@@ -1,0 +1,140 @@
+#include "core/remediation_analysis.h"
+
+#include <algorithm>
+
+namespace gorilla::core {
+
+namespace {
+
+double reduction_pct(double first, double last) {
+  return first > 0.0 ? 100.0 * (first - last) / first : 0.0;
+}
+
+}  // namespace
+
+LevelReduction level_reduction(const AmplifierCensus& census) {
+  LevelReduction r;
+  const auto& rows = census.rows();
+  if (rows.size() < 2) return r;
+  const auto& first = rows.front();
+  const auto& last = rows.back();
+  r.ips_pct = reduction_pct(static_cast<double>(first.ips),
+                            static_cast<double>(last.ips));
+  r.slash24_pct = reduction_pct(static_cast<double>(first.slash24s),
+                                static_cast<double>(last.slash24s));
+  r.blocks_pct = reduction_pct(static_cast<double>(first.routed_blocks),
+                               static_cast<double>(last.routed_blocks));
+  r.asns_pct = reduction_pct(static_cast<double>(first.asns),
+                             static_cast<double>(last.asns));
+  return r;
+}
+
+std::vector<ContinentReduction> continent_reduction(
+    const AmplifierCensus& census) {
+  std::vector<ContinentReduction> out;
+  const auto& rows = census.rows();
+  if (rows.size() < 2) return out;
+  for (int c = 0; c < net::kContinentCount; ++c) {
+    ContinentReduction r;
+    r.continent = static_cast<net::Continent>(c);
+    r.remediated_pct = reduction_pct(
+        static_cast<double>(rows.front().by_continent[static_cast<std::size_t>(c)]),
+        static_cast<double>(rows.back().by_continent[static_cast<std::size_t>(c)]));
+    out.push_back(r);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.remediated_pct > b.remediated_pct;
+  });
+  return out;
+}
+
+PoolSeries make_pool_series(std::string name,
+                            const std::vector<std::uint64_t>& weekly_counts) {
+  PoolSeries s;
+  s.name = std::move(name);
+  for (const auto c : weekly_counts) s.peak = std::max(s.peak, c);
+  s.relative_to_peak.reserve(weekly_counts.size());
+  for (const auto c : weekly_counts) {
+    s.relative_to_peak.push_back(
+        s.peak ? static_cast<double>(c) / static_cast<double>(s.peak) : 0.0);
+  }
+  return s;
+}
+
+std::vector<RemediationEffectRow> remediation_effect(
+    const AmplifierCensus& census, const VictimAnalysis& victims) {
+  std::vector<RemediationEffectRow> out;
+  const auto& arows = census.rows();
+  const auto& vrows = victims.rows();
+  const std::size_t n = std::min(arows.size(), vrows.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    RemediationEffectRow row;
+    row.week = arows[i].week;
+    row.amplifiers_per_victim = vrows[i].amplifiers_per_victim;
+    const double victim_packets =
+        vrows[i].packets_mean * static_cast<double>(vrows[i].ips);
+    row.packets_per_amplifier =
+        arows[i].ips ? victim_packets / static_cast<double>(arows[i].ips)
+                     : 0.0;
+    row.victim_packets_p95 = vrows[i].packets_p95;
+    out.push_back(row);
+  }
+  return out;
+}
+
+CrossDatasetValidation validate_published_as_list(
+    std::vector<net::Asn> published, const VictimAnalysis& victims) {
+  CrossDatasetValidation v;
+  std::sort(published.begin(), published.end());
+  published.erase(std::unique(published.begin(), published.end()),
+                  published.end());
+  v.published_ases = published.size();
+
+  const auto breakdown = victims.amplifier_as_breakdown();
+  std::uint64_t total = 0, overlap_packets = 0;
+  for (const auto& [asn, packets] : breakdown) {
+    total += packets;
+    if (std::binary_search(published.begin(), published.end(), asn)) {
+      ++v.overlapping_ases;
+      overlap_packets += packets;
+    }
+  }
+  v.overlap_fraction =
+      v.published_ases
+          ? static_cast<double>(v.overlapping_ases) /
+                static_cast<double>(v.published_ases)
+          : 0.0;
+  v.packet_share_of_total =
+      total ? static_cast<double>(overlap_packets) /
+                  static_cast<double>(total)
+            : 0.0;
+  return v;
+}
+
+PoolOverlap pool_overlap(std::vector<net::Ipv4Address> a,
+                         std::vector<net::Ipv4Address> b) {
+  PoolOverlap r;
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++r.intersection;
+      ++i;
+      ++j;
+    }
+  }
+  r.fraction_of_first =
+      a.empty() ? 0.0
+                : static_cast<double>(r.intersection) /
+                      static_cast<double>(a.size());
+  return r;
+}
+
+}  // namespace gorilla::core

@@ -1,0 +1,89 @@
+// Remediation analyses — §6.
+//
+// Three results: (1) subgroup remediation rates — how much slower the pool
+// shrinks when aggregated at /24, routed-block, and AS level, per continent,
+// and by host type; (2) the Figure 10 cross-pool comparison — monlist vs
+// version vs open DNS resolvers, aligned on weeks since publicity and
+// normalized to each pool's peak; (3) the §6.3 effect measurements —
+// amplifiers seen per victim and packets sent per amplifier over time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/amplifiers.h"
+#include "core/victims.h"
+#include "net/ipv4.h"
+
+namespace gorilla::core {
+
+/// Percentage reduction between the first and last closed samples at each
+/// aggregation level (the paper: IPs 92%, /24s 72%, blocks 59%, ASes 55%).
+struct LevelReduction {
+  double ips_pct = 0.0;
+  double slash24_pct = 0.0;
+  double blocks_pct = 0.0;
+  double asns_pct = 0.0;
+};
+
+[[nodiscard]] LevelReduction level_reduction(const AmplifierCensus& census);
+
+/// Per-continent remediated percentage between first and last samples.
+struct ContinentReduction {
+  net::Continent continent{};
+  double remediated_pct = 0.0;
+};
+
+[[nodiscard]] std::vector<ContinentReduction> continent_reduction(
+    const AmplifierCensus& census);
+
+/// A pool-size series normalized to its own peak (Figure 10's y-axis).
+struct PoolSeries {
+  std::string name;
+  std::uint64_t peak = 0;
+  std::vector<double> relative_to_peak;  ///< one point per week since start
+};
+
+[[nodiscard]] PoolSeries make_pool_series(std::string name,
+                                          const std::vector<std::uint64_t>&
+                                              weekly_counts);
+
+/// §6.3: per-sample mean amplifiers per victim and packets per amplifier
+/// (victim packets that sample / amplifier count that sample).
+struct RemediationEffectRow {
+  int week = 0;
+  double amplifiers_per_victim = 0.0;
+  double packets_per_amplifier = 0.0;
+  double victim_packets_p95 = 0.0;
+};
+
+[[nodiscard]] std::vector<RemediationEffectRow> remediation_effect(
+    const AmplifierCensus& census, const VictimAnalysis& victims);
+
+/// §4.4's cross-dataset validation: a third party (CloudFlare, for the
+/// February 10th attack) publishes the list of ASes whose amplifiers hit
+/// it; we check how many of those ASes our census independently saw, and
+/// what share of ALL victim packets those ASes' amplifiers carried.
+/// (Paper: 1,291 of 1,297 published ASes overlapped the ONP's 16,687, and
+/// carried 60% of all victim packets.)
+struct CrossDatasetValidation {
+  std::size_t published_ases = 0;
+  std::size_t overlapping_ases = 0;
+  double overlap_fraction = 0.0;
+  double packet_share_of_total = 0.0;
+};
+
+[[nodiscard]] CrossDatasetValidation validate_published_as_list(
+    std::vector<net::Asn> published, const VictimAnalysis& victims);
+
+/// Overlap of two IP pools (§6.2's monlist-vs-open-resolver intersection).
+struct PoolOverlap {
+  std::uint64_t intersection = 0;
+  double fraction_of_first = 0.0;
+};
+
+[[nodiscard]] PoolOverlap pool_overlap(std::vector<net::Ipv4Address> a,
+                                       std::vector<net::Ipv4Address> b);
+
+}  // namespace gorilla::core

@@ -1,0 +1,172 @@
+#include "core/victims.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gorilla::core {
+
+VictimAnalysis::VictimAnalysis(const net::Registry& registry,
+                               const net::PolicyBlockList& pbl)
+    : registry_(registry), pbl_(pbl) {}
+
+void VictimAnalysis::begin_sample(int week, util::Date date) {
+  if (sample_open_) throw std::logic_error("VictimAnalysis: sample open");
+  sample_open_ = true;
+  current_ = VictimSampleRow{};
+  current_.week = week;
+  current_.date = date;
+  cur_victims_.clear();
+  cur_windows_.clear();
+  cur_durations_.clear();
+  cur_scanner_mode6_ = cur_scanner_total_ = 0;
+  cur_victim_mode6_ = cur_victim_total_ = 0;
+}
+
+void VictimAnalysis::add(const scan::AmplifierObservation& obs) {
+  if (!sample_open_) throw std::logic_error("VictimAnalysis: no open sample");
+  const auto amp_asn = registry_.asn_of(obs.address);
+
+  std::uint32_t largest_last_seen = 0;
+  for (const auto& entry : obs.table) {
+    largest_last_seen = std::max(largest_last_seen, entry.last_seen);
+    const ClientClass cls = classify_client(entry);
+    if (cls == ClientClass::kNonVictim) continue;
+    if (cls == ClientClass::kScannerOrLowVolume) {
+      ++cur_scanner_total_;
+      if (entry.mode == 6) ++cur_scanner_mode6_;
+      continue;
+    }
+    // Victim entry.
+    ++cur_victim_total_;
+    if (entry.mode == 6) ++cur_victim_mode6_;
+    const auto attack = derive_attack(entry, obs.probe_time, obs.address);
+    if (!attack) continue;
+
+    auto& v = cur_victims_[entry.address.value()];
+    v.packets += attack->packets;
+    ++v.amplifiers;
+    v.starts.push_back(attack->start_time);
+
+    total_packets_ += attack->packets;
+    victim_ever_.insert(entry.address.value());
+    ++port_pairs_[entry.port];
+    ++port_pairs_total_;
+    if (const auto vas = registry_.asn_of(entry.address)) {
+      packets_by_victim_as_[*vas] += attack->packets;
+    }
+    if (amp_asn) {
+      packets_by_amplifier_as_[*amp_asn] += attack->packets;
+    }
+    cur_durations_.add(static_cast<double>(attack->duration));
+  }
+  if (!obs.table.empty()) {
+    cur_windows_.add(static_cast<double>(largest_last_seen));
+  }
+}
+
+void VictimAnalysis::end_sample() {
+  if (!sample_open_) throw std::logic_error("VictimAnalysis: no open sample");
+
+  std::unordered_set<std::uint32_t> blocks;
+  std::unordered_set<net::Asn> asns;
+  SampleAccumulator packets;
+  double amp_sum = 0.0;
+  for (const auto& [ip_value, v] : cur_victims_) {
+    const net::Ipv4Address ip{ip_value};
+    ++current_.ips;
+    if (const auto b = registry_.block_index_of(ip)) blocks.insert(*b);
+    if (const auto a = registry_.asn_of(ip)) asns.insert(*a);
+    if (pbl_.is_end_host(ip)) ++current_.end_hosts;
+    packets.add(static_cast<double>(v.packets));
+    amp_sum += static_cast<double>(v.amplifiers);
+
+    // One attack per victim per sample (the paper's simplification); its
+    // start is the median start across witnessing amplifiers.
+    std::vector<util::SimTime> starts = v.starts;
+    std::nth_element(starts.begin(), starts.begin() + starts.size() / 2,
+                     starts.end());
+    const util::SimTime start = starts[starts.size() / 2];
+    const std::int64_t hour = start / util::kSecondsPerHour;
+    ++attacks_per_hour_[hour];
+  }
+  current_.routed_blocks = blocks.size();
+  current_.asns = asns.size();
+  current_.end_host_pct =
+      current_.ips ? 100.0 * static_cast<double>(current_.end_hosts) /
+                         static_cast<double>(current_.ips)
+                   : 0.0;
+  current_.ips_per_block =
+      current_.routed_blocks
+          ? static_cast<double>(current_.ips) /
+                static_cast<double>(current_.routed_blocks)
+          : 0.0;
+  current_.packets_mean = packets.mean();
+  current_.packets_median = packets.quantile(0.5);
+  current_.packets_p95 = packets.quantile(0.95);
+  current_.amplifiers_per_victim =
+      current_.ips ? amp_sum / static_cast<double>(current_.ips) : 0.0;
+  current_.median_window_seconds = cur_windows_.quantile(0.5);
+  current_.scanner_mode6_share =
+      cur_scanner_total_ ? static_cast<double>(cur_scanner_mode6_) /
+                               static_cast<double>(cur_scanner_total_)
+                         : 0.0;
+  current_.victim_mode6_share =
+      cur_victim_total_ ? static_cast<double>(cur_victim_mode6_) /
+                              static_cast<double>(cur_victim_total_)
+                        : 0.0;
+  durations_.emplace_back(cur_durations_.quantile(0.5),
+                          cur_durations_.quantile(0.95));
+  rows_.push_back(current_);
+  sample_open_ = false;
+}
+
+std::vector<std::pair<std::uint16_t, double>> VictimAnalysis::top_ports(
+    std::size_t n) const {
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> counted(
+      port_pairs_.begin(), port_pairs_.end());
+  std::sort(counted.begin(), counted.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::vector<std::pair<std::uint16_t, double>> out;
+  const double total = static_cast<double>(std::max<std::uint64_t>(
+      1, port_pairs_total_));
+  for (std::size_t i = 0; i < counted.size() && i < n; ++i) {
+    out.emplace_back(counted[i].first,
+                     static_cast<double>(counted[i].second) / total);
+  }
+  return out;
+}
+
+std::vector<double> VictimAnalysis::victim_as_packets() const {
+  std::vector<double> out;
+  out.reserve(packets_by_victim_as_.size());
+  for (const auto& [_, p] : packets_by_victim_as_) {
+    out.push_back(static_cast<double>(p));
+  }
+  return out;
+}
+
+std::vector<double> VictimAnalysis::amplifier_as_packets() const {
+  std::vector<double> out;
+  out.reserve(packets_by_amplifier_as_.size());
+  for (const auto& [_, p] : packets_by_amplifier_as_) {
+    out.push_back(static_cast<double>(p));
+  }
+  return out;
+}
+
+std::vector<std::pair<net::Asn, std::uint64_t>>
+VictimAnalysis::amplifier_as_breakdown() const {
+  return {packets_by_amplifier_as_.begin(), packets_by_amplifier_as_.end()};
+}
+
+std::vector<std::pair<net::Asn, std::uint64_t>> VictimAnalysis::top_victim_ases(
+    std::size_t n) const {
+  std::vector<std::pair<net::Asn, std::uint64_t>> ranked(
+      packets_by_victim_as_.begin(), packets_by_victim_as_.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (ranked.size() > n) ranked.resize(n);
+  return ranked;
+}
+
+}  // namespace gorilla::core

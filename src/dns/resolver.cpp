@@ -1,0 +1,76 @@
+#include "dns/resolver.h"
+
+#include <algorithm>
+
+namespace gorilla::dns {
+
+ResolverPool::ResolverPool(const net::Registry& registry,
+                           const ResolverPoolConfig& config,
+                           int horizon_weeks) {
+  util::Rng rng(config.seed);
+  resolvers_.reserve(config.peak_size + config.co_hosted.size());
+  for (const auto addr : config.co_hosted) {
+    OpenResolver r;
+    r.address = addr;
+    r.cpe = rng.chance(0.5);  // mismanaged boxes of both kinds
+    const double weekly = r.cpe ? config.cpe_weekly_fix_rate
+                                : config.infra_weekly_fix_rate;
+    for (int w = 1; w <= horizon_weeks; ++w) {
+      if (rng.chance(weekly)) {
+        r.fixed_week = w;
+        break;
+      }
+    }
+    resolvers_.push_back(r);
+  }
+  for (std::uint64_t i = 0; i < config.peak_size; ++i) {
+    OpenResolver r;
+    r.cpe = rng.chance(config.cpe_fraction);
+    // CPE resolvers live in residential space; infrastructure anywhere.
+    const auto addr = r.cpe
+                          ? registry.random_address(
+                                rng, [](const net::RoutedBlock& b) {
+                                  return b.residential;
+                                })
+                          : std::optional<net::Ipv4Address>(
+                                registry.random_address(rng));
+    r.address = addr.value_or(registry.random_address(rng));
+    const double weekly = r.cpe ? config.cpe_weekly_fix_rate
+                                : config.infra_weekly_fix_rate;
+    // Geometric lifetime in weeks; most never fix within the horizon.
+    for (int w = 1; w <= horizon_weeks; ++w) {
+      if (rng.chance(weekly)) {
+        r.fixed_week = w;
+        break;
+      }
+    }
+    resolvers_.push_back(r);
+  }
+  open_by_week_.assign(static_cast<std::size_t>(horizon_weeks) + 1, 0);
+  for (const auto& r : resolvers_) {
+    for (int w = 0; w <= horizon_weeks; ++w) {
+      if (r.fixed_week < 0 || w < r.fixed_week) ++open_by_week_[w];
+    }
+  }
+}
+
+std::uint64_t ResolverPool::open_count(int week) const {
+  if (week < 0) week = 0;
+  const auto idx = std::min<std::size_t>(static_cast<std::size_t>(week),
+                                         open_by_week_.size() - 1);
+  return open_by_week_[idx];
+}
+
+std::size_t any_query_bytes() {
+  // 12-byte DNS header + QNAME "isc.org" style + QTYPE/QCLASS ~ 25 bytes,
+  // plus EDNS0 OPT RR advertising a 4096-byte buffer (11 bytes).
+  return 36;
+}
+
+std::size_t any_response_bytes(util::Rng& rng) {
+  // ANY responses for abused zones clustered around 3-4 KB (EDNS0-limited).
+  const double v = rng.lognormal(/*mu=*/8.0, /*sigma=*/0.35);
+  return static_cast<std::size_t>(std::clamp(v, 512.0, 4096.0));
+}
+
+}  // namespace gorilla::dns

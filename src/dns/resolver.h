@@ -1,0 +1,80 @@
+// Open DNS recursive resolvers — the comparison amplifier pool of §6.2.
+//
+// Figure 10 contrasts how quickly three amplifier pools shrank after
+// publicity began: NTP monlist (−92%), NTP version (−19%), and open DNS
+// resolvers (essentially flat, 33.9M at peak). We model the resolver pool
+// at the same fidelity the paper uses it: a population with a decay process
+// and an ANY-query amplification response, dominated by hard-to-update CPE
+// devices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+#include "net/registry.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace gorilla::dns {
+
+struct ResolverPoolConfig {
+  std::uint64_t seed = util::Rng::kDefaultSeed ^ 0xd45ULL;
+  /// Pool size at peak. The paper's peak is 33.9M; benches scale this down
+  /// and report the scale factor.
+  std::uint64_t peak_size = 339000;
+  /// Fraction of the pool on customer-premises equipment (slow to fix).
+  double cpe_fraction = 0.85;
+  /// Weekly remediation probability for CPE and infrastructure resolvers.
+  /// Calibrated so the pool loses only a few percent over a year (§6.2).
+  double cpe_weekly_fix_rate = 0.0004;
+  double infra_weekly_fix_rate = 0.004;
+
+  /// Addresses that host an open resolver *in addition to* whatever else
+  /// they run — §6.2 found ~9.2% of NTP amplifier IPs were also open DNS
+  /// resolvers ("badly mis-managed IPs"). These are placed verbatim, the
+  /// rest of the pool is drawn from the registry.
+  std::vector<net::Ipv4Address> co_hosted;
+};
+
+/// One open resolver (value type; the pool stores them contiguously).
+struct OpenResolver {
+  net::Ipv4Address address;
+  bool cpe = false;
+  /// Week index (since publicity start) at which it stops answering, or -1.
+  std::int32_t fixed_week = -1;
+};
+
+/// The open-resolver population and its decay process.
+class ResolverPool {
+ public:
+  ResolverPool(const net::Registry& registry, const ResolverPoolConfig& config,
+               int horizon_weeks);
+
+  /// Number of resolvers still open at the given week since publicity.
+  [[nodiscard]] std::uint64_t open_count(int week) const;
+
+  [[nodiscard]] const std::vector<OpenResolver>& resolvers() const noexcept {
+    return resolvers_;
+  }
+
+  /// True when the resolver at `index` still answers at `week`.
+  [[nodiscard]] bool is_open(std::size_t index, int week) const {
+    const auto& r = resolvers_[index];
+    return r.fixed_week < 0 || week < r.fixed_week;
+  }
+
+ private:
+  std::vector<OpenResolver> resolvers_;
+  std::vector<std::uint64_t> open_by_week_;
+};
+
+/// UDP payload size of a minimal "ANY <zone>" query.
+[[nodiscard]] std::size_t any_query_bytes();
+
+/// Simulated response size (UDP payload bytes) of an open resolver answering
+/// an ANY query — the ~30x amplification DNS attacks relied on.
+[[nodiscard]] std::size_t any_response_bytes(util::Rng& rng);
+
+}  // namespace gorilla::dns

@@ -1,0 +1,44 @@
+// Ethernet on-wire byte accounting.
+//
+// The paper computes its bandwidth amplification factors "on-wire": every
+// packet costs at least the 64-byte minimum Ethernet frame plus the 8-byte
+// preamble and the 12-byte inter-packet gap — 84 bytes total for a minimal
+// query (§3.2). Larger packets cost header + payload + FCS + preamble + IPG.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace gorilla::net {
+
+inline constexpr std::uint64_t kEthernetHeaderBytes = 14;   // dst+src+type
+inline constexpr std::uint64_t kEthernetFcsBytes = 4;       // CRC32
+inline constexpr std::uint64_t kEthernetMinFrameBytes = 64; // incl. FCS
+inline constexpr std::uint64_t kEthernetPreambleBytes = 8;  // preamble + SFD
+inline constexpr std::uint64_t kInterPacketGapBytes = 12;
+inline constexpr std::uint64_t kIpv4HeaderBytes = 20;
+inline constexpr std::uint64_t kUdpHeaderBytes = 8;
+
+/// Bytes a frame with the given IP datagram length occupies on the wire,
+/// including padding to the minimum frame size, preamble, and IPG.
+[[nodiscard]] constexpr std::uint64_t on_wire_bytes_for_ip(
+    std::uint64_t ip_datagram_bytes) noexcept {
+  const std::uint64_t frame = std::max(
+      kEthernetMinFrameBytes,
+      kEthernetHeaderBytes + ip_datagram_bytes + kEthernetFcsBytes);
+  return frame + kEthernetPreambleBytes + kInterPacketGapBytes;
+}
+
+/// On-wire bytes for a UDP payload of the given size.
+[[nodiscard]] constexpr std::uint64_t on_wire_bytes_for_udp(
+    std::uint64_t udp_payload_bytes) noexcept {
+  return on_wire_bytes_for_ip(kIpv4HeaderBytes + kUdpHeaderBytes +
+                              udp_payload_bytes);
+}
+
+/// On-wire cost of a minimal query packet — the BAF denominator (84 bytes).
+inline constexpr std::uint64_t kMinOnWireBytes = on_wire_bytes_for_ip(0);
+static_assert(kMinOnWireBytes == 84,
+              "paper's minimal on-wire query must be 84 bytes");
+
+}  // namespace gorilla::net

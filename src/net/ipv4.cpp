@@ -1,0 +1,44 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+namespace gorilla::net {
+
+std::string to_string(Ipv4Address addr) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", addr.octet(0), addr.octet(1),
+                addr.octet(2), addr.octet(3));
+  return buf;
+}
+
+std::optional<Ipv4Address> parse_ipv4(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    return std::nullopt;
+  }
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string to_string(const Prefix& p) {
+  return to_string(p.base()) + "/" + std::to_string(p.length());
+}
+
+std::optional<Prefix> parse_prefix(const std::string& s) {
+  const auto slash = s.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto addr = parse_ipv4(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = -1;
+  try {
+    length = std::stoi(s.substr(slash + 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (length < 0 || length > 32) return std::nullopt;
+  return Prefix{*addr, length};
+}
+
+}  // namespace gorilla::net

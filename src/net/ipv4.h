@@ -1,0 +1,94 @@
+// IPv4 addresses and CIDR prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gorilla::net {
+
+/// An IPv4 address as a host-order 32-bit value (value type, totally ordered).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// "a.b.c.d".
+[[nodiscard]] std::string to_string(Ipv4Address addr);
+
+/// Parse dotted-quad; nullopt on malformed input.
+[[nodiscard]] std::optional<Ipv4Address> parse_ipv4(const std::string& s);
+
+/// A CIDR prefix. Invariant: host bits below the prefix length are zero.
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;
+
+  /// Canonicalizes: masks off host bits. length must be 0..32.
+  constexpr Prefix(Ipv4Address base, int length) noexcept
+      : base_(Ipv4Address{length == 0 ? 0u : (base.value() & mask_for(length))}),
+        length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4Address base() const noexcept { return base_; }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const noexcept {
+    return length_ == 0 || (a.value() & mask_for(length_)) == base_.value();
+  }
+
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.base_);
+  }
+
+  /// Number of addresses covered (2^(32-length)); 2^32 reported as 0x100000000.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// The i-th address inside the prefix (i < size()).
+  [[nodiscard]] constexpr Ipv4Address at(std::uint64_t i) const noexcept {
+    return Ipv4Address{base_.value() + static_cast<std::uint32_t>(i)};
+  }
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept =
+      default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) noexcept {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  Ipv4Address base_{};
+  int length_ = 0;
+};
+
+/// "a.b.c.d/len".
+[[nodiscard]] std::string to_string(const Prefix& p);
+
+/// Parse "a.b.c.d/len"; nullopt on malformed input or length out of range.
+[[nodiscard]] std::optional<Prefix> parse_prefix(const std::string& s);
+
+/// The /24 containing an address — the aggregation level used throughout §3/§6.
+[[nodiscard]] constexpr Prefix slash24_of(Ipv4Address a) noexcept {
+  return Prefix{a, 24};
+}
+
+}  // namespace gorilla::net

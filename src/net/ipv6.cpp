@@ -1,0 +1,135 @@
+#include "net/ipv6.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace gorilla::net {
+
+std::string to_string(const Ipv6Address& a) {
+  // Find the longest run of zero groups (>= 2) for "::" compression.
+  int best_start = -1, best_len = 0;
+  int run_start = -1, run_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (a.group(i) == 0) {
+      if (run_start < 0) run_start = i;
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_start = -1;
+      run_len = 0;
+    }
+  }
+  if (best_len < 2) best_start = -1;
+
+  std::string out;
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    if (best_start >= 0 && i == best_start) {
+      out += "::";
+      i += best_len - 1;
+      if (i == 7) return out;  // trailing "::"
+      continue;
+    }
+    if (!out.empty() && out.back() != ':') out += ':';
+    std::snprintf(buf, sizeof buf, "%x", a.group(i));
+    out += buf;
+  }
+  return out;
+}
+
+std::optional<Ipv6Address> parse_ipv6(const std::string& s) {
+  // Split on "::" first.
+  const auto dcolon = s.find("::");
+  std::vector<std::uint16_t> head, tail;
+  auto parse_groups = [](const std::string& part,
+                         std::vector<std::uint16_t>& out) -> bool {
+    if (part.empty()) return true;
+    std::size_t pos = 0;
+    while (pos <= part.size()) {
+      const auto colon = part.find(':', pos);
+      const std::string token =
+          part.substr(pos, colon == std::string::npos ? std::string::npos
+                                                      : colon - pos);
+      if (token.empty() || token.size() > 4) return false;
+      unsigned value = 0;
+      for (const char c : token) {
+        value <<= 4;
+        if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+        else return false;
+      }
+      out.push_back(static_cast<std::uint16_t>(value));
+      if (colon == std::string::npos) break;
+      pos = colon + 1;
+      if (pos == part.size()) return false;  // trailing single colon
+    }
+    return true;
+  };
+
+  if (dcolon == std::string::npos) {
+    if (!parse_groups(s, head) || head.size() != 8) return std::nullopt;
+  } else {
+    if (s.find("::", dcolon + 1) != std::string::npos) return std::nullopt;
+    if (!parse_groups(s.substr(0, dcolon), head)) return std::nullopt;
+    if (!parse_groups(s.substr(dcolon + 2), tail)) return std::nullopt;
+    if (head.size() + tail.size() > 7) return std::nullopt;
+  }
+
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    bytes[i * 2] = static_cast<std::uint8_t>(head[i] >> 8);
+    bytes[i * 2 + 1] = static_cast<std::uint8_t>(head[i]);
+  }
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const std::size_t g = 8 - tail.size() + i;
+    bytes[g * 2] = static_cast<std::uint8_t>(tail[i] >> 8);
+    bytes[g * 2 + 1] = static_cast<std::uint8_t>(tail[i]);
+  }
+  return Ipv6Address{bytes};
+}
+
+Ipv6Prefix::Ipv6Prefix(const Ipv6Address& base, int length) noexcept
+    : length_(length) {
+  std::array<std::uint8_t, 16> bytes = base.bytes();
+  for (int bit = length; bit < 128; ++bit) {
+    bytes[static_cast<std::size_t>(bit / 8)] &=
+        static_cast<std::uint8_t>(~(0x80u >> (bit % 8)));
+  }
+  base_ = Ipv6Address{bytes};
+}
+
+bool Ipv6Prefix::contains(const Ipv6Address& a) const noexcept {
+  for (int bit = 0; bit < length_; ++bit) {
+    const std::size_t byte = static_cast<std::size_t>(bit / 8);
+    const std::uint8_t mask = static_cast<std::uint8_t>(0x80u >> (bit % 8));
+    if ((a.bytes()[byte] & mask) != (base_.bytes()[byte] & mask)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string to_string(const Ipv6Prefix& p) {
+  return to_string(p.base()) + "/" + std::to_string(p.length());
+}
+
+std::optional<Ipv6Prefix> parse_ipv6_prefix(const std::string& s) {
+  const auto slash = s.find('/');
+  if (slash == std::string::npos) return std::nullopt;
+  const auto addr = parse_ipv6(s.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = -1;
+  try {
+    length = std::stoi(s.substr(slash + 1));
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (length < 0 || length > 128) return std::nullopt;
+  return Ipv6Prefix{*addr, length};
+}
+
+}  // namespace gorilla::net

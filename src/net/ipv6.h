@@ -1,0 +1,72 @@
+// IPv6 addresses and prefixes — enough surface for the §5.1 IPv6-darknet
+// finding (covering prefixes for four RIRs; *no* NTP scanning observed).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace gorilla::net {
+
+/// A 128-bit IPv6 address (big-endian byte array; value type).
+class Ipv6Address {
+ public:
+  constexpr Ipv6Address() noexcept = default;
+  constexpr explicit Ipv6Address(
+      const std::array<std::uint8_t, 16>& bytes) noexcept
+      : bytes_(bytes) {}
+
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 16>& bytes()
+      const noexcept {
+    return bytes_;
+  }
+
+  /// The i-th 16-bit group (0..7), host order.
+  [[nodiscard]] constexpr std::uint16_t group(int i) const noexcept {
+    return static_cast<std::uint16_t>(
+        (bytes_[static_cast<std::size_t>(i) * 2] << 8) |
+        bytes_[static_cast<std::size_t>(i) * 2 + 1]);
+  }
+
+  friend constexpr auto operator<=>(const Ipv6Address&,
+                                    const Ipv6Address&) noexcept = default;
+
+ private:
+  std::array<std::uint8_t, 16> bytes_{};
+};
+
+/// Canonical (RFC 5952) textual form: lowercase hex, longest zero run
+/// compressed with "::".
+[[nodiscard]] std::string to_string(const Ipv6Address& a);
+
+/// Parses standard textual IPv6 (with or without "::"); no embedded-IPv4
+/// or zone-id forms. nullopt on malformed input.
+[[nodiscard]] std::optional<Ipv6Address> parse_ipv6(const std::string& s);
+
+/// An IPv6 CIDR prefix. Invariant: host bits below the length are zero.
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() noexcept = default;
+  Ipv6Prefix(const Ipv6Address& base, int length) noexcept;
+
+  [[nodiscard]] const Ipv6Address& base() const noexcept { return base_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  [[nodiscard]] bool contains(const Ipv6Address& a) const noexcept;
+
+  friend bool operator==(const Ipv6Prefix&, const Ipv6Prefix&) = default;
+
+ private:
+  Ipv6Address base_{};
+  int length_ = 0;
+};
+
+/// "base/len".
+[[nodiscard]] std::string to_string(const Ipv6Prefix& p);
+
+/// Parse "addr/len"; nullopt when malformed or length outside 0..128.
+[[nodiscard]] std::optional<Ipv6Prefix> parse_ipv6_prefix(
+    const std::string& s);
+
+}  // namespace gorilla::net

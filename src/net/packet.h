@@ -1,0 +1,53 @@
+// UDP datagram value type used across the simulator and protocol stacks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ethernet.h"
+#include "net/ipv4.h"
+#include "util/time.h"
+
+namespace gorilla::net {
+
+/// Well-known ports used throughout the study.
+inline constexpr std::uint16_t kNtpPort = 123;
+inline constexpr std::uint16_t kDnsPort = 53;
+
+/// A UDP datagram with just enough IP metadata for the analyses: addresses,
+/// ports, TTL (used for OS inference in §7.2), timestamp, and payload.
+struct UdpPacket {
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t ttl = 64;
+  util::SimTime timestamp = 0;
+  std::vector<std::uint8_t> payload;
+
+  /// Length of the IP datagram (IP + UDP headers + payload).
+  [[nodiscard]] std::uint64_t ip_length() const noexcept {
+    return kIpv4HeaderBytes + kUdpHeaderBytes + payload.size();
+  }
+
+  /// On-wire bytes this packet occupies (min-frame + preamble + IPG model).
+  [[nodiscard]] std::uint64_t on_wire_bytes() const noexcept {
+    return on_wire_bytes_for_ip(ip_length());
+  }
+};
+
+/// RFC 1071 Internet checksum over a byte span (used by the wire-format
+/// serializers; pads odd lengths with a zero byte).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data)
+    noexcept;
+
+/// Big-endian readers/writers shared by the NTP wire formats.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> in,
+                                    std::size_t offset);
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> in,
+                                    std::size_t offset);
+
+}  // namespace gorilla::net

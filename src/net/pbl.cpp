@@ -1,0 +1,15 @@
+#include "net/pbl.h"
+
+namespace gorilla::net {
+
+PolicyBlockList::PolicyBlockList(const Registry& registry,
+                                 const PblConfig& config) {
+  util::Rng rng(config.seed);
+  for (const auto& block : registry.blocks()) {
+    const double p = block.residential ? config.residential_listing_rate
+                                       : config.false_listing_rate;
+    if (rng.chance(p)) trie_.insert(block.prefix, true);
+  }
+}
+
+}  // namespace gorilla::net

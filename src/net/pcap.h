@@ -1,0 +1,83 @@
+// Minimal pcap (libpcap classic format) writer/reader for UDP datagrams.
+//
+// The paper's darknet dataset is "full packet captures"; this module lets
+// the telescope (and any other component) persist simulated traffic in the
+// standard interchange format — a capture written here opens in tcpdump or
+// Wireshark — and read it back for offline analysis. Only Ethernet/IPv4/UDP
+// framing is emitted, which is all the study's traffic uses.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace gorilla::net {
+
+/// Classic pcap magic (microsecond timestamps, little-endian host order).
+inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+inline constexpr std::uint16_t kPcapVersionMajor = 2;
+inline constexpr std::uint16_t kPcapVersionMinor = 4;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+/// Streams UDP packets into a pcap byte stream. The stream must outlive
+/// the writer. Each UdpPacket is wrapped in synthetic Ethernet + IPv4 + UDP
+/// headers (checksums computed, locally-administered MAC addresses derived
+/// from the IPs so flows are visually traceable).
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::ostream& out);
+
+  /// Appends one packet record; returns bytes written.
+  std::size_t write(const UdpPacket& packet);
+
+  [[nodiscard]] std::uint64_t packets_written() const noexcept {
+    return packets_;
+  }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t packets_ = 0;
+};
+
+/// Reads UDP packets back from a pcap byte stream. Non-UDP records are
+/// skipped (counted); malformed records end the stream.
+class PcapReader {
+ public:
+  explicit PcapReader(std::istream& in);
+
+  /// True if the stream began with a valid classic pcap header.
+  [[nodiscard]] bool valid() const noexcept { return valid_; }
+
+  /// Next UDP packet, or nullopt at end-of-stream.
+  [[nodiscard]] std::optional<UdpPacket> next();
+
+  [[nodiscard]] std::uint64_t packets_read() const noexcept {
+    return packets_;
+  }
+  [[nodiscard]] std::uint64_t records_skipped() const noexcept {
+    return skipped_;
+  }
+
+ private:
+  std::istream& in_;
+  bool valid_ = false;
+  std::uint64_t packets_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+/// Serializes one UDP packet into a full Ethernet frame (no pcap header) —
+/// the payload bytes a capture record carries.
+[[nodiscard]] std::vector<std::uint8_t> to_ethernet_frame(
+    const UdpPacket& packet);
+
+/// Parses an Ethernet frame back into a UdpPacket; nullopt unless the frame
+/// is well-formed Ethernet + IPv4 + UDP.
+[[nodiscard]] std::optional<UdpPacket> from_ethernet_frame(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace gorilla::net

@@ -1,0 +1,148 @@
+#include "ntp/mode6.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "net/packet.h"
+
+namespace gorilla::ntp {
+
+using net::get_u16;
+using net::put_u16;
+
+std::vector<std::uint8_t> serialize(const ControlPacket& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(p.total_bytes());
+  out.push_back(make_li_vn_mode(0, p.version, Mode::kControl));
+  std::uint8_t rem = static_cast<std::uint8_t>(p.opcode) & 0x1f;
+  if (p.response) rem |= 0x80;
+  if (p.error) rem |= 0x40;
+  if (p.more) rem |= 0x20;
+  out.push_back(rem);
+  put_u16(out, p.sequence);
+  put_u16(out, p.status);
+  put_u16(out, p.association_id);
+  put_u16(out, p.offset);
+  put_u16(out, static_cast<std::uint16_t>(p.data.size()));
+  out.insert(out.end(), p.data.begin(), p.data.end());
+  while (out.size() % 4 != 0) out.push_back(0);
+  return out;
+}
+
+std::optional<ControlPacket> parse_control_packet(
+    std::span<const std::uint8_t> raw) {
+  if (raw.size() < kControlHeaderBytes) return std::nullopt;
+  if ((raw[0] & 0x7) != static_cast<std::uint8_t>(Mode::kControl))
+    return std::nullopt;
+  ControlPacket p;
+  p.version = (raw[0] >> 3) & 0x7;
+  p.response = raw[1] & 0x80;
+  p.error = raw[1] & 0x40;
+  p.more = raw[1] & 0x20;
+  p.opcode = static_cast<ControlOp>(raw[1] & 0x1f);
+  p.sequence = get_u16(raw, 2);
+  p.status = get_u16(raw, 4);
+  p.association_id = get_u16(raw, 6);
+  p.offset = get_u16(raw, 8);
+  const std::uint16_t count = get_u16(raw, 10);
+  if (kControlHeaderBytes + count > raw.size()) return std::nullopt;
+  p.data.assign(raw.begin() + kControlHeaderBytes,
+                raw.begin() + kControlHeaderBytes + count);
+  return p;
+}
+
+ControlPacket make_version_request(std::uint16_t sequence) {
+  ControlPacket p;
+  p.opcode = ControlOp::kReadVariables;
+  p.sequence = sequence;
+  return p;
+}
+
+std::string SystemVariables::render() const {
+  char num[64];
+  std::string out;
+  out += "version=\"" + version + "\"";
+  out += ", processor=\"" + processor + "\"";
+  out += ", system=\"" + system + "\"";
+  std::snprintf(num, sizeof num, ", leap=%d, stratum=%d", leap, stratum);
+  out += num;
+  std::snprintf(num, sizeof num, ", rootdelay=%.3f, rootdisp=%.3f",
+                rootdelay_ms, rootdisp_ms);
+  out += num;
+  for (const auto& [key, value] : extras) {
+    out += ", " + key + "=" + value;
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_variable_list(const std::string& text) {
+  std::map<std::string, std::string> vars;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    // Skip separators.
+    while (pos < text.size() && (text[pos] == ',' || text[pos] == ' ' ||
+                                 text[pos] == '\r' || text[pos] == '\n')) {
+      ++pos;
+    }
+    const std::size_t eq = text.find('=', pos);
+    if (eq == std::string::npos) break;
+    std::string key = text.substr(pos, eq - pos);
+    pos = eq + 1;
+    std::string value;
+    if (pos < text.size() && text[pos] == '"') {
+      const std::size_t close = text.find('"', pos + 1);
+      if (close == std::string::npos) break;
+      value = text.substr(pos + 1, close - pos - 1);
+      pos = close + 1;
+    } else {
+      const std::size_t comma = text.find(',', pos);
+      value = text.substr(pos, comma == std::string::npos ? std::string::npos
+                                                          : comma - pos);
+      pos = comma == std::string::npos ? text.size() : comma;
+    }
+    if (!key.empty()) vars.emplace(std::move(key), std::move(value));
+  }
+  return vars;
+}
+
+std::vector<ControlPacket> make_readvar_response(
+    const SystemVariables& vars, std::uint16_t request_sequence) {
+  const std::string text = vars.render();
+  std::vector<ControlPacket> fragments;
+  std::size_t offset = 0;
+  do {
+    const std::size_t chunk =
+        std::min(kControlMaxDataBytes, text.size() - offset);
+    ControlPacket p;
+    p.response = true;
+    p.opcode = ControlOp::kReadVariables;
+    p.sequence = request_sequence;
+    p.offset = static_cast<std::uint16_t>(offset);
+    p.data.assign(text.begin() + static_cast<std::ptrdiff_t>(offset),
+                  text.begin() + static_cast<std::ptrdiff_t>(offset + chunk));
+    offset += chunk;
+    p.more = offset < text.size();
+    fragments.push_back(std::move(p));
+  } while (offset < text.size());
+  return fragments;
+}
+
+std::optional<std::string> reassemble_readvar(
+    std::span<const ControlPacket> fragments) {
+  // Loop-faulted responders (§3.4 megas) resend the whole fragment chain;
+  // deduplicate by offset, keeping the last copy, then require contiguity.
+  std::map<std::uint16_t, const ControlPacket*> by_offset;
+  for (const auto& f : fragments) by_offset[f.offset] = &f;
+  std::string out;
+  const ControlPacket* last = nullptr;
+  for (const auto& [offset, f] : by_offset) {
+    if (offset != out.size()) return std::nullopt;  // gap or overlap
+    out.append(f->data.begin(), f->data.end());
+    last = f;
+  }
+  if (last != nullptr && last->more) return std::nullopt;
+  return out;
+}
+
+}  // namespace gorilla::ntp

@@ -1,0 +1,94 @@
+// NTP mode 6 (control) packets — the `version` / READVAR vector (§3.3).
+//
+// Wire format follows the ntpd control protocol: a 12-byte header
+// (LI/VN/mode, R|E|M|opcode, sequence, status, association id, offset,
+// count) followed by up to 468 data bytes, padded to a 4-byte boundary.
+// A `version` probe is a READVAR request with no variable list; responders
+// return their system variable list ("version=..., system=..., stratum=...")
+// possibly across multiple fragments (M bit + offset).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ntp/ntp_packet.h"
+
+namespace gorilla::ntp {
+
+/// Control opcodes (subset used by the study).
+enum class ControlOp : std::uint8_t {
+  kReadStatus = 1,
+  kReadVariables = 2,  ///< READVAR — the "version" probe
+};
+
+inline constexpr std::size_t kControlHeaderBytes = 12;
+inline constexpr std::size_t kControlMaxDataBytes = 468;
+
+struct ControlPacket {
+  std::uint8_t version = 2;  // ntpq sends VN=2
+  bool response = false;     // R bit
+  bool error = false;        // E bit
+  bool more = false;         // M bit — further fragments follow
+  ControlOp opcode = ControlOp::kReadVariables;
+  std::uint16_t sequence = 0;
+  std::uint16_t status = 0;
+  std::uint16_t association_id = 0;  // 0 = the system itself
+  std::uint16_t offset = 0;          // byte offset of this fragment's data
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    // Header + data padded to 4.
+    return kControlHeaderBytes + (data.size() + 3) / 4 * 4;
+  }
+};
+
+[[nodiscard]] std::vector<std::uint8_t> serialize(const ControlPacket& p);
+
+/// Parses one control packet; nullopt if not mode 6, truncated, or the
+/// declared count exceeds the buffer.
+[[nodiscard]] std::optional<ControlPacket> parse_control_packet(
+    std::span<const std::uint8_t> raw);
+
+/// Builds the single-packet `version` probe (READVAR, no variables) —
+/// byte-for-byte what the ONP scans send.
+[[nodiscard]] ControlPacket make_version_request(std::uint16_t sequence = 1);
+
+/// The system variable list an ntpd reports to READVAR.
+struct SystemVariables {
+  std::string version;  ///< e.g. "ntpd 4.2.6p5@1.2349-o Tue May 10 2011"
+  std::string system;   ///< e.g. "Linux/2.6.32", "cisco", "JUNOS"
+  std::string processor;
+  int stratum = 2;
+  int leap = 0;
+  double rootdelay_ms = 0.0;
+  double rootdisp_ms = 0.0;
+  /// Additional daemon variables (refid, reftime, clock, jitter, ...) in
+  /// render order. Full ntpd installs report a dozen of these; network
+  /// devices are terser — which is where the spread of version-response
+  /// sizes (and thus Figure 4c's BAF quartiles) comes from.
+  std::vector<std::pair<std::string, std::string>> extras;
+
+  /// Renders "key=value, key=value, ..." exactly as carried on the wire.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Parses a rendered variable list back into key/value pairs (tolerant of
+/// quoting and whitespace, as ntpq is).
+[[nodiscard]] std::map<std::string, std::string> parse_variable_list(
+    const std::string& text);
+
+/// Splits a rendered variable list into response fragments (M bit/offset
+/// chaining). Every response echoes the request sequence number.
+[[nodiscard]] std::vector<ControlPacket> make_readvar_response(
+    const SystemVariables& vars, std::uint16_t request_sequence);
+
+/// Reassembles READVAR response fragments into the full text; fragments may
+/// arrive out of order. Returns nullopt if a gap remains.
+[[nodiscard]] std::optional<std::string> reassemble_readvar(
+    std::span<const ControlPacket> fragments);
+
+}  // namespace gorilla::ntp

@@ -1,0 +1,352 @@
+#include "ntp/mode7.h"
+
+#include <algorithm>
+
+#include "net/packet.h"
+
+namespace gorilla::ntp {
+
+using net::get_u16;
+using net::get_u32;
+using net::put_u16;
+using net::put_u32;
+
+std::vector<std::uint8_t> serialize(const Mode7Packet& p) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kMode7HeaderBytes + p.data.size());
+  std::uint8_t b0 = make_li_vn_mode(0, kNtpVersion, Mode::kPrivate);
+  // In mode 7 the top two bits are repurposed: R (response) and M (more).
+  b0 = static_cast<std::uint8_t>((p.response ? 0x80 : 0) |
+                                 (p.more ? 0x40 : 0) |
+                                 (kNtpVersion << 3) |
+                                 static_cast<std::uint8_t>(Mode::kPrivate));
+  out.push_back(b0);
+  out.push_back(static_cast<std::uint8_t>((p.auth ? 0x80 : 0) |
+                                          (p.sequence & 0x7f)));
+  out.push_back(static_cast<std::uint8_t>(p.implementation));
+  out.push_back(static_cast<std::uint8_t>(p.request));
+  put_u16(out, static_cast<std::uint16_t>(
+                   (static_cast<std::uint16_t>(p.error) << 12) |
+                   (p.item_count & 0x0fff)));
+  put_u16(out, static_cast<std::uint16_t>(p.item_size & 0x0fff));
+  out.insert(out.end(), p.data.begin(), p.data.end());
+  return out;
+}
+
+std::optional<Mode7Packet> parse_mode7_packet(
+    std::span<const std::uint8_t> raw) {
+  if (raw.size() < kMode7HeaderBytes) return std::nullopt;
+  if ((raw[0] & 0x7) != static_cast<std::uint8_t>(Mode::kPrivate))
+    return std::nullopt;
+  Mode7Packet p;
+  p.response = raw[0] & 0x80;
+  p.more = raw[0] & 0x40;
+  p.auth = raw[1] & 0x80;
+  p.sequence = raw[1] & 0x7f;
+  p.implementation = static_cast<Implementation>(raw[2]);
+  p.request = static_cast<RequestCode>(raw[3]);
+  const std::uint16_t err_nitems = get_u16(raw, 4);
+  p.error = static_cast<Mode7Error>(err_nitems >> 12);
+  p.item_count = err_nitems & 0x0fff;
+  p.item_size = get_u16(raw, 6) & 0x0fff;
+  const std::size_t declared =
+      static_cast<std::size_t>(p.item_count) * p.item_size;
+  if (kMode7HeaderBytes + declared > raw.size()) return std::nullopt;
+  p.data.assign(raw.begin() + kMode7HeaderBytes,
+                raw.begin() + kMode7HeaderBytes + declared);
+  return p;
+}
+
+Mode7Packet make_monlist_request(Implementation impl, bool authenticated) {
+  Mode7Packet p;
+  p.response = false;
+  p.more = false;
+  p.sequence = 0;
+  p.auth = authenticated;
+  p.implementation = impl;
+  p.request = RequestCode::kMonGetList1;
+  p.error = Mode7Error::kOk;
+  p.item_count = 0;
+  p.item_size = 0;
+  // Zeroed data area: 40 bytes plain, or 40 + 144-byte auth tail for the
+  // authenticated variant (total datagram 48 or 192 bytes).
+  const std::size_t data_bytes =
+      (authenticated ? kMode7AuthRequestBytes : kMode7RequestBytes) -
+      kMode7HeaderBytes;
+  p.data.assign(data_bytes, 0);
+  return p;
+}
+
+namespace {
+
+void encode_item(std::vector<std::uint8_t>& out, const MonitorEntry& e) {
+  put_u32(out, e.avg_interval);
+  put_u32(out, e.last_seen);
+  put_u32(out, e.restr);
+  put_u32(out, e.count);
+  put_u32(out, e.address.value());
+  put_u32(out, e.local_address.value());
+  put_u32(out, 0);  // flags
+  put_u16(out, e.port);
+  out.push_back(e.mode);
+  out.push_back(e.version);
+  put_u32(out, 0);  // v6_flag
+  put_u32(out, 0);  // unused1 (alignment)
+  out.insert(out.end(), 32, 0);  // addr6 + daddr6
+}
+
+MonitorEntry decode_item(std::span<const std::uint8_t> item) {
+  MonitorEntry e;
+  e.avg_interval = get_u32(item, 0);
+  e.last_seen = get_u32(item, 4);
+  e.restr = get_u32(item, 8);
+  e.count = get_u32(item, 12);
+  e.address = net::Ipv4Address{get_u32(item, 16)};
+  e.local_address = net::Ipv4Address{get_u32(item, 20)};
+  e.port = get_u16(item, 28);
+  e.mode = item[30];
+  e.version = item[31];
+  return e;
+}
+
+}  // namespace
+
+std::vector<Mode7Packet> make_monlist_response(
+    std::span<const MonitorEntry> entries, Implementation impl) {
+  std::vector<Mode7Packet> packets;
+  const std::size_t n = std::min(entries.size(), kMonlistMaxEntries);
+  const std::size_t num_packets =
+      n == 0 ? 1 : (n + kMonitorItemsPerPacket - 1) / kMonitorItemsPerPacket;
+  packets.reserve(num_packets);
+  for (std::size_t pkt = 0; pkt < num_packets; ++pkt) {
+    const std::size_t first = pkt * kMonitorItemsPerPacket;
+    const std::size_t count =
+        std::min(kMonitorItemsPerPacket, n - std::min(n, first));
+    Mode7Packet p;
+    p.response = true;
+    p.more = pkt + 1 < num_packets;
+    p.sequence = static_cast<std::uint8_t>(pkt & 0x7f);
+    p.implementation = impl;
+    p.request = RequestCode::kMonGetList1;
+    p.error = n == 0 ? Mode7Error::kNoData : Mode7Error::kOk;
+    p.item_count = static_cast<std::uint16_t>(count);
+    p.item_size = kMonitorItemBytes;
+    p.data.reserve(count * kMonitorItemBytes);
+    for (std::size_t i = 0; i < count; ++i) {
+      encode_item(p.data, entries[first + i]);
+    }
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+namespace {
+
+void encode_legacy_item(std::vector<std::uint8_t>& out,
+                        const MonitorEntry& e) {
+  // struct info_monitor (pre-_1): lasttime, firsttime, restr, count, addr,
+  // mode+version packed, filler — 32 bytes.
+  put_u32(out, e.avg_interval);
+  put_u32(out, e.last_seen);
+  put_u32(out, e.restr);
+  put_u32(out, e.count);
+  put_u32(out, e.address.value());
+  out.push_back(e.mode);
+  out.push_back(e.version);
+  put_u16(out, 0);               // filler
+  put_u32(out, 0);               // v6_flag
+  put_u32(out, 0);               // unused
+}
+
+}  // namespace
+
+std::vector<Mode7Packet> make_legacy_monlist_response(
+    std::span<const MonitorEntry> entries, Implementation impl) {
+  std::vector<Mode7Packet> packets;
+  const std::size_t n = std::min(entries.size(), kMonlistMaxEntries);
+  const std::size_t per = kLegacyMonitorItemsPerPacket;
+  const std::size_t num_packets = n == 0 ? 1 : (n + per - 1) / per;
+  packets.reserve(num_packets);
+  for (std::size_t pkt = 0; pkt < num_packets; ++pkt) {
+    const std::size_t first = pkt * per;
+    const std::size_t count = std::min(per, n - std::min(n, first));
+    Mode7Packet p;
+    p.response = true;
+    p.more = pkt + 1 < num_packets;
+    p.sequence = static_cast<std::uint8_t>(pkt & 0x7f);
+    p.implementation = impl;
+    p.request = RequestCode::kMonGetList;
+    p.error = n == 0 ? Mode7Error::kNoData : Mode7Error::kOk;
+    p.item_count = static_cast<std::uint16_t>(count);
+    p.item_size = kLegacyMonitorItemBytes;
+    p.data.reserve(count * kLegacyMonitorItemBytes);
+    for (std::size_t i = 0; i < count; ++i) {
+      encode_legacy_item(p.data, entries[first + i]);
+    }
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+std::vector<MonitorEntry> decode_legacy_items(const Mode7Packet& p) {
+  std::vector<MonitorEntry> entries;
+  if (p.item_size != kLegacyMonitorItemBytes) return entries;
+  entries.reserve(p.item_count);
+  for (std::size_t i = 0; i < p.item_count; ++i) {
+    const auto item = std::span<const std::uint8_t>(p.data).subspan(
+        i * kLegacyMonitorItemBytes, kLegacyMonitorItemBytes);
+    MonitorEntry e;
+    e.avg_interval = get_u32(item, 0);
+    e.last_seen = get_u32(item, 4);
+    e.restr = get_u32(item, 8);
+    e.count = get_u32(item, 12);
+    e.address = net::Ipv4Address{get_u32(item, 16)};
+    e.mode = item[20];
+    e.version = item[21];
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+Mode7Packet make_mode7_error(Mode7Error err, Implementation impl,
+                             RequestCode request) {
+  Mode7Packet p;
+  p.response = true;
+  p.implementation = impl;
+  p.request = request;
+  p.error = err;
+  return p;
+}
+
+std::vector<MonitorEntry> decode_items(const Mode7Packet& p) {
+  std::vector<MonitorEntry> entries;
+  if (p.item_size != kMonitorItemBytes) return entries;
+  entries.reserve(p.item_count);
+  for (std::size_t i = 0; i < p.item_count; ++i) {
+    entries.push_back(decode_item(
+        std::span<const std::uint8_t>(p.data).subspan(i * kMonitorItemBytes,
+                                                      kMonitorItemBytes)));
+  }
+  return entries;
+}
+
+std::uint64_t monlist_dump_packets(std::size_t entries) noexcept {
+  const std::size_t n = std::min(entries, kMonlistMaxEntries);
+  return n == 0 ? 1
+                : (n + kMonitorItemsPerPacket - 1) / kMonitorItemsPerPacket;
+}
+
+std::uint64_t monlist_dump_udp_bytes(std::size_t entries) noexcept {
+  const std::size_t n = std::min(entries, kMonlistMaxEntries);
+  return monlist_dump_packets(n) * kMode7HeaderBytes + n * kMonitorItemBytes;
+}
+
+std::uint64_t monlist_dump_wire_bytes(std::size_t entries) noexcept {
+  const std::size_t n = std::min(entries, kMonlistMaxEntries);
+  if (n == 0) return net::on_wire_bytes_for_udp(kMode7HeaderBytes);
+  std::uint64_t total = 0;
+  const std::uint64_t full = n / kMonitorItemsPerPacket;
+  total += full * net::on_wire_bytes_for_udp(
+                      kMode7HeaderBytes +
+                      kMonitorItemsPerPacket * kMonitorItemBytes);
+  const std::size_t rem = n % kMonitorItemsPerPacket;
+  if (rem != 0) {
+    total += net::on_wire_bytes_for_udp(kMode7HeaderBytes +
+                                        rem * kMonitorItemBytes);
+  }
+  return total;
+}
+
+Mode7Packet make_peer_list_request(Implementation impl) {
+  Mode7Packet p = make_monlist_request(impl);
+  p.request = RequestCode::kPeerList;
+  return p;
+}
+
+namespace {
+
+void encode_peer_item(std::vector<std::uint8_t>& out,
+                      const PeerListEntry& e) {
+  put_u32(out, e.address.value());
+  put_u16(out, e.port);
+  out.push_back(e.hmode);
+  out.push_back(e.flags);
+  put_u32(out, 0);               // v6_flag
+  put_u32(out, 0);               // unused1
+  out.insert(out.end(), 16, 0);  // addr6
+}
+
+}  // namespace
+
+std::vector<Mode7Packet> make_peer_list_response(
+    std::span<const PeerListEntry> peers, Implementation impl) {
+  std::vector<Mode7Packet> packets;
+  const std::size_t num_packets =
+      peers.empty() ? 1
+                    : (peers.size() + kPeerItemsPerPacket - 1) /
+                          kPeerItemsPerPacket;
+  for (std::size_t pkt = 0; pkt < num_packets; ++pkt) {
+    const std::size_t first = pkt * kPeerItemsPerPacket;
+    const std::size_t count = std::min(kPeerItemsPerPacket,
+                                       peers.size() -
+                                           std::min(peers.size(), first));
+    Mode7Packet p;
+    p.response = true;
+    p.more = pkt + 1 < num_packets;
+    p.sequence = static_cast<std::uint8_t>(pkt & 0x7f);
+    p.implementation = impl;
+    p.request = RequestCode::kPeerList;
+    p.error = peers.empty() ? Mode7Error::kNoData : Mode7Error::kOk;
+    p.item_count = static_cast<std::uint16_t>(count);
+    p.item_size = kPeerListItemBytes;
+    p.data.reserve(count * kPeerListItemBytes);
+    for (std::size_t i = 0; i < count; ++i) {
+      encode_peer_item(p.data, peers[first + i]);
+    }
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+std::vector<PeerListEntry> decode_peer_items(const Mode7Packet& p) {
+  std::vector<PeerListEntry> peers;
+  if (p.item_size != kPeerListItemBytes) return peers;
+  for (std::size_t i = 0; i < p.item_count; ++i) {
+    const auto item = std::span<const std::uint8_t>(p.data).subspan(
+        i * kPeerListItemBytes, kPeerListItemBytes);
+    PeerListEntry e;
+    e.address = net::Ipv4Address{get_u32(item, 0)};
+    e.port = get_u16(item, 4);
+    e.hmode = item[6];
+    e.flags = item[7];
+    peers.push_back(e);
+  }
+  return peers;
+}
+
+std::optional<std::vector<MonitorEntry>> reassemble_monlist(
+    std::span<const Mode7Packet> packets) {
+  // Keep only monlist responses; partition into runs at each sequence reset
+  // (sequence <= previous), then decode the final complete run — matching
+  // the paper's "use the final table received" rule for mega amplifiers.
+  std::vector<const Mode7Packet*> responses;
+  for (const auto& p : packets) {
+    if (p.response && p.request == RequestCode::kMonGetList1 &&
+        p.error == Mode7Error::kOk) {
+      responses.push_back(&p);
+    }
+  }
+  if (responses.empty()) return std::nullopt;
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i < responses.size(); ++i) {
+    if (responses[i]->sequence <= responses[i - 1]->sequence) run_start = i;
+  }
+  std::vector<MonitorEntry> table;
+  for (std::size_t i = run_start; i < responses.size(); ++i) {
+    auto items = decode_items(*responses[i]);
+    table.insert(table.end(), items.begin(), items.end());
+  }
+  return table;
+}
+
+}  // namespace gorilla::ntp

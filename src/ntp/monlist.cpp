@@ -1,0 +1,98 @@
+#include "ntp/monlist.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gorilla::ntp {
+
+void MonitorTable::observe(net::Ipv4Address address, std::uint16_t port,
+                           std::uint8_t mode, std::uint8_t version,
+                           util::SimTime now) {
+  observe_many(address, port, mode, version, 1, now, now);
+}
+
+void MonitorTable::observe_many(net::Ipv4Address address, std::uint16_t port,
+                                std::uint8_t mode, std::uint8_t version,
+                                std::uint64_t packet_count, util::SimTime first,
+                                util::SimTime last) {
+  if (packet_count == 0) return;
+  auto it = slots_.find(address.value());
+  if (it == slots_.end()) {
+    if (slots_.size() >= capacity_) {
+      // Recycle the least-recently-seen slot (ntpd's mon_getmoremem path).
+      auto victim = slots_.begin();
+      for (auto cur = slots_.begin(); cur != slots_.end(); ++cur) {
+        if (cur->second.last_seen < victim->second.last_seen) victim = cur;
+      }
+      slots_.erase(victim);
+    }
+    MonitorSlot slot;
+    slot.address = address;
+    slot.first_seen = first;
+    slot.last_seen = first;
+    slot.count = 0;
+    it = slots_.emplace(address.value(), slot).first;
+  }
+  MonitorSlot& slot = it->second;
+  slot.port = port;
+  slot.mode = mode;
+  slot.version = version;
+  slot.count += packet_count;
+  slot.first_seen = std::min(slot.first_seen, first);
+  slot.last_seen = std::max(slot.last_seen, last);
+}
+
+std::vector<MonitorEntry> MonitorTable::dump(util::SimTime now,
+                                             net::Ipv4Address local) const {
+  std::vector<const MonitorSlot*> ordered;
+  ordered.reserve(slots_.size());
+  for (const auto& [_, slot] : slots_) ordered.push_back(&slot);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const MonitorSlot* a, const MonitorSlot* b) {
+              if (a->last_seen != b->last_seen) return a->last_seen > b->last_seen;
+              return a->address < b->address;  // deterministic tie-break
+            });
+  std::vector<MonitorEntry> out;
+  out.reserve(ordered.size());
+  constexpr std::uint64_t u32max = std::numeric_limits<std::uint32_t>::max();
+  for (const MonitorSlot* slot : ordered) {
+    MonitorEntry e;
+    e.address = slot->address;
+    e.local_address = local;
+    e.count = static_cast<std::uint32_t>(std::min(slot->count, u32max));
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(slot->last_seen - slot->first_seen);
+    e.avg_interval =
+        slot->count > 1
+            ? static_cast<std::uint32_t>(std::min(span / (slot->count - 1), u32max))
+            : 0;
+    e.last_seen = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(
+                                    std::max<util::SimTime>(0, now - slot->last_seen)),
+                                u32max));
+    e.port = slot->port;
+    e.mode = slot->mode;
+    e.version = slot->version;
+    out.push_back(e);
+  }
+  return out;
+}
+
+void MonitorTable::expire_before(util::SimTime cutoff) {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->second.last_seen < cutoff) {
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+const MonitorSlot* MonitorTable::find(net::Ipv4Address address) const {
+  const auto it = slots_.find(address.value());
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+void MonitorTable::clear() { slots_.clear(); }
+
+}  // namespace gorilla::ntp

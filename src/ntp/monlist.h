@@ -1,0 +1,79 @@
+// The ntpd monitor ("MRU") table behind the monlist command.
+//
+// ntpd records the most recent clients it has heard from, capped at 600
+// entries with least-recently-seen recycling. Because attackers spoof the
+// victim's address, the table doubles as an attack log — the insight §4
+// ("Victimology") is built on. This module implements the table semantics;
+// serialization to mode 7 items lives in mode7.h.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "ntp/mode7.h"
+#include "util/time.h"
+
+namespace gorilla::ntp {
+
+/// One live (in-server) monitor slot.
+struct MonitorSlot {
+  net::Ipv4Address address;
+  std::uint16_t port = 0;
+  std::uint8_t mode = 0;
+  std::uint8_t version = 4;
+  std::uint64_t count = 0;
+  util::SimTime first_seen = 0;
+  util::SimTime last_seen = 0;
+};
+
+/// The MRU monitor table. All mutation is via observe(); dumping produces
+/// the wire-format entries, most-recently-seen first (ntpd dump order).
+class MonitorTable {
+ public:
+  explicit MonitorTable(std::size_t capacity = kMonlistMaxEntries)
+      : capacity_(capacity) {}
+
+  /// Records one packet from `address`. Existing entries update count,
+  /// port/mode/version (last packet wins) and last_seen; new entries evict
+  /// the least-recently-seen slot when the table is full.
+  void observe(net::Ipv4Address address, std::uint16_t port, std::uint8_t mode,
+               std::uint8_t version, util::SimTime now);
+
+  /// Bulk variant: records `packet_count` packets evenly spread over
+  /// [first, last]. Lets the attack model account for millions of spoofed
+  /// packets without simulating each datagram (the count and interarrival
+  /// arithmetic match packet-at-a-time observation).
+  void observe_many(net::Ipv4Address address, std::uint16_t port,
+                    std::uint8_t mode, std::uint8_t version,
+                    std::uint64_t packet_count, util::SimTime first,
+                    util::SimTime last);
+
+  /// Renders wire entries as of `now`, most recent first. avg_interval is
+  /// (last_seen - first_seen) / (count - 1) (0 when count <= 1); last_seen
+  /// is seconds before `now`. Counts saturate at the field's 32-bit width --
+  /// the >3e9 counts in the paper's Table 3b are exactly such saturated-ish
+  /// giants, so we keep full 64-bit internally and clamp on serialization.
+  [[nodiscard]] std::vector<MonitorEntry> dump(util::SimTime now,
+                                               net::Ipv4Address local) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drops every slot last seen before `cutoff` — what an ntpd restart does
+  /// to its monitor table (clients still active simply re-appear). The §4.2
+  /// observation window exists because real servers restart regularly.
+  void expire_before(util::SimTime cutoff);
+
+  /// The slot for an address, or nullptr (for tests/forensics).
+  [[nodiscard]] const MonitorSlot* find(net::Ipv4Address address) const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::uint32_t, MonitorSlot> slots_;
+};
+
+}  // namespace gorilla::ntp

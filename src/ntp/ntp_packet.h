@@ -1,0 +1,77 @@
+// RFC 5905 NTP packet header (modes 3/4 — ordinary client/server time
+// exchange) plus the mode numbering shared by all NTP packet families.
+//
+// Modes 6 (control) and 7 (private/implementation-specific) carry the
+// commands this paper is about — `version` and `monlist` respectively — and
+// live in mode6.h / mode7.h. This header owns the common first byte
+// (LI/VN/mode) and the basic 48-byte time packet.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace gorilla::ntp {
+
+/// NTP association modes (RFC 5905 §3).
+enum class Mode : std::uint8_t {
+  kReserved = 0,
+  kSymmetricActive = 1,
+  kSymmetricPassive = 2,
+  kClient = 3,
+  kServer = 4,
+  kBroadcast = 5,
+  kControl = 6,   ///< mode 6: control (version/readvar live here)
+  kPrivate = 7,   ///< mode 7: implementation-specific (monlist lives here)
+};
+
+inline constexpr std::uint8_t kNtpVersion = 2;  // ntpdc speaks VN=2 for mode 7
+
+/// Stratum value meaning "unsynchronized" (§3.3: 19% of servers report it).
+inline constexpr std::uint8_t kStratumUnsynchronized = 16;
+
+/// Extracts the mode from any NTP packet's first byte; nullopt if empty.
+[[nodiscard]] std::optional<Mode> peek_mode(std::span<const std::uint8_t> pkt)
+    noexcept;
+
+/// Extracts the version number (VN field) from the first byte.
+[[nodiscard]] std::optional<std::uint8_t> peek_version(
+    std::span<const std::uint8_t> pkt) noexcept;
+
+/// Composes the LI/VN/mode first byte.
+[[nodiscard]] constexpr std::uint8_t make_li_vn_mode(std::uint8_t li,
+                                                     std::uint8_t vn,
+                                                     Mode mode) noexcept {
+  return static_cast<std::uint8_t>((li & 0x3) << 6 | (vn & 0x7) << 3 |
+                                   (static_cast<std::uint8_t>(mode) & 0x7));
+}
+
+/// The 48-byte RFC 5905 time packet (modes 1..5). Timestamps are NTP-era
+/// 32.32 fixed point; we carry only the integer seconds for simulation.
+struct TimePacket {
+  std::uint8_t leap = 0;
+  std::uint8_t version = 4;
+  Mode mode = Mode::kClient;
+  std::uint8_t stratum = 0;
+  std::int8_t poll = 6;
+  std::int8_t precision = -20;
+  std::uint32_t root_delay = 0;
+  std::uint32_t root_dispersion = 0;
+  std::uint32_t reference_id = 0;
+  std::uint64_t reference_ts = 0;
+  std::uint64_t origin_ts = 0;
+  std::uint64_t receive_ts = 0;
+  std::uint64_t transmit_ts = 0;
+};
+
+inline constexpr std::size_t kTimePacketBytes = 48;
+
+[[nodiscard]] std::vector<std::uint8_t> serialize(const TimePacket& p);
+
+/// Parses a 48-byte time packet; nullopt on short input or control/private
+/// modes (those belong to mode6/mode7 parsers).
+[[nodiscard]] std::optional<TimePacket> parse_time_packet(
+    std::span<const std::uint8_t> data);
+
+}  // namespace gorilla::ntp

@@ -1,0 +1,91 @@
+#include "ntp/ntpdc.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+#include "net/ipv4.h"
+
+namespace gorilla::ntp {
+
+namespace {
+
+constexpr const char* kHeader =
+    "remote address          port local address      count m ver rstr "
+    "avgint  lstint";
+
+bool is_separator(const std::string& line) {
+  if (line.empty()) return false;
+  for (const char c : line) {
+    if (c != '=' && c != '-') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string render_monlist_row(const MonitorEntry& entry) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%-22s %5u %-18s %5u %u %-3u %4u %6u %7u",
+                net::to_string(entry.address).c_str(), entry.port,
+                net::to_string(entry.local_address).c_str(), entry.count,
+                entry.mode, entry.version, entry.restr, entry.avg_interval,
+                entry.last_seen);
+  return buf;
+}
+
+std::string render_monlist(std::span<const MonitorEntry> table) {
+  std::string out = kHeader;
+  out += '\n';
+  out.append(std::string(out.size() - 1, '='));
+  out += '\n';
+  for (const auto& entry : table) {
+    out += render_monlist_row(entry);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::vector<MonitorEntry>> parse_monlist_text(
+    const std::string& text) {
+  std::vector<MonitorEntry> entries;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    // Strip trailing whitespace.
+    while (!line.empty() &&
+           std::isspace(static_cast<unsigned char>(line.back()))) {
+      line.pop_back();
+    }
+    if (line.empty() || is_separator(line)) continue;
+    if (line.find("remote address") != std::string::npos) continue;
+
+    std::istringstream row(line);
+    std::string remote, local;
+    unsigned port = 0, count = 0, mode = 0, version = 0, restr = 0;
+    unsigned avgint = 0, lstint = 0;
+    if (!(row >> remote >> port >> local >> count >> mode >> version >>
+          restr >> avgint >> lstint)) {
+      return std::nullopt;  // malformed data row
+    }
+    const auto remote_addr = net::parse_ipv4(remote);
+    const auto local_addr = net::parse_ipv4(local);
+    if (!remote_addr || !local_addr || port > 65535 || mode > 7) {
+      return std::nullopt;
+    }
+    MonitorEntry e;
+    e.address = *remote_addr;
+    e.local_address = *local_addr;
+    e.port = static_cast<std::uint16_t>(port);
+    e.count = count;
+    e.mode = static_cast<std::uint8_t>(mode);
+    e.version = static_cast<std::uint8_t>(version);
+    e.restr = restr;
+    e.avg_interval = avgint;
+    e.last_seen = lstint;
+    entries.push_back(e);
+  }
+  return entries;
+}
+
+}  // namespace gorilla::ntp

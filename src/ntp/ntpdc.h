@@ -1,0 +1,35 @@
+// ntpdc-compatible text rendering and parsing of monlist output.
+//
+// Operators (and the paper's authors) read monlist through the `ntpdc -c
+// monlist` tool; forensic artifacts circulate as its text output. This
+// module renders reassembled tables in that format and parses such text
+// back into entries, so captures and tickets round-trip through the same
+// representation humans used in 2014.
+//
+//   remote address          port local address      count m ver rstr avgint  lstint
+//   ===============================================================================
+//   198.51.100.7           57915 10.1.2.3               7 7 2      0 526929       0
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ntp/mode7.h"
+
+namespace gorilla::ntp {
+
+/// Renders a reassembled monlist table as ntpdc would print it.
+[[nodiscard]] std::string render_monlist(std::span<const MonitorEntry> table);
+
+/// Renders one entry as an ntpdc row (no header).
+[[nodiscard]] std::string render_monlist_row(const MonitorEntry& entry);
+
+/// Parses ntpdc monlist text back into entries. Header/separator lines and
+/// blank lines are skipped; a malformed data row stops the parse and
+/// returns nullopt (truncated pastes should not silently yield partials).
+[[nodiscard]] std::optional<std::vector<MonitorEntry>> parse_monlist_text(
+    const std::string& text);
+
+}  // namespace gorilla::ntp

@@ -1,0 +1,179 @@
+#include "scan/prober.h"
+
+#include "net/packet.h"
+#include "ntp/mode6.h"
+#include "ntp/sysinfo.h"
+
+namespace gorilla::scan {
+
+namespace {
+
+constexpr std::uint16_t kProbeSourcePort = 57915;  // the port in Table 3a
+
+}  // namespace
+
+Prober::Prober(sim::World& world, net::Ipv4Address source,
+               ntp::Implementation probe_impl)
+    : world_(world), source_(source), probe_impl_(probe_impl) {}
+
+util::SimTime Prober::sample_time(int week) noexcept {
+  // Week 0 anchors at 2014-01-10 (sim day 70), probes land at noon UTC.
+  return (70 + static_cast<util::SimTime>(week) * 7) * util::kSecondsPerDay +
+         12 * util::kSecondsPerHour;
+}
+
+void Prober::apply_due_remediation(int week) {
+  if (week <= remediation_applied_week_) return;
+  for (const auto ai : world_.amplifier_indices()) {
+    const auto& t = world_.servers()[ai];
+    if (t.monlist_fix_week >= 0 && t.monlist_fix_week <= week) {
+      if (auto* server = world_.detailed(ai)) {
+        server->set_monlist_enabled(false);
+      }
+    }
+    if (t.version_fix_week >= 0 && t.version_fix_week <= week) {
+      if (auto* server = world_.detailed(ai)) {
+        server->set_mode6_enabled(false);
+      }
+    }
+  }
+  remediation_applied_week_ = week;
+}
+
+MonlistSampleSummary Prober::run_monlist_sample(int week,
+                                                const MonlistVisitor& visit) {
+  return probe_indices(world_.amplifier_indices(), week, sample_time(week),
+                       visit);
+}
+
+MonlistSampleSummary Prober::probe_targets(
+    const std::vector<std::uint32_t>& server_indices, int week,
+    util::SimTime now, const MonlistVisitor& visit) {
+  return probe_indices(server_indices, week, now, visit);
+}
+
+MonlistSampleSummary Prober::probe_indices(
+    const std::vector<std::uint32_t>& server_indices, int week,
+    util::SimTime now, const MonlistVisitor& visit) {
+  apply_due_remediation(week);
+  MonlistSampleSummary summary;
+  summary.week = week;
+  summary.date = util::date_from_sim_time(now);
+
+  const auto request_wire = ntp::serialize(ntp::make_monlist_request(
+      probe_impl_, /*authenticated=*/false));
+
+  AmplifierObservation obs;  // reused across visits
+  for (const auto ai : server_indices) {
+    ++summary.probes_sent;
+    // Offline / churned-away targets never see the probe.
+    if (!world_.servers()[ai].ever_amplifier) continue;
+    if (!world_.reachable(ai, week)) continue;
+
+    auto* server = world_.detailed(ai);
+    if (server == nullptr) continue;
+
+    // Apply any ntpd restart since the last sample: the monitor table only
+    // remembers clients since the restart (§4.2's observation window).
+    server->monitor().expire_before(world_.last_restart_before(ai, week, now));
+
+    net::UdpPacket probe;
+    probe.src = source_;
+    probe.dst = world_.address_at(ai, week);
+    probe.src_port = kProbeSourcePort;
+    probe.dst_port = net::kNtpPort;
+    probe.timestamp = now;
+    probe.payload = request_wire;
+
+    const auto response = server->handle(probe, now);
+    if (response.total_packets == 0) continue;
+
+    // Reassemble the final table run from the materialized packets.
+    std::vector<ntp::Mode7Packet> parsed;
+    parsed.reserve(response.packets.size());
+    for (const auto& pkt : response.packets) {
+      if (auto p = ntp::parse_mode7_packet(pkt.payload)) {
+        parsed.push_back(std::move(*p));
+      }
+    }
+    auto table = ntp::reassemble_monlist(parsed);
+    if (!table || (parsed.size() == 1 &&
+                   parsed.front().error != ntp::Mode7Error::kOk)) {
+      ++summary.error_replies;
+      continue;  // impl mismatch or refusal: not an amplifier observation
+    }
+
+    obs.server_index = ai;
+    obs.address = probe.dst;
+    obs.response_packets = response.total_packets;
+    obs.response_udp_bytes = response.total_udp_payload_bytes;
+    obs.response_wire_bytes = response.total_on_wire_bytes;
+    obs.table = std::move(*table);
+    obs.probe_time = now;
+    ++summary.responders;
+    visit(obs);
+  }
+  return summary;
+}
+
+VersionSampleSummary Prober::run_version_sample(int vweek,
+                                                const VersionVisitor& visit) {
+  const int week = vweek + 6;  // version passes began 2014-02-21
+  apply_due_remediation(week);
+  VersionSampleSummary summary;
+  summary.week = vweek;
+  summary.date = util::date_from_sim_time(sample_time(week));
+  const util::SimTime now = sample_time(week);
+
+  const auto request_wire =
+      ntp::serialize(ntp::make_version_request(/*sequence=*/1));
+
+  VersionObservation obs;
+  const auto& traits = world_.servers();
+  for (std::uint32_t i = 0; i < traits.size(); ++i) {
+    ++summary.probes_sent;
+    if (!world_.responds_version(i, week)) continue;
+    ++summary.responders_total;
+
+    auto* server = world_.detailed(i);
+    if (server == nullptr) continue;  // population-tier: counted only
+
+    net::UdpPacket probe;
+    probe.src = source_;
+    probe.dst = world_.address_at(i, week);
+    probe.src_port = kProbeSourcePort;
+    probe.dst_port = net::kNtpPort;
+    probe.timestamp = now;
+    probe.payload = request_wire;
+
+    const auto response = server->handle(probe, now);
+    if (response.total_packets == 0) {
+      --summary.responders_total;  // restricted after all
+      continue;
+    }
+
+    std::vector<ntp::ControlPacket> fragments;
+    for (const auto& pkt : response.packets) {
+      if (auto p = ntp::parse_control_packet(pkt.payload)) {
+        fragments.push_back(std::move(*p));
+      }
+    }
+    const auto text = ntp::reassemble_readvar(fragments);
+    if (!text) continue;
+    const auto vars = ntp::parse_variable_list(*text);
+
+    obs.server_index = i;
+    obs.address = probe.dst;
+    obs.response_packets = response.total_packets;
+    obs.response_wire_bytes = response.total_on_wire_bytes;
+    obs.system = vars.count("system") ? vars.at("system") : "";
+    obs.version = vars.count("version") ? vars.at("version") : "";
+    obs.stratum = vars.count("stratum") ? std::stoi(vars.at("stratum")) : 0;
+    obs.probe_time = now;
+    ++summary.responders_detailed;
+    visit(obs);
+  }
+  return summary;
+}
+
+}  // namespace gorilla::scan

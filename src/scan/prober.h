@@ -1,0 +1,112 @@
+// The OpenNTPProject-style Internet-wide prober (§3).
+//
+// Starting 2014-01-10 the ONP sent every IPv4 address a single
+// MON_GETLIST_1 packet each week (and, from 2014-02-21, a single mode 6
+// `version` packet), capturing all responses. The prober reproduces exactly
+// that: one packet per target per pass, from one fixed source address,
+// aggregate-everything-that-comes-back. Samples stream through a visitor so
+// a full fifteen-week campaign never holds more than one amplifier's
+// response set in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ntp/mode7.h"
+#include "sim/world.h"
+#include "util/time.h"
+
+namespace gorilla::scan {
+
+/// One amplifier's aggregate response to one weekly monlist probe.
+struct AmplifierObservation {
+  std::uint32_t server_index = 0;
+  net::Ipv4Address address;  ///< address the probe hit that week
+  std::uint64_t response_packets = 0;
+  std::uint64_t response_udp_bytes = 0;
+  std::uint64_t response_wire_bytes = 0;
+  /// Final reassembled monlist table (empty for error-only replies).
+  std::vector<ntp::MonitorEntry> table;
+  /// When the probe was answered (table timestamps are relative to this).
+  util::SimTime probe_time = 0;
+};
+
+/// One responder's reply to the weekly version probe.
+struct VersionObservation {
+  std::uint32_t server_index = 0;
+  net::Ipv4Address address;
+  std::uint64_t response_packets = 0;
+  std::uint64_t response_wire_bytes = 0;
+  std::string system;   ///< parsed system= variable
+  std::string version;  ///< parsed version= variable
+  int stratum = 0;
+  util::SimTime probe_time = 0;
+};
+
+struct MonlistSampleSummary {
+  int week = 0;
+  util::Date date;
+  std::uint64_t probes_sent = 0;
+  std::uint64_t responders = 0;       ///< amplifiers (table replies)
+  std::uint64_t error_replies = 0;    ///< tiny impl-mismatch replies
+};
+
+struct VersionSampleSummary {
+  int week = 0;
+  util::Date date;
+  std::uint64_t probes_sent = 0;
+  /// All servers that would answer (population count; includes servers
+  /// outside the world's detailed tier).
+  std::uint64_t responders_total = 0;
+  /// Responders materialized and delivered to the visitor.
+  std::uint64_t responders_detailed = 0;
+};
+
+class Prober {
+ public:
+  Prober(sim::World& world, net::Ipv4Address source,
+         ntp::Implementation probe_impl = ntp::Implementation::kXntpd);
+
+  using MonlistVisitor = std::function<void(const AmplifierObservation&)>;
+  using VersionVisitor = std::function<void(const VersionObservation&)>;
+
+  /// Runs the weekly monlist pass for sample week `week` (0 = 2014-01-10).
+  /// Applies due remediation to the detailed tier first; visits every
+  /// responding amplifier. Weeks must be probed in non-decreasing order.
+  MonlistSampleSummary run_monlist_sample(int week,
+                                          const MonlistVisitor& visit);
+
+  /// Runs the weekly version pass for *version* sample week `vweek`
+  /// (0 = 2014-02-21, i.e. monlist week 6).
+  VersionSampleSummary run_version_sample(int vweek,
+                                          const VersionVisitor& visit);
+
+  /// Probes an explicit target set at an arbitrary time — the §3.4
+  /// follow-up methodology (twice-daily probes of the ~250K IPs that were
+  /// monlist amplifiers in any March sample). `week` selects the
+  /// remediation state; `now` stamps the probes. Weeks must be
+  /// non-decreasing across calls.
+  MonlistSampleSummary probe_targets(
+      const std::vector<std::uint32_t>& server_indices, int week,
+      util::SimTime now, const MonlistVisitor& visit);
+
+  [[nodiscard]] net::Ipv4Address source() const noexcept { return source_; }
+
+  /// SimTime at which week `week`'s monlist pass runs (Fridays, 12:00 UTC).
+  [[nodiscard]] static util::SimTime sample_time(int week) noexcept;
+
+ private:
+  void apply_due_remediation(int week);
+  MonlistSampleSummary probe_indices(
+      const std::vector<std::uint32_t>& server_indices, int week,
+      util::SimTime now, const MonlistVisitor& visit);
+
+  sim::World& world_;
+  net::Ipv4Address source_;
+  ntp::Implementation probe_impl_;
+  int remediation_applied_week_ = -1;
+};
+
+}  // namespace gorilla::scan

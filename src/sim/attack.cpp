@@ -1,0 +1,590 @@
+#include "sim/attack.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/ethernet.h"
+
+namespace gorilla::sim {
+
+namespace {
+
+/// One spoofed trigger: the plain 48-byte MON_GETLIST_1 request (the small
+/// variant attack scripts use — it maximizes the payload amplification
+/// ratios Table 5 reports, ~900-1300x for primed tables).
+constexpr std::uint64_t kTriggerPayloadBytes = ntp::kMode7RequestBytes;
+constexpr std::uint64_t kTriggerWireBytes =
+    net::on_wire_bytes_for_udp(kTriggerPayloadBytes);
+
+/// TTL of spoofed trigger packets as seen ~19 hops from the (typically
+/// Windows botnet) sender — §7.2's mode TTL of 109.
+constexpr std::uint8_t kAttackTtl = 109;
+
+double lerp(double a, double b, double t) noexcept {
+  return a + (b - a) * std::clamp(t, 0.0, 1.0);
+}
+
+}  // namespace
+
+const std::vector<std::pair<std::uint16_t, double>>& attacked_port_mix() {
+  // Table 4 of the paper; the sentinel port 0 stands for "random ephemeral"
+  // and absorbs the probability mass beyond the top 20.
+  static const std::vector<std::pair<std::uint16_t, double>> kMix = {
+      {80, 0.362},   {123, 0.238},  {3074, 0.079}, {50557, 0.062},
+      {53, 0.025},   {25565, 0.021}, {19, 0.012},  {22, 0.011},
+      {5223, 0.007}, {27015, 0.006}, {43594, 0.004}, {9987, 0.004},
+      {8080, 0.004}, {6005, 0.003}, {7777, 0.003}, {2052, 0.003},
+      {1025, 0.002}, {1026, 0.002}, {88, 0.002},   {90, 0.002},
+      {0, 0.148},
+  };
+  return kMix;
+}
+
+AttackEngine::AttackEngine(World& world, const AttackEngineConfig& config,
+                           AttackSinks sinks)
+    : world_(world),
+      config_(config),
+      sinks_(std::move(sinks)),
+      rng_(config.seed),
+      booter_zipf_(1, 1.0),
+      hosting_zipf_(1, 1.0),
+      port_sampler_([] {
+        std::vector<double> w;
+        for (const auto& [_, frac] : attacked_port_mix()) w.push_back(frac);
+        return util::WeightedSampler(w);
+      }()) {
+  for (const auto& [port, _] : attacked_port_mix()) {
+    port_values_.push_back(port);
+  }
+  // Hosting AS list, OVH analogue first (it is the paper's top victim AS).
+  const auto& registry = world_.registry();
+  hosting_ases_.push_back(registry.named().ovh_analogue);
+  hosting_ases_.push_back(registry.named().cloudflare_analogue);
+  for (const auto& as_info : registry.ases()) {
+    if (as_info.category == net::AsCategory::kHosting &&
+        as_info.asn != registry.named().ovh_analogue &&
+        as_info.asn != registry.named().cloudflare_analogue) {
+      hosting_ases_.push_back(as_info.asn);
+    }
+  }
+  hosting_zipf_ = util::ZipfSampler(hosting_ases_.size(),
+                                    config_.hosting_concentration_zipf);
+
+  // The booter market (§5.2): a Zipf-share population of attack services;
+  // roughly half run booter-grade (priming) tooling.
+  const std::uint32_t n_booters = std::max<std::uint32_t>(
+      4, config_.num_booters / std::max<std::uint32_t>(1,
+                                                       world_.config().scale));
+  booters_.reserve(n_booters);
+  for (std::uint32_t b = 0; b < n_booters; ++b) {
+    BooterProfile profile;
+    profile.id = b;
+    profile.primes_amplifiers = rng_.chance(config_.primed_fraction);
+    booters_.push_back(std::move(profile));
+  }
+  attacks_per_booter_.assign(n_booters, 0);
+  booter_zipf_ = util::ZipfSampler(n_booters, config_.booter_market_zipf);
+
+  // Sticky cross-site common-victim pool (Fig 15's 291 common targets,
+  // scaled): mostly hosting-provider hosts.
+  const std::uint64_t common_pool_size = std::max<std::uint64_t>(
+      4, 300 / std::max<std::uint32_t>(1, world_.config().scale));
+  for (std::uint64_t i = 0; i < common_pool_size; ++i) {
+    const auto asn = hosting_ases_[hosting_zipf_.sample(rng_)];
+    const auto& info = registry.as_info(asn);
+    const auto& block = registry.blocks()[info.block_indices[rng_.uniform(
+        info.block_indices.size())]];
+    common_victims_.push_back(block.prefix.at(rng_.uniform(block.prefix.size())));
+  }
+}
+
+double AttackEngine::ntp_attacks_per_day(int day) noexcept {
+  // Calibrated to the paper's arc: near-zero before public attack tooling
+  // spread in mid-December 2013, explosive growth into the Feb 11-12 peak
+  // (the CloudFlare/OVH 400 Gbps window), then decline as remediation bites.
+  auto exp_ramp = [](double from, double to, double t) {
+    return from * std::pow(to / from, std::clamp(t, 0.0, 1.0));
+  };
+  if (day < 45) return 20.0;                       // Nov 1 - Dec 15: trickle
+  if (day < 70) return exp_ramp(100.0, 4500.0, (day - 45) / 25.0);
+  if (day < 103) return exp_ramp(4500.0, 20000.0, (day - 70) / 33.0);
+  if (day < 133) return exp_ramp(20000.0, 7000.0, (day - 103) / 30.0);
+  return lerp(7000.0, 4500.0, (day - 133) / 48.0);
+}
+
+int AttackEngine::week_of_day(int day) noexcept {
+  // Day 70 is 2014-01-10, the first ONP sample date.
+  const int delta = day - 70;
+  return delta >= 0 ? delta / 7 : (delta - 6) / 7;
+}
+
+void AttackEngine::refresh_live_pool(int week) {
+  if (week == live_pool_week_) return;
+  live_pool_week_ = week;
+  live_pool_.clear();
+  for (const auto ai : world_.amplifier_indices()) {
+    const auto& t = world_.servers()[ai];
+    if (t.monlist_fix_week < 0 || week < t.monlist_fix_week) {
+      live_pool_.push_back(ai);
+    }
+  }
+}
+
+std::uint32_t AttackEngine::pick_booter() {
+  return static_cast<std::uint32_t>(booter_zipf_.sample(rng_));
+}
+
+net::Ipv4Address AttackEngine::pick_victim(int day, BooterProfile& booter,
+                                           bool& end_host,
+                                           bool& common_pool) {
+  const auto& registry = world_.registry();
+  end_host = false;
+  common_pool = false;
+
+  const double u = rng_.uniform01();
+  if (u < config_.common_victim_rate && !common_victims_.empty()) {
+    common_pool = true;
+    return common_victims_[rng_.uniform(common_victims_.size())];
+  }
+  if (u < config_.common_victim_rate + config_.merit_victim_rate) {
+    const auto& space = registry.named().merit_space;
+    return space.at(rng_.uniform(space.size()));
+  }
+  if (u < config_.common_victim_rate + config_.merit_victim_rate +
+              config_.frgp_victim_rate) {
+    const auto& space = registry.named().frgp_space;
+    return space.at(rng_.uniform(space.size()));
+  }
+  if (u < config_.common_victim_rate + config_.merit_victim_rate +
+              config_.frgp_victim_rate + config_.ovh_victim_rate) {
+    // The OVH-analogue campaign: a few thousand IPs hit repeatedly.
+    const auto& info = registry.as_info(registry.named().ovh_analogue);
+    const auto& block = registry.blocks()[info.block_indices[rng_.uniform(
+        info.block_indices.size())]];
+    return block.prefix.at(rng_.uniform(4096));  // concentrated target set
+  }
+  if (rng_.chance(config_.repeat_victim_rate) &&
+      !booter.customer_targets.empty()) {
+    return booter.customer_targets[rng_.uniform(
+        booter.customer_targets.size())];
+  }
+
+  const double end_host_p =
+      lerp(config_.end_host_victim_initial, config_.end_host_victim_final,
+           static_cast<double>(day) /
+               static_cast<double>(config_.horizon_days));
+  net::Ipv4Address victim;
+  if (rng_.chance(end_host_p)) {
+    end_host = true;
+    victim = registry
+                 .random_address(rng_,
+                                 [](const net::RoutedBlock& b) {
+                                   return b.residential;
+                                 })
+                 .value_or(registry.random_address(rng_));
+  } else {
+    const auto asn = hosting_ases_[hosting_zipf_.sample(rng_)];
+    const auto& info = registry.as_info(asn);
+    const auto& block = registry.blocks()[info.block_indices[rng_.uniform(
+        info.block_indices.size())]];
+    victim = block.prefix.at(rng_.uniform(block.prefix.size()));
+  }
+  // The fresh pick joins the booter's customer-target list (bounded; old
+  // feuds get displaced).
+  if (booter.customer_targets.size() < 16) {
+    booter.customer_targets.push_back(victim);
+  } else {
+    booter.customer_targets[rng_.uniform(booter.customer_targets.size())] =
+        victim;
+  }
+  return victim;
+}
+
+std::uint16_t AttackEngine::pick_port(bool /*end_host*/) {
+  const std::uint16_t port = port_values_[port_sampler_.sample(rng_)];
+  if (port != 0) return port;
+  return static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535));
+}
+
+void AttackEngine::pick_amplifiers(int day, bool common_pool, bool primed,
+                                   std::vector<std::uint32_t>& out) {
+  out.clear();
+  const int week = week_of_day(day);
+  auto alive = [&](std::uint32_t idx) {
+    const auto& t = world_.servers()[idx];
+    return t.monlist_fix_week < 0 || week < t.monlist_fix_week;
+  };
+  auto sample_regional = [&](const std::vector<std::uint32_t>& pool,
+                             std::size_t want) {
+    std::size_t taken = 0;
+    for (const auto idx : pool) {
+      if (taken >= want) break;
+      if (alive(idx) && rng_.chance(0.85)) {
+        out.push_back(idx);
+        ++taken;
+      }
+    }
+  };
+
+  if (common_pool) {
+    // Coordinated cross-site reflection: amplifiers at both Merit and FRGP
+    // (what makes the Fig 15 victims visible from both vantage points).
+    sample_regional(world_.merit_amplifiers(), 40);
+    sample_regional(world_.frgp_amplifiers(), 40);
+  } else if (rng_.chance(config_.regional_reflection_rate)) {
+    if (rng_.chance(0.5)) {
+      sample_regional(world_.merit_amplifiers(), 40);
+    } else {
+      // The CSU amplifiers were always used together (§7.1).
+      sample_regional(world_.csu_amplifiers(), 9);
+      sample_regional(world_.frgp_amplifiers(), 20);
+    }
+  }
+  if (!out.empty()) return;
+
+  if (live_pool_.empty()) return;
+  // Amplifiers per attack shrinks with the pool (§6.3: amplifiers seen per
+  // victim fell an order of magnitude).
+  const double pool_fraction =
+      static_cast<double>(live_pool_.size()) /
+      static_cast<double>(std::max<std::size_t>(1,
+                                                world_.amplifier_indices()
+                                                    .size()));
+  const double base_k = (4.0 + 56.0 * pool_fraction) *
+                        (primed ? config_.primed_amplifier_boost : 1.0);
+  const std::size_t k = std::clamp<std::size_t>(
+      static_cast<std::size_t>(base_k * rng_.lognormal(0.0, 0.6)), 1,
+      std::min<std::size_t>(live_pool_.size(), 4000));
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(live_pool_[rng_.uniform(live_pool_.size())]);
+  }
+}
+
+void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
+  // Duration: heavy-tailed lognormal whose median grows (15s -> 40s) while
+  // the tail shrinks (95th 6.5h in January -> ~50min by April), §4.3.4.
+  const double t = std::clamp((day - 45) / 80.0, 0.0, 1.0);
+  const double median = lerp(15.0, 40.0, t);
+  const double sigma = lerp(3.6, 2.45, t);
+  const double duration = std::max(
+      min_duration_s,
+      std::clamp(rng_.lognormal(std::log(median), sigma), 1.0, 6.5 * 3600.0));
+
+  // Diurnal start: evening-weighted hour (the §7.1 manual-element pattern).
+  double hour;
+  do {
+    hour = rng_.uniform_real(0.0, 24.0);
+  } while (rng_.uniform01() >
+           0.5 + 0.45 * std::sin((hour - 14.0) / 24.0 * 6.2831853));
+  rec.start = static_cast<util::SimTime>(day) * util::kSecondsPerDay +
+              static_cast<util::SimTime>(hour * 3600.0);
+  rec.end = rec.start + static_cast<util::SimTime>(duration);
+
+  double pps =
+      rec.primed
+          ? std::min(config_.trigger_pps_cap,
+                     rng_.pareto(config_.primed_pps_scale,
+                                 config_.primed_pps_alpha))
+          : std::min(config_.trigger_pps_cap,
+                     rng_.pareto(config_.trigger_pps_scale,
+                                 config_.trigger_pps_alpha));
+  // Long campaigns run at lower sustained rates (booters time-slice their
+  // capacity); this keeps multi-hour attacks from dwarfing the daily total.
+  if (duration > 1200.0 && min_duration_s == 0.0) {
+    pps *= std::sqrt(1200.0 / duration);
+  }
+  rec.triggers_per_amplifier =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(pps * duration));
+
+  // Pass 1: per-amplifier offered volume (bounded by each amplifier's
+  // uplink); monitor-table evidence is recorded unscaled — the spoofed
+  // *triggers* always arrive regardless of what the victim can absorb.
+  struct AmpEmission {
+    ntp::NtpServer* server = nullptr;
+    std::uint64_t bytes = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t payload = 0;
+    double rate_bps = 0.0;
+  };
+  std::vector<AmpEmission> emissions;
+  emissions.reserve(rec.amplifiers.size());
+  double peak_bps = 0.0;
+  for (const auto amp_index : rec.amplifiers) {
+    auto* server = world_.detailed(amp_index);
+    if (server == nullptr) continue;
+    server->monitor().observe_many(
+        rec.victim, rec.victim_port,
+        static_cast<std::uint8_t>(ntp::Mode::kPrivate), ntp::kNtpVersion,
+        rec.triggers_per_amplifier, rec.start, rec.end);
+
+    const std::size_t entries =
+        rec.primed ? ntp::kMonlistMaxEntries
+                   : std::min<std::size_t>(ntp::kMonlistMaxEntries,
+                                           std::max<std::size_t>(
+                                               1, server->monitor().size()));
+    // A looping mega amplifier cannot emit faster than its uplink; cap its
+    // sustained contribution at ~500 Mbps (the paper saw ~50-500 Mbps
+    // steady streams from megas, §3.4).
+    const std::uint64_t dump_wire = ntp::monlist_dump_wire_bytes(entries);
+    const std::uint64_t dump_packets = ntp::monlist_dump_packets(entries);
+    std::uint64_t loop = std::uint64_t{server->config().loop_repeat} + 1;
+    if (loop > 1) {
+      const double duration_s =
+          static_cast<double>(std::max<util::SimTime>(1, rec.end - rec.start));
+      const double budget_bytes = 500e6 / 8.0 * duration_s;
+      const double per_loop_bytes =
+          static_cast<double>(dump_wire) *
+          static_cast<double>(rec.triggers_per_amplifier);
+      loop = std::max<std::uint64_t>(
+          1, std::min<std::uint64_t>(
+                 loop, static_cast<std::uint64_t>(
+                           budget_bytes / std::max(1.0, per_loop_bytes))));
+    }
+    const std::uint64_t per_trigger_wire = dump_wire * loop;
+    const std::uint64_t per_trigger_packets = dump_packets * loop;
+    const std::uint64_t per_trigger_payload =
+        ntp::monlist_dump_udp_bytes(entries) * loop;
+
+    // A mode 7 rate limit (Merit's interim mitigation) answers only a
+    // fraction of the trigger stream.
+    const std::uint32_t rate_limit =
+        server->config().mode7_responses_per_minute;
+    const double answered_fraction =
+        rate_limit > 0 && pps > 0.0
+            ? std::min(1.0, (static_cast<double>(rate_limit) / 60.0) / pps)
+            : 1.0;
+
+    // The amplifier's uplink saturates: responses beyond it are dropped at
+    // its access link and never reach the victim.
+    const double duration_s =
+        static_cast<double>(std::max<util::SimTime>(1, rec.end - rec.start));
+    const double uplink_budget_bytes =
+        config_.amplifier_uplink_bps / 8.0 * duration_s;
+    const double offered_bytes =
+        static_cast<double>(per_trigger_wire) *
+        static_cast<double>(rec.triggers_per_amplifier);
+    const double answered_bytes = offered_bytes * answered_fraction;
+    const double uplink_fraction =
+        answered_bytes > uplink_budget_bytes && answered_bytes > 0.0
+            ? uplink_budget_bytes / answered_bytes
+            : 1.0;
+    const double emit_fraction = answered_fraction * uplink_fraction;
+
+    AmpEmission emission;
+    emission.server = server;
+    emission.bytes = static_cast<std::uint64_t>(offered_bytes * emit_fraction);
+    emission.packets = static_cast<std::uint64_t>(
+        static_cast<double>(per_trigger_packets) *
+        static_cast<double>(rec.triggers_per_amplifier) * emit_fraction);
+    emission.payload = static_cast<std::uint64_t>(
+        static_cast<double>(per_trigger_payload) *
+        static_cast<double>(rec.triggers_per_amplifier) * emit_fraction);
+    emission.rate_bps =
+        std::min(static_cast<double>(per_trigger_wire) * pps *
+                     answered_fraction * 8.0,
+                 config_.amplifier_uplink_bps);
+    peak_bps += emission.rate_bps;
+    emissions.push_back(emission);
+  }
+
+  // Victim-side saturation: the target's upstream cannot absorb more than
+  // ~450 Gbps (the record NTP attacks peaked near 400 Gbps); traffic beyond
+  // that is dropped before the victim and never appears in flow data.
+  const double victim_scale =
+      peak_bps > config_.victim_saturation_bps && peak_bps > 0.0
+          ? config_.victim_saturation_bps / peak_bps
+          : 1.0;
+  rec.peak_bps = std::min(peak_bps, config_.victim_saturation_bps);
+
+  // Pass 2: totals and vantage flows, scaled by victim saturation.
+  for (const auto& emission : emissions) {
+    const auto amp_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(emission.bytes) * victim_scale);
+    const auto amp_packets = static_cast<std::uint64_t>(
+        static_cast<double>(emission.packets) * victim_scale);
+    const auto amp_payload = static_cast<std::uint64_t>(
+        static_cast<double>(emission.payload) * victim_scale);
+    rec.response_bytes += amp_bytes;
+    rec.response_packets += amp_packets;
+
+    // Flows at any vantage that can see them (collectors drop transit).
+    if (!sinks_.vantages.empty()) {
+      const auto amp_addr = emission.server->config().address;
+      telemetry::FlowRecord response;
+      response.src = amp_addr;
+      response.dst = rec.victim;
+      response.src_port = net::kNtpPort;
+      response.dst_port = rec.victim_port;
+      response.ttl = static_cast<std::uint8_t>(
+          emission.server->config().initial_ttl > 12
+              ? emission.server->config().initial_ttl - 12
+              : 1);
+      response.packets = amp_packets;
+      response.bytes = amp_bytes;
+      response.payload_bytes = amp_payload;
+      response.first = rec.start;
+      response.last = rec.end;
+
+      telemetry::FlowRecord trigger;
+      trigger.src = rec.victim;  // spoofed
+      trigger.dst = amp_addr;
+      trigger.src_port = rec.victim_port;
+      trigger.dst_port = net::kNtpPort;
+      trigger.ttl = kAttackTtl;
+      trigger.packets = rec.triggers_per_amplifier;
+      trigger.bytes = kTriggerWireBytes * rec.triggers_per_amplifier;
+      trigger.payload_bytes =
+          kTriggerPayloadBytes * rec.triggers_per_amplifier;
+      trigger.first = rec.start;
+      trigger.last = rec.end;
+
+      for (auto* vantage : sinks_.vantages) {
+        vantage->add(response);
+        vantage->add(trigger);
+      }
+    }
+  }
+
+  if (sinks_.global != nullptr) {
+    const double trigger_bytes =
+        static_cast<double>(kTriggerWireBytes) *
+        static_cast<double>(rec.triggers_per_amplifier) *
+        static_cast<double>(rec.amplifiers.size());
+    sinks_.global->add_bytes(day, telemetry::ProtocolClass::kNtp,
+                             static_cast<double>(rec.response_bytes) +
+                                 trigger_bytes);
+  }
+  if (sinks_.labels != nullptr && rec.peak_bps > 0.0) {
+    // Arbor-analogue visibility: the vendor feed catches a size-dependent
+    // fraction of attack events (small ones are easy to miss, §2.2).
+    double visibility = config_.arbor_visibility_small;
+    switch (telemetry::classify_size(rec.peak_bps)) {
+      case telemetry::SizeClass::kMedium:
+        visibility = config_.arbor_visibility_medium;
+        break;
+      case telemetry::SizeClass::kLarge:
+        visibility = config_.arbor_visibility_large;
+        break;
+      case telemetry::SizeClass::kSmall:
+        break;
+    }
+    if (rng_.chance(visibility)) {
+      sinks_.labels->add(telemetry::LabeledAttack{
+          rec.start, telemetry::AttackVector::kNtp, rec.peak_bps});
+    }
+  }
+}
+
+void AttackEngine::emit_background_labels(int day) {
+  if (sinks_.labels == nullptr) return;
+  const std::uint64_t scale = std::max<std::uint32_t>(1, world_.config().scale);
+  const std::uint64_t n =
+      rng_.poisson(config_.background_attacks_per_day /
+                   static_cast<double>(scale));
+  static constexpr telemetry::AttackVector kVectors[] = {
+      telemetry::AttackVector::kDns, telemetry::AttackVector::kSynFlood,
+      telemetry::AttackVector::kIcmp, telemetry::AttackVector::kChargen,
+      telemetry::AttackVector::kOther};
+  static constexpr double kVectorW[] = {0.22, 0.40, 0.13, 0.05, 0.20};
+  static const util::WeightedSampler sampler{std::span<const double>(kVectorW)};
+  for (std::uint64_t i = 0; i < n; ++i) {
+    telemetry::LabeledAttack a;
+    a.start = static_cast<util::SimTime>(day) * util::kSecondsPerDay +
+              static_cast<util::SimTime>(rng_.uniform(util::kSecondsPerDay));
+    a.vector = kVectors[sampler.sample(rng_)];
+    // 90% small / 10% medium / 1% large (§2.2), heavy tail inside each bin.
+    const double u = rng_.uniform01();
+    if (u < 0.89) {
+      a.peak_bps = rng_.pareto(20e6, 1.2);
+      a.peak_bps = std::min(a.peak_bps, 1.9e9);
+    } else if (u < 0.99) {
+      a.peak_bps = rng_.uniform_real(2e9, 20e9);
+    } else {
+      a.peak_bps = rng_.pareto(20e9, 2.0);
+      a.peak_bps = std::min(a.peak_bps, 120e9);
+    }
+    sinks_.labels->add(a);
+  }
+}
+
+std::vector<AttackRecord> AttackEngine::run_day(int day) {
+  refresh_live_pool(week_of_day(day));
+  emit_background_labels(day);
+
+  std::vector<AttackRecord> scripted;
+  if (config_.scripted_ovh_event && day >= 101 && day <= 103) {
+    // §4.4: the record ~400 Gbps reflection attack on the OVH analogue,
+    // February 10-12. Thousands of amplifiers — including, notably, the
+    // FRGP ones (§7) — pointed at a small set of hosting IPs for hours.
+    AttackRecord rec;
+    rec.id = next_id_++;
+    const auto& registry = world_.registry();
+    const auto& info = registry.as_info(registry.named().ovh_analogue);
+    const auto& block = registry.blocks()[info.block_indices[0]];
+    rec.victim = block.prefix.at(1 + rng_.uniform(64));
+    rec.victim_port = 80;
+    rec.primed = true;
+    // Event magnitude scales with the world so its share of scaled global
+    // traffic matches the real event's share of real traffic.
+    const std::size_t want = std::min<std::size_t>(
+        live_pool_.size(),
+        std::max<std::size_t>(8, 1200 / std::max<std::uint32_t>(
+                                            1, world_.config().scale)));
+    for (std::size_t i = 0; i < want; ++i) {
+      rec.amplifiers.push_back(live_pool_[rng_.uniform(live_pool_.size())]);
+    }
+    for (const auto idx : world_.frgp_amplifiers()) {
+      const auto& t = world_.servers()[idx];
+      if (t.monlist_fix_week < 0 || week_of_day(day) < t.monlist_fix_week) {
+        rec.amplifiers.push_back(idx);
+      }
+    }
+    if (!rec.amplifiers.empty()) {
+      apply(rec, day, /*min_duration_s=*/8 * 3600.0);
+      // Stretch the scripted event into a long-running campaign block.
+      victim_ever_[rec.victim.value()] = true;
+      ++totals_.ntp_attacks;
+      totals_.response_packets += rec.response_packets;
+      totals_.response_bytes += rec.response_bytes;
+      scripted_events_.push_back(rec);
+      scripted.push_back(std::move(rec));
+    }
+  }
+
+  const std::uint64_t scale = std::max<std::uint32_t>(1, world_.config().scale);
+  const std::uint64_t n = rng_.poisson(ntp_attacks_per_day(day) /
+                                       static_cast<double>(scale));
+  std::vector<AttackRecord> records = std::move(scripted);
+  records.reserve(records.size() + n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    AttackRecord rec;
+    rec.id = next_id_++;
+    rec.booter_id = pick_booter();
+    auto& booter = booters_[rec.booter_id];
+    ++attacks_per_booter_[rec.booter_id];
+    bool end_host = false, common_pool = false;
+    rec.victim = pick_victim(day, booter, end_host, common_pool);
+    rec.victim_end_host = end_host;
+    rec.victim_port = pick_port(end_host);
+    // Priming requires booter-grade tooling, which only spreads with the
+    // mid-December attack-script releases; before that everything is
+    // ad-hoc.
+    rec.primed = booter.primes_amplifiers &&
+                 rng_.chance(std::clamp((day - 45) / 25.0, 0.0, 1.0));
+    pick_amplifiers(day, common_pool, rec.primed, rec.amplifiers);
+    if (rec.amplifiers.empty()) continue;
+    apply(rec, day);
+    victim_ever_[rec.victim.value()] = true;
+    ++totals_.ntp_attacks;
+    totals_.response_packets += rec.response_packets;
+    totals_.response_bytes += rec.response_bytes;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+void AttackEngine::run_days(int from, int to) {
+  for (int day = from; day < to; ++day) run_day(day);
+}
+
+}  // namespace gorilla::sim

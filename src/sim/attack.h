@@ -1,0 +1,217 @@
+// The attack ecosystem: booters, botnets, and their NTP reflection campaigns.
+//
+// Every NTP DDoS attack in the study follows one script: an attacker picks a
+// victim (very often a gamer, sometimes a hosting provider such as the
+// paper's OVH analogue), a port (Table 4's mix), and a set of currently
+// vulnerable amplifiers, then streams spoofed MON_GETLIST_1 requests at the
+// amplifiers, whose multi-packet dumps flood the victim. This module
+// generates those campaigns day by day along the paper's intensity curve
+// (trickle before mid-December 2013, peak around February 11-12, decline
+// after), applies their evidence to the world (amplifier monitor tables),
+// and reports their traffic into the telemetry sinks (global collector,
+// attack labels, regional flow collectors).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/world.h"
+#include "telemetry/darknet.h"
+#include "telemetry/flow.h"
+#include "telemetry/traffic.h"
+#include "util/rng.h"
+
+namespace gorilla::sim {
+
+/// One NTP reflection attack (ground truth, kept for validation).
+struct AttackRecord {
+  std::uint64_t id = 0;
+  std::uint32_t booter_id = 0;  ///< which §5.2 actor launched it
+  net::Ipv4Address victim;
+  std::uint16_t victim_port = 0;
+  util::SimTime start = 0;
+  util::SimTime end = 0;
+  std::vector<std::uint32_t> amplifiers;  ///< server indices in the world
+  std::uint64_t triggers_per_amplifier = 0;  ///< spoofed requests each got
+  bool primed = false;  ///< amplifier tables pre-filled to 600 entries
+  double peak_bps = 0.0;  ///< aggregate victim-side bandwidth at peak
+  std::uint64_t response_packets = 0;  ///< total packets sent to the victim
+  std::uint64_t response_bytes = 0;    ///< total on-wire bytes to the victim
+  bool victim_end_host = false;
+};
+
+/// Where attack traffic is reported. Null members are simply skipped.
+struct AttackSinks {
+  telemetry::GlobalTrafficCollector* global = nullptr;
+  telemetry::AttackLabelStore* labels = nullptr;
+  std::vector<telemetry::FlowCollector*> vantages;
+};
+
+struct AttackEngineConfig {
+  std::uint64_t seed = util::Rng::kDefaultSeed ^ 0xa77acdULL;
+  int horizon_days = 181;  ///< 2013-11-01 .. 2014-05-01
+
+  /// Probability an attack's victim is an end host (gamer); §4.3.1 rises
+  /// from ~31% to ~50%; we interpolate linearly over the horizon.
+  double end_host_victim_initial = 0.31;
+  double end_host_victim_final = 0.52;
+
+  /// Probability the victim is drawn from the sticky hosting-provider pool
+  /// topped by the OVH analogue when not an end host.
+  double hosting_concentration_zipf = 0.9;
+
+  /// Extra targeting weight for victims inside the regional networks so the
+  /// §7 analyses see their documented victim populations.
+  double merit_victim_rate = 0.030;
+  double frgp_victim_rate = 0.013;
+  /// Extra weight for the OVH analogue — the paper's top victim AS, hit
+  /// with ~6% of all attack packets during a months-long campaign (§4.4).
+  double ovh_victim_rate = 0.07;
+  /// Probability a regional victim is in the cross-site common pool
+  /// (attacked via amplifiers at both Merit and FRGP).
+  double common_victim_rate = 0.05;
+
+  /// Probability an attack reflects off a *regional* amplifier set
+  /// (coordinated use of the Merit or CSU amplifiers, §7.2).
+  double regional_reflection_rate = 0.04;
+
+  /// Spoofed-request rate per amplifier (Pareto), requests/second.
+  double trigger_pps_scale = 45.0;
+  double trigger_pps_alpha = 1.08;
+  double trigger_pps_cap = 5000.0;
+
+  /// Fraction of attacks whose operator "primes" the amplifiers first so
+  /// monlist returns the full 600 entries per trigger (§3.2's caution —
+  /// this is what turns a 4x pool into 400 Gbps attacks).
+  double primed_fraction = 0.45;
+  /// Primed (booter-grade) attacks also drive much higher trigger rates
+  /// and larger amplifier sets than ad-hoc ones.
+  double primed_pps_scale = 150.0;
+  double primed_pps_alpha = 1.2;
+  double primed_amplifier_boost = 1.8;
+
+  /// An amplifier's uplink bounds what it can actually emit; response
+  /// volume saturates at this rate per amplifier.
+  double amplifier_uplink_bps = 800e6;
+
+  /// Victim-side ceiling: the largest NTP attacks observed peaked near
+  /// 400 Gbps; beyond ~450 Gbps traffic dies upstream of any vantage.
+  double victim_saturation_bps = 450e9;
+
+  /// The §4.4 headline event: the ~400 Gbps CloudFlare/OVH attack of
+  /// February 10-12 is scripted so the validation anchor always exists.
+  bool scripted_ovh_event = true;
+
+  /// Probability an NTP attack of each size class appears in the labeled
+  /// (Arbor-analogue) attack feed — the vendor sees a third-to-half of
+  /// traffic and its labeler misses small attacks (§2.2).
+  double arbor_visibility_small = 0.09;
+  double arbor_visibility_medium = 0.28;
+  double arbor_visibility_large = 0.45;
+
+  /// Victim re-targeting stickiness: the chance an attack re-hits one of
+  /// its booter's current customer targets (campaigns spanning days).
+  double repeat_victim_rate = 0.35;
+
+  /// Booter/botmaster population at full scale (§5.2), divided by the
+  /// world scale; market share across booters is Zipf-distributed.
+  std::uint32_t num_booters = 400;
+  double booter_market_zipf = 1.1;
+
+  /// Background (non-NTP) DDoS volume for the Figure 2 denominator:
+  /// ~300K/month globally, 90/10/1 small/medium/large.
+  double background_attacks_per_day = 10000.0;
+};
+
+/// A booter ("stresser") service or standalone botmaster — §5.2's attacker
+/// ecosystem. Each attack is launched through one of these; the profile
+/// shapes its tooling (priming) and clientele (sticky victim list).
+struct BooterProfile {
+  std::uint32_t id = 0;
+  bool primes_amplifiers = false;  ///< booter-grade tooling
+  /// The service's current customer-target list (gamer feuds are sticky).
+  std::vector<net::Ipv4Address> customer_targets;
+};
+
+class AttackEngine {
+ public:
+  AttackEngine(World& world, const AttackEngineConfig& config,
+               AttackSinks sinks);
+
+  /// Full-scale NTP attacks-per-day intensity curve (day 0 = 2013-11-01).
+  [[nodiscard]] static double ntp_attacks_per_day(int day) noexcept;
+
+  /// ONP sample-week index containing a sim day (<0 before the first).
+  [[nodiscard]] static int week_of_day(int day) noexcept;
+
+  /// Generates, applies, and reports all attacks for one day. Must be
+  /// called with non-decreasing days. Returns the day's NTP attack records.
+  std::vector<AttackRecord> run_day(int day);
+
+  /// Convenience: run days [from, to).
+  void run_days(int from, int to);
+
+  struct Totals {
+    std::uint64_t ntp_attacks = 0;
+    std::uint64_t response_packets = 0;
+    std::uint64_t response_bytes = 0;
+    std::uint64_t unique_victim_count = 0;  ///< filled by unique_victims()
+  };
+  [[nodiscard]] const Totals& totals() const noexcept { return totals_; }
+  [[nodiscard]] std::uint64_t unique_victims() const {
+    return victim_ever_.size();
+  }
+  [[nodiscard]] const std::vector<BooterProfile>& booters() const noexcept {
+    return booters_;
+  }
+  /// Attacks launched per booter so far (index-aligned with booters()).
+  [[nodiscard]] const std::vector<std::uint64_t>& attacks_per_booter()
+      const noexcept {
+    return attacks_per_booter_;
+  }
+  /// Copies of the scripted §4.4 OVH-event records (one per event day) —
+  /// what the victim's CDN "publishes" for cross-dataset validation.
+  [[nodiscard]] const std::vector<AttackRecord>& scripted_events()
+      const noexcept {
+    return scripted_events_;
+  }
+
+ private:
+  std::uint32_t pick_booter();
+  net::Ipv4Address pick_victim(int day, BooterProfile& booter,
+                               bool& end_host, bool& common_pool);
+  std::uint16_t pick_port(bool end_host);
+  void pick_amplifiers(int day, bool common_pool, bool primed,
+                       std::vector<std::uint32_t>& out);
+  void refresh_live_pool(int week);
+  void apply(AttackRecord& rec, int day, double min_duration_s = 0.0);
+  void emit_background_labels(int day);
+
+  World& world_;
+  AttackEngineConfig config_;
+  AttackSinks sinks_;
+  util::Rng rng_;
+  std::uint64_t next_id_ = 0;
+  Totals totals_;
+
+  int live_pool_week_ = -1000;
+  std::vector<std::uint32_t> live_pool_;  ///< amplifier indices usable now
+
+  std::vector<BooterProfile> booters_;
+  std::vector<std::uint64_t> attacks_per_booter_;
+  std::vector<AttackRecord> scripted_events_;
+  util::ZipfSampler booter_zipf_;
+  std::vector<net::Ipv4Address> hosting_victims_;  ///< per-hosting-AS picks
+  std::vector<net::Ipv4Address> common_victims_;   ///< Merit+FRGP common pool
+  std::unordered_map<std::uint32_t, bool> victim_ever_;
+  util::ZipfSampler hosting_zipf_;
+  std::vector<net::Asn> hosting_ases_;
+  util::WeightedSampler port_sampler_;
+  std::vector<std::uint16_t> port_values_;
+};
+
+/// The Table 4 port mix (port, fraction) the generator draws from.
+[[nodiscard]] const std::vector<std::pair<std::uint16_t, double>>&
+attacked_port_mix();
+
+}  // namespace gorilla::sim

@@ -1,0 +1,168 @@
+#include "sim/scanner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/ethernet.h"
+#include "ntp/mode7.h"
+
+namespace gorilla::sim {
+
+namespace {
+
+constexpr std::uint64_t kProbeWireBytes =
+    net::on_wire_bytes_for_udp(ntp::kMode7RequestBytes);
+
+}  // namespace
+
+ScanTraffic::ScanTraffic(World& world, const ScanTrafficConfig& config)
+    : world_(world), config_(config), rng_(config.seed) {
+  const auto& registry = world_.registry();
+  // Research scanners: stable, whole-space, weekly, from well-known hosts.
+  for (int i = 0; i < config_.research_scanners; ++i) {
+    ScanActor a;
+    a.address = registry.random_address(rng_);
+    a.benign = true;
+    a.first_day = i < 2 ? 0 : 30 + i * 8;  // projects joined over time
+    a.ipv4_coverage = 1.0;
+    a.passes_per_week = 1.0;
+    a.mode6_share = i % 2 == 0 ? 0.5 : 0.0;  // some also run version scans
+    actors_.push_back(a);
+  }
+  // Malicious swarm: scaled with the world, ramping in from mid-December.
+  const std::uint64_t scale = std::max<std::uint32_t>(1, world_.config().scale);
+  const int n_malicious = static_cast<int>(
+      std::max<std::uint64_t>(8, static_cast<std::uint64_t>(
+                                     config_.malicious_scanners) /
+                                     scale));
+  for (int i = 0; i < n_malicious; ++i) {
+    ScanActor a;
+    a.address = registry.random_address(rng_);
+    a.benign = false;
+    a.first_day = config_.malicious_onset_day +
+                  static_cast<int>(rng_.uniform(
+                      static_cast<std::uint64_t>(config_.malicious_ramp_days)));
+    // Most keep scanning through the horizon (scanning stayed high even as
+    // the pool shrank, §5.1); some churn out.
+    a.last_day = rng_.chance(0.3)
+                     ? a.first_day + static_cast<int>(rng_.uniform_int(7, 60))
+                     : 1 << 30;
+    a.ipv4_coverage = config_.malicious_coverage * rng_.lognormal(0.0, 0.8);
+    a.passes_per_week = rng_.uniform_real(1.0, 7.0);
+    // Interest in the version command grows; sampled per actor.
+    a.mode6_share = rng_.chance(0.2) ? rng_.uniform_real(0.1, 0.5) : 0.0;
+    actors_.push_back(a);
+  }
+}
+
+std::uint64_t ScanTraffic::darknet_packets_per_pass(
+    const ScanActor& actor, const telemetry::DarknetTelescope& t) const {
+  // A pass covering fraction c of IPv4 hits c * (dark /24s * 256) addresses.
+  const double dark_addresses = t.effective_dark_slash24s() * 256.0;
+  return static_cast<std::uint64_t>(dark_addresses * actor.ipv4_coverage);
+}
+
+void ScanTraffic::run_day(
+    int day, telemetry::DarknetTelescope* darknet,
+    const std::vector<telemetry::FlowCollector*>& vantages) {
+  const util::SimTime day_start =
+      static_cast<util::SimTime>(day) * util::kSecondsPerDay;
+  for (const auto& actor : actors_) {
+    if (day < actor.first_day || day > actor.last_day) continue;
+    const double passes_today = actor.passes_per_week / 7.0;
+    const bool scans_today =
+        actor.benign ? rng_.chance(passes_today)
+                     : (rng_.chance(config_.malicious_duty_cycle) &&
+                        rng_.chance(std::min(1.0, passes_today * 4)));
+    if (!scans_today) continue;
+
+    if (darknet != nullptr) {
+      const std::uint64_t pkts = darknet_packets_per_pass(actor, *darknet);
+      if (pkts > 0) {
+        darknet->observe_scan(actor.address, day, pkts, actor.benign);
+      }
+    }
+    // Flows at regional vantages: malicious scanners sweep contiguous
+    // slices, so a pass covering fraction c of IPv4 only intersects a
+    // given regional prefix with probability ~c — which is why two distinct
+    // sites almost never see the same malicious scanner (§7.2, Fig 16).
+    // Research sweeps cover everything and are seen everywhere.
+    for (auto* vantage : vantages) {
+      if (!actor.benign &&
+          !rng_.chance(std::min(1.0, actor.ipv4_coverage * 0.5))) {
+        continue;
+      }
+      if (vantage->prefixes().empty()) continue;
+      telemetry::FlowRecord f;
+      f.src = actor.address;
+      // The flow represents the slice of this pass that landed inside this
+      // vantage's space, so pick a destination there.
+      const auto& prefix = vantage->prefixes()[rng_.uniform(
+          vantage->prefixes().size())];
+      f.dst = prefix.at(rng_.uniform(prefix.size()));
+      f.src_port = static_cast<std::uint16_t>(rng_.uniform_int(32768, 61000));
+      f.dst_port = net::kNtpPort;
+      f.ttl = kScanTtl;
+      // Flow-exporter granularity: a sweep shows up as per-destination
+      // flows of a packet or two. The representative flow carries the
+      // per-destination view (what the §7.2 forensics keys on), not the
+      // whole pass volume — scanning is a negligible share of NTP bytes at
+      // a vantage either way.
+      f.packets = actor.benign ? 2 : 1;
+      f.bytes = f.packets * kProbeWireBytes;
+      f.payload_bytes = f.packets * ntp::kMode7RequestBytes;
+      f.first = day_start + static_cast<util::SimTime>(
+                                rng_.uniform(util::kSecondsPerDay / 2));
+      f.last = f.first + 3600;
+      vantage->add(f);
+    }
+  }
+}
+
+void ScanTraffic::seed_monitor_tables(int week) {
+  // Research scanners sweep everything weekly: every responding server's
+  // monitor table gains (or refreshes) one probe entry per active scanner.
+  // Malicious scanners cover random slices: approximated per server as a
+  // Poisson number of distinct one-shot probes.
+  const int day = 70 + week * 7;  // sample weeks anchor at 2014-01-10
+  const util::SimTime when =
+      static_cast<util::SimTime>(day) * util::kSecondsPerDay;
+  const double malicious_rate_per_server = [&] {
+    double r = 0.0;
+    for (const auto& a : actors_) {
+      if (a.benign || day < a.first_day || day > a.last_day) continue;
+      r += a.ipv4_coverage * a.passes_per_week;
+    }
+    return r;
+  }();
+
+  for (const auto ai : world_.amplifier_indices()) {
+    auto* server = world_.detailed(ai);
+    if (server == nullptr) continue;
+    for (const auto& a : actors_) {
+      if (!a.benign || day < a.first_day || day > a.last_day) continue;
+      const bool mode6 = rng_.chance(a.mode6_share);
+      server->monitor().observe(
+          a.address, static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
+          static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
+                                          : ntp::Mode::kPrivate),
+          ntp::kNtpVersion,
+          when - static_cast<util::SimTime>(rng_.uniform(3600)));
+    }
+    const std::uint64_t hits = rng_.poisson(malicious_rate_per_server);
+    for (std::uint64_t h = 0; h < hits && h < 16; ++h) {
+      const auto& a = actors_[rng_.uniform(actors_.size())];
+      if (a.benign) continue;
+      const bool mode6 = rng_.chance(a.mode6_share);
+      server->monitor().observe(
+          a.address, static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
+          static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
+                                          : ntp::Mode::kPrivate),
+          ntp::kNtpVersion,
+          when - static_cast<util::SimTime>(
+                     rng_.uniform(3 * util::kSecondsPerDay)));
+    }
+  }
+}
+
+}  // namespace gorilla::sim

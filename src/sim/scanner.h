@@ -1,0 +1,78 @@
+// Scanning actors — §5's darknet signal and the probe entries amplifiers log.
+//
+// Two populations scan for NTP amplifiers: research projects (a handful of
+// fixed IPs sweeping the whole IPv4 space on a weekly cadence, in the open,
+// labeled benign by their hostnames) and malicious scanners (a growing swarm
+// that appears in mid-December 2013, each covering partial, randomized
+// slices). Both leak packets into the darknet telescope; both leave mode 6/7
+// probe entries in amplifier monitor tables (the "scanner/low-volume" class
+// of §4.2); and both appear as dport-123 flows at the regional vantages
+// (where §7.2 reads their TTLs: research/malicious scanning is Linux-built).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/world.h"
+#include "telemetry/darknet.h"
+#include "telemetry/flow.h"
+#include "util/rng.h"
+
+namespace gorilla::sim {
+
+struct ScanActor {
+  net::Ipv4Address address;
+  bool benign = false;       ///< research project (hostname-labeled)
+  int first_day = 0;         ///< first active sim day
+  int last_day = 1 << 30;    ///< last active sim day
+  double ipv4_coverage = 1.0;///< fraction of the address space swept per pass
+  double passes_per_week = 1.0;
+  double mode6_share = 0.0;  ///< fraction of probes using the version command
+};
+
+struct ScanTrafficConfig {
+  std::uint64_t seed = util::Rng::kDefaultSeed ^ 0x5ca7ULL;
+  int research_scanners = 6;
+  /// Malicious scanner swarm size at plateau (full scale; scaled by world).
+  int malicious_scanners = 9000;
+  int malicious_onset_day = 44;   ///< mid-December 2013
+  int malicious_ramp_days = 21;
+  /// Daily probability an active malicious scanner actually scans.
+  double malicious_duty_cycle = 0.6;
+  double malicious_coverage = 0.02;  ///< slice of IPv4 per malicious pass
+};
+
+/// Drives all non-ONP scanning for a horizon: darknet packets, amplifier
+/// monitor-table probe entries, and vantage flows.
+class ScanTraffic {
+ public:
+  ScanTraffic(World& world, const ScanTrafficConfig& config);
+
+  /// Runs one day of scanning. `darknet`, `vantages` may be empty/null.
+  void run_day(int day, telemetry::DarknetTelescope* darknet,
+               const std::vector<telemetry::FlowCollector*>& vantages);
+
+  /// Injects this week's research-scanner probe entries into the detailed
+  /// servers' monitor tables (called once per sample week by the harness,
+  /// cheaper than per-day per-server observation).
+  void seed_monitor_tables(int week);
+
+  [[nodiscard]] const std::vector<ScanActor>& actors() const noexcept {
+    return actors_;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t darknet_packets_per_pass(
+      const ScanActor& actor, const telemetry::DarknetTelescope& t) const;
+
+  World& world_;
+  ScanTrafficConfig config_;
+  util::Rng rng_;
+  std::vector<ScanActor> actors_;  ///< research first, then malicious
+};
+
+/// TTL of scan packets at a ~10-hop vantage: Linux initial 64 -> mode 54
+/// (§7.2's scanning-host OS inference).
+inline constexpr std::uint8_t kScanTtl = 54;
+
+}  // namespace gorilla::sim

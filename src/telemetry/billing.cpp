@@ -1,0 +1,49 @@
+#include "telemetry/billing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gorilla::telemetry {
+
+BillingResult percentile_billing(const VolumeSeries& series,
+                                 double percentile) {
+  BillingResult result;
+  result.samples = series.bytes.size();
+  if (series.bytes.empty() || series.bucket_seconds <= 0) return result;
+  std::vector<double> rates;
+  rates.reserve(series.bytes.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < series.bytes.size(); ++i) {
+    const double bps = series.rate_bps(i);
+    rates.push_back(bps);
+    sum += bps;
+  }
+  std::sort(rates.begin(), rates.end());
+  result.peak_bps = rates.back();
+  result.mean_bps = sum / static_cast<double>(rates.size());
+  // Discard the top (1 - percentile) of samples; bill the next highest.
+  // With 100 samples at p=0.95 that is sorted[94] — the top five are free.
+  const double pos = percentile * static_cast<double>(rates.size());
+  const std::size_t idx = static_cast<std::size_t>(std::max(
+      0.0, std::ceil(pos) - 1.0));
+  result.billed_bps = rates[std::min(idx, rates.size() - 1)];
+  return result;
+}
+
+double billing_increase(const VolumeSeries& base, const VolumeSeries& overlay,
+                        double percentile) {
+  if (base.bytes.size() != overlay.bytes.size() ||
+      base.bucket_seconds != overlay.bucket_seconds) {
+    throw std::invalid_argument("billing_increase: series not aligned");
+  }
+  VolumeSeries combined = base;
+  for (std::size_t i = 0; i < combined.bytes.size(); ++i) {
+    combined.bytes[i] += overlay.bytes[i];
+  }
+  const double before = percentile_billing(base, percentile).billed_bps;
+  const double after = percentile_billing(combined, percentile).billed_bps;
+  return before > 0.0 ? (after - before) / before : 0.0;
+}
+
+}  // namespace gorilla::telemetry

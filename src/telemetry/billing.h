@@ -1,0 +1,36 @@
+// 95th-percentile transit billing — §7.1's cost-of-attack estimate.
+//
+// Merit bills upstream transit on the standard 95th-percentile model: the
+// month's 5-minute rate samples are sorted, the top 5% discarded, and the
+// next-highest sample is the billed rate. The paper estimates that NTP
+// attack traffic added over 2% to Merit's billed volume; this module lets
+// the regional bench compute billed rate with and without the attack
+// overlay and report the delta.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/flow.h"
+
+namespace gorilla::telemetry {
+
+struct BillingResult {
+  double billed_bps = 0.0;          ///< 95th percentile of 5-min samples
+  double peak_bps = 0.0;
+  double mean_bps = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Computes the 95th-percentile billed rate from a 5-minute volume series.
+/// `percentile` is the discard point (0.95 = standard).
+[[nodiscard]] BillingResult percentile_billing(const VolumeSeries& series,
+                                               double percentile = 0.95);
+
+/// Relative increase in billed rate caused by an overlay (attack) series on
+/// top of a base series; both must share bucketing.
+[[nodiscard]] double billing_increase(const VolumeSeries& base,
+                                      const VolumeSeries& overlay,
+                                      double percentile = 0.95);
+
+}  // namespace gorilla::telemetry

@@ -1,0 +1,123 @@
+#include "telemetry/darknet.h"
+
+namespace gorilla::telemetry {
+
+DarknetTelescope::DarknetTelescope(const DarknetConfig& config)
+    : config_(config) {}
+
+void DarknetTelescope::observe_scan(net::Ipv4Address scanner, int day,
+                                    std::uint64_t packets, bool benign) {
+  if (packets == 0) return;
+  auto& entry = by_day_[day][scanner.value()];
+  entry.first += packets;
+  entry.second = entry.second || benign;
+  total_packets_ += packets;
+}
+
+void DarknetTelescope::observe_packet(const net::UdpPacket& pkt, bool benign) {
+  if (!config_.telescope.contains(pkt.dst)) return;
+  observe_scan(pkt.src, static_cast<int>(util::day_index(pkt.timestamp)), 1,
+               benign);
+}
+
+double DarknetTelescope::effective_dark_slash24s() const noexcept {
+  const double total_24s =
+      static_cast<double>(config_.telescope.size()) / 256.0;
+  return total_24s * config_.effective_coverage;
+}
+
+std::vector<DarknetTelescope::MonthlyVolume>
+DarknetTelescope::monthly_volumes() const {
+  const double dark24s = effective_dark_slash24s();
+  std::map<std::pair<int, int>, MonthlyVolume> months;
+  for (const auto& [day, scanners] : by_day_) {
+    const util::Date d =
+        util::date_from_sim_time(static_cast<util::SimTime>(day) *
+                                 util::kSecondsPerDay);
+    auto& row = months[{d.year, d.month}];
+    row.year = d.year;
+    row.month = d.month;
+    for (const auto& [_, entry] : scanners) {
+      const double normalized =
+          dark24s > 0.0 ? static_cast<double>(entry.first) / dark24s : 0.0;
+      if (entry.second) {
+        row.benign_packets_per_24 += normalized;
+      } else {
+        row.other_packets_per_24 += normalized;
+      }
+    }
+  }
+  std::vector<MonthlyVolume> out;
+  out.reserve(months.size());
+  for (auto& [_, row] : months) out.push_back(row);
+  return out;
+}
+
+std::map<int, std::uint64_t> DarknetTelescope::unique_scanners_per_day() const {
+  std::map<int, std::uint64_t> out;
+  for (const auto& [day, scanners] : by_day_) {
+    out[day] = scanners.size();
+  }
+  return out;
+}
+
+std::vector<ScannerIdentity> DarknetTelescope::scanners() const {
+  std::map<std::uint32_t, bool> seen;
+  for (const auto& [_, scanners] : by_day_) {
+    for (const auto& [addr, entry] : scanners) {
+      seen[addr] = seen[addr] || entry.second;
+    }
+  }
+  std::vector<ScannerIdentity> out;
+  out.reserve(seen.size());
+  for (const auto& [addr, benign] : seen) {
+    out.push_back(ScannerIdentity{net::Ipv4Address{addr}, benign});
+  }
+  return out;
+}
+
+Ipv6DarknetTelescope::Ipv6DarknetTelescope(
+    std::vector<net::Ipv6Prefix> covering)
+    : covering_(std::move(covering)) {}
+
+void Ipv6DarknetTelescope::observe(const net::Ipv6Address& src,
+                                   const net::Ipv6Address& dst,
+                                   std::uint16_t dst_port, int day,
+                                   std::uint64_t packets) {
+  (void)day;
+  bool dark = false;
+  for (const auto& p : covering_) {
+    if (p.contains(dst)) {
+      dark = true;
+      break;
+    }
+  }
+  if (!dark || packets == 0) return;
+  total_packets_ += packets;
+  if (dst_port == net::kNtpPort) {
+    ntp_packets_ += packets;
+    auto& stats = ntp_sources_[src];
+    stats.packets += packets;
+    stats.targets.insert(dst);
+  }
+}
+
+std::vector<net::Ipv6Address> Ipv6DarknetTelescope::scanning_suspects(
+    std::size_t min_targets) const {
+  std::vector<net::Ipv6Address> out;
+  for (const auto& [src, stats] : ntp_sources_) {
+    if (stats.targets.size() >= min_targets) out.push_back(src);
+  }
+  return out;
+}
+
+std::vector<net::Ipv6Prefix> rir_covering_prefixes() {
+  return {
+      *net::parse_ipv6_prefix("2600::/12"),  // ARIN-analogue
+      *net::parse_ipv6_prefix("2800::/12"),  // LACNIC-analogue
+      *net::parse_ipv6_prefix("2400::/12"),  // APNIC-analogue
+      *net::parse_ipv6_prefix("2c00::/12"),  // AFRINIC-analogue
+  };
+}
+
+}  // namespace gorilla::telemetry

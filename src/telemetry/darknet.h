@@ -1,0 +1,142 @@
+// Darknet telescope — §5's view of Internet-wide scanning.
+//
+// Merit operates a darknet covering roughly 75% of a /8 (the effective dark
+// fraction varies with routing churn, so the paper normalizes to packets per
+// effective dark /24 per month). The telescope sees scan packets destined to
+// unused space; research scanners are labeled benign by hostname, the rest
+// are treated as suspected-malicious. We reproduce the capture, the
+// normalization, and the unique-scanner time series of Figures 8 and 9.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/ipv6.h"
+#include "net/packet.h"
+#include "util/time.h"
+
+namespace gorilla::telemetry {
+
+struct DarknetConfig {
+  net::Prefix telescope;       ///< covering prefix (a /8 analogue)
+  double effective_coverage = 0.75;  ///< fraction of /24s actually dark
+};
+
+/// A scanning source as the telescope resolves it (reverse DNS analogue).
+struct ScannerIdentity {
+  net::Ipv4Address address;
+  bool benign = false;  ///< research project per hostname labeling
+};
+
+class DarknetTelescope {
+ public:
+  explicit DarknetTelescope(const DarknetConfig& config);
+
+  /// Records `packets` NTP-probe packets from one scanner on one day.
+  /// (Scanning arrives as vast numbers of identical small probes; the sim
+  /// hands the telescope per-day aggregates rather than 10^9 datagrams.)
+  void observe_scan(net::Ipv4Address scanner, int day, std::uint64_t packets,
+                    bool benign);
+
+  /// Packet-level entry point used by packet-level experiments; drops
+  /// packets outside the telescope prefix.
+  void observe_packet(const net::UdpPacket& pkt, bool benign);
+
+  /// Number of effectively dark /24 blocks.
+  [[nodiscard]] double effective_dark_slash24s() const noexcept;
+
+  struct MonthlyVolume {
+    int year = 0;
+    int month = 0;
+    double benign_packets_per_24 = 0.0;
+    double other_packets_per_24 = 0.0;
+
+    [[nodiscard]] double total() const noexcept {
+      return benign_packets_per_24 + other_packets_per_24;
+    }
+    [[nodiscard]] double benign_fraction() const noexcept {
+      const double t = total();
+      return t > 0.0 ? benign_packets_per_24 / t : 0.0;
+    }
+  };
+
+  /// Figure 8: monthly packets per effective dark /24, benign vs other.
+  [[nodiscard]] std::vector<MonthlyVolume> monthly_volumes() const;
+
+  /// Figure 9: unique scanner IPs seen per day.
+  [[nodiscard]] std::map<int, std::uint64_t> unique_scanners_per_day() const;
+
+  /// All scanner identities seen over the capture.
+  [[nodiscard]] std::vector<ScannerIdentity> scanners() const;
+
+  /// Total packets captured.
+  [[nodiscard]] std::uint64_t total_packets() const noexcept {
+    return total_packets_;
+  }
+
+ private:
+  DarknetConfig config_;
+  // day -> scanner -> (packets, benign)
+  std::map<int, std::map<std::uint32_t, std::pair<std::uint64_t, bool>>>
+      by_day_;
+  std::uint64_t total_packets_ = 0;
+};
+
+/// The IPv6 telescope of §5.1: covering prefixes for four of the five RIRs.
+/// The paper searched its captures for NTP scanning and found only errant
+/// point-to-point NTP — no broad sweeps. The class records dark-side v6
+/// traffic and answers that question.
+class Ipv6DarknetTelescope {
+ public:
+  explicit Ipv6DarknetTelescope(std::vector<net::Ipv6Prefix> covering);
+
+  /// Records `packets` from `src` to somewhere in the dark space on `day`,
+  /// with the given destination port. Destinations outside the covering
+  /// prefixes are ignored.
+  void observe(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+               std::uint16_t dst_port, int day, std::uint64_t packets = 1);
+
+  [[nodiscard]] std::uint64_t total_packets() const noexcept {
+    return total_packets_;
+  }
+  [[nodiscard]] std::uint64_t ntp_packets() const noexcept {
+    return ntp_packets_;
+  }
+  [[nodiscard]] std::size_t unique_ntp_sources() const noexcept {
+    return ntp_sources_.size();
+  }
+
+  /// Sources that touched at least `min_targets` distinct dark NTP targets
+  /// — the signature of sweeping. An errant point-to-point association
+  /// chirps at ONE dark address forever and never qualifies, no matter the
+  /// volume.
+  [[nodiscard]] std::vector<net::Ipv6Address> scanning_suspects(
+      std::size_t min_targets = 16) const;
+
+  /// The §5.1 verdict: true when no source swept — dark-side NTP is all
+  /// errant point-to-point chatter.
+  [[nodiscard]] bool no_broad_scanning(std::size_t min_targets = 16) const {
+    return scanning_suspects(min_targets).empty();
+  }
+
+ private:
+  struct SourceStats {
+    std::uint64_t packets = 0;
+    std::set<net::Ipv6Address> targets;
+  };
+
+  std::vector<net::Ipv6Prefix> covering_;
+  std::map<net::Ipv6Address, SourceStats> ntp_sources_;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t ntp_packets_ = 0;
+};
+
+/// The four RIR covering prefixes the paper's IPv6 telescope announced
+/// (ARIN, LACNIC, APNIC, AFRINIC analogues).
+[[nodiscard]] std::vector<net::Ipv6Prefix> rir_covering_prefixes();
+
+}  // namespace gorilla::telemetry

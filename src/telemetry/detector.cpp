@@ -1,0 +1,84 @@
+#include "telemetry/detector.h"
+
+#include <algorithm>
+
+namespace gorilla::telemetry {
+
+std::vector<DetectedAttack> detect_attacks(const VolumeSeries& series,
+                                           const DetectorConfig& config) {
+  std::vector<DetectedAttack> out;
+  if (series.bytes.empty() || series.bucket_seconds <= 0) return out;
+
+  double baseline = series.rate_bps(0);
+  bool in_attack = false;
+  int quiet_buckets = 0;
+  DetectedAttack current;
+
+  auto finalize = [&](std::size_t end_bucket) {
+    current.end = series.start +
+                  static_cast<util::SimTime>(end_bucket) *
+                      series.bucket_seconds;
+    if (current.end - current.start >= config.min_duration &&
+        current.volume_bytes >= config.min_volume_bytes) {
+      out.push_back(current);
+    }
+    in_attack = false;
+  };
+
+  for (std::size_t b = 0; b < series.bytes.size(); ++b) {
+    const double rate = series.rate_bps(b);
+    const double threshold =
+        baseline * config.threshold_factor + config.floor_bps;
+    const bool exceeds = rate > threshold;
+
+    if (!in_attack && exceeds) {
+      in_attack = true;
+      quiet_buckets = 0;
+      current = DetectedAttack{};
+      current.start = series.start +
+                      static_cast<util::SimTime>(b) * series.bucket_seconds;
+    }
+    if (in_attack) {
+      if (exceeds) {
+        quiet_buckets = 0;
+        current.peak_bps = std::max(current.peak_bps, rate);
+        current.volume_bytes += series.bytes[b];
+      } else {
+        ++quiet_buckets;
+        if (quiet_buckets >= config.end_hysteresis_buckets) {
+          finalize(b - static_cast<std::size_t>(quiet_buckets) + 1);
+        }
+      }
+    }
+    if (!in_attack || !exceeds) {
+      // The baseline learns from non-attack buckets only.
+      baseline = (1.0 - config.baseline_alpha) * baseline +
+                 config.baseline_alpha * rate;
+    }
+  }
+  if (in_attack) finalize(series.bytes.size());
+  return out;
+}
+
+DetectionQuality score_detections(const std::vector<DetectedAttack>& detections,
+                                  std::vector<TruthInterval> truth) {
+  DetectionQuality q;
+  q.truth_count = truth.size();
+  q.detected_count = detections.size();
+  std::vector<bool> truth_hit(truth.size(), false);
+  for (const auto& d : detections) {
+    bool matched = false;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      if (d.start <= truth[i].end && truth[i].start <= d.end) {
+        truth_hit[i] = true;
+        matched = true;
+      }
+    }
+    if (matched) ++q.matched_detected;
+  }
+  q.matched_truth = static_cast<std::size_t>(
+      std::count(truth_hit.begin(), truth_hit.end(), true));
+  return q;
+}
+
+}  // namespace gorilla::telemetry

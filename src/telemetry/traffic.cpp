@@ -1,0 +1,105 @@
+#include "telemetry/traffic.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace gorilla::telemetry {
+
+const char* to_string(ProtocolClass p) noexcept {
+  switch (p) {
+    case ProtocolClass::kNtp: return "ntp";
+    case ProtocolClass::kDns: return "dns";
+    case ProtocolClass::kHttp: return "http";
+    case ProtocolClass::kHttps: return "https";
+    case ProtocolClass::kOther: return "other";
+  }
+  return "?";
+}
+
+GlobalTrafficCollector::GlobalTrafficCollector(int horizon_days,
+                                               double average_total_bps)
+    : horizon_days_(horizon_days), baseline_bps_(average_total_bps) {
+  if (horizon_days <= 0)
+    throw std::invalid_argument("GlobalTrafficCollector: horizon must be > 0");
+  ledger_.resize(static_cast<std::size_t>(horizon_days));
+}
+
+void GlobalTrafficCollector::add_bytes(int day, ProtocolClass proto,
+                                       double bytes) {
+  if (day < 0 || day >= horizon_days_) return;  // out of window: ignored
+  ledger_[static_cast<std::size_t>(day)]
+         [static_cast<std::size_t>(proto)] += bytes;
+}
+
+double GlobalTrafficCollector::bytes(int day, ProtocolClass proto) const {
+  if (day < 0 || day >= horizon_days_) return 0.0;
+  return ledger_[static_cast<std::size_t>(day)]
+                [static_cast<std::size_t>(proto)];
+}
+
+double GlobalTrafficCollector::protocol_bps(int day,
+                                            ProtocolClass proto) const {
+  return bytes(day, proto) * 8.0 / static_cast<double>(util::kSecondsPerDay);
+}
+
+double GlobalTrafficCollector::fraction_of_internet(int day,
+                                                    ProtocolClass proto) const {
+  double recorded_bps = 0.0;
+  for (int p = 0; p < kProtocolClassCount; ++p) {
+    recorded_bps += protocol_bps(day, static_cast<ProtocolClass>(p));
+  }
+  const double total = baseline_bps_ + recorded_bps;
+  return total > 0.0 ? protocol_bps(day, proto) / total : 0.0;
+}
+
+const char* to_string(AttackVector v) noexcept {
+  switch (v) {
+    case AttackVector::kNtp: return "ntp";
+    case AttackVector::kDns: return "dns";
+    case AttackVector::kSynFlood: return "syn";
+    case AttackVector::kIcmp: return "icmp";
+    case AttackVector::kChargen: return "chargen";
+    case AttackVector::kOther: return "other";
+  }
+  return "?";
+}
+
+SizeClass classify_size(double peak_bps) noexcept {
+  if (peak_bps > 20e9) return SizeClass::kLarge;
+  if (peak_bps >= 2e9) return SizeClass::kMedium;
+  return SizeClass::kSmall;
+}
+
+const char* to_string(SizeClass s) noexcept {
+  switch (s) {
+    case SizeClass::kSmall: return "Small (<2 Gbps)";
+    case SizeClass::kMedium: return "Medium (2-20 Gbps)";
+    case SizeClass::kLarge: return "Large (>20 Gbps)";
+  }
+  return "?";
+}
+
+std::vector<AttackLabelStore::MonthlyRow> AttackLabelStore::monthly_rollup()
+    const {
+  std::map<std::pair<int, int>, MonthlyRow> months;
+  for (const auto& attack : attacks_) {
+    const util::Date d = util::date_from_sim_time(attack.start);
+    auto& row = months[{d.year, d.month}];
+    row.year = d.year;
+    row.month = d.month;
+    ++row.total;
+    const auto bin = static_cast<std::size_t>(classify_size(attack.peak_bps));
+    ++row.by_size[bin];
+    if (attack.vector == AttackVector::kNtp) {
+      ++row.ntp_total;
+      ++row.ntp_by_size[bin];
+    }
+  }
+  std::vector<MonthlyRow> out;
+  out.reserve(months.size());
+  for (auto& [_, row] : months) out.push_back(row);
+  return out;
+}
+
+}  // namespace gorilla::telemetry

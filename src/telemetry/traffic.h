@@ -1,0 +1,124 @@
+// Global traffic and labeled-attack statistics — the Arbor analogue (§2).
+//
+// The paper's §2 view is built from two Arbor Networks feeds: per-protocol
+// daily traffic fractions across ~1/3..1/2 of the Internet (Figure 1), and
+// labeled DDoS attack counts binned by size (Figure 2). We reproduce both
+// collectors: a per-day per-protocol byte ledger against a configured total
+// Internet baseline, and an attack label store with the paper's size bins.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace gorilla::telemetry {
+
+/// Protocol classes tracked by the global collector (Figure 1/14 legends).
+enum class ProtocolClass : std::uint8_t {
+  kNtp,
+  kDns,
+  kHttp,
+  kHttps,
+  kOther,
+};
+
+inline constexpr int kProtocolClassCount = 5;
+
+[[nodiscard]] const char* to_string(ProtocolClass p) noexcept;
+
+/// Per-day, per-protocol byte ledger over a fixed horizon.
+class GlobalTrafficCollector {
+ public:
+  /// `daily_total_bits` is the measured-universe daily average (the paper's
+  /// dataset averages 71.5 Tbps; scaled worlds pass a scaled value).
+  GlobalTrafficCollector(int horizon_days, double average_total_bps);
+
+  void add_bytes(int day, ProtocolClass proto, double bytes);
+
+  [[nodiscard]] double bytes(int day, ProtocolClass proto) const;
+
+  /// Average bits-per-second of a protocol on a day.
+  [[nodiscard]] double protocol_bps(int day, ProtocolClass proto) const;
+
+  /// The Figure 1 quantity: protocol daily bps / total Internet bps, where
+  /// total = baseline + all recorded protocol traffic for the day.
+  [[nodiscard]] double fraction_of_internet(int day, ProtocolClass proto) const;
+
+  [[nodiscard]] int horizon_days() const noexcept { return horizon_days_; }
+  [[nodiscard]] double baseline_bps() const noexcept { return baseline_bps_; }
+
+ private:
+  int horizon_days_;
+  double baseline_bps_;
+  std::vector<std::array<double, kProtocolClassCount>> ledger_;
+};
+
+/// Attack vector labels (Figure 2 tracks the NTP share of each size bin).
+enum class AttackVector : std::uint8_t {
+  kNtp,
+  kDns,
+  kSynFlood,
+  kIcmp,
+  kChargen,
+  kOther,
+};
+
+[[nodiscard]] const char* to_string(AttackVector v) noexcept;
+
+/// Size bins exactly as §2.2 defines them.
+enum class SizeClass : std::uint8_t {
+  kSmall,   ///< < 2 Gbps
+  kMedium,  ///< 2 - 20 Gbps
+  kLarge,   ///< > 20 Gbps
+};
+
+[[nodiscard]] SizeClass classify_size(double peak_bps) noexcept;
+[[nodiscard]] const char* to_string(SizeClass s) noexcept;
+
+struct LabeledAttack {
+  util::SimTime start = 0;
+  AttackVector vector = AttackVector::kOther;
+  double peak_bps = 0.0;
+};
+
+/// Store of labeled attacks with the Figure 2 monthly roll-up.
+class AttackLabelStore {
+ public:
+  void add(const LabeledAttack& attack) { attacks_.push_back(attack); }
+
+  struct MonthlyRow {
+    int year = 0;
+    int month = 0;
+    std::uint64_t total = 0;
+    std::array<std::uint64_t, 3> by_size{};        // total per size bin
+    std::array<std::uint64_t, 3> ntp_by_size{};    // NTP per size bin
+    std::uint64_t ntp_total = 0;
+
+    [[nodiscard]] double ntp_fraction(SizeClass s) const {
+      const auto i = static_cast<std::size_t>(s);
+      return by_size[i] ? static_cast<double>(ntp_by_size[i]) /
+                              static_cast<double>(by_size[i])
+                        : 0.0;
+    }
+    [[nodiscard]] double ntp_fraction_all() const {
+      return total ? static_cast<double>(ntp_total) /
+                         static_cast<double>(total)
+                   : 0.0;
+    }
+  };
+
+  /// Rows for every month intersecting the attacks seen, in time order.
+  [[nodiscard]] std::vector<MonthlyRow> monthly_rollup() const;
+
+  [[nodiscard]] const std::vector<LabeledAttack>& attacks() const noexcept {
+    return attacks_;
+  }
+
+ private:
+  std::vector<LabeledAttack> attacks_;
+};
+
+}  // namespace gorilla::telemetry

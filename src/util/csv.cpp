@@ -1,0 +1,42 @@
+#include "util/csv.h"
+
+namespace gorilla::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ',';
+    out += csv_escape(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string CsvDocument::to_string() const {
+  std::string out = csv_row(header_);
+  for (const auto& row : rows_) out += csv_row(row);
+  return out;
+}
+
+bool CsvDocument::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  const std::string text = to_string();
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace gorilla::util

@@ -1,0 +1,41 @@
+// CSV emission for bench artifacts.
+//
+// Every bench prints human-readable tables; passing `--csv DIR` also drops
+// machine-readable files so the reproduced series can be re-plotted or
+// diffed against the paper's digitized curves. RFC 4180-style quoting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gorilla::util {
+
+/// Escapes one CSV field (quotes when it contains comma/quote/newline).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+/// Renders one CSV row.
+[[nodiscard]] std::string csv_row(const std::vector<std::string>& fields);
+
+/// Buffered CSV document: header + rows, written on demand.
+class CsvDocument {
+ public:
+  explicit CsvDocument(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Full document text.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Writes to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gorilla::util

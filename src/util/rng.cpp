@@ -1,0 +1,50 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gorilla::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+WeightedSampler::WeightedSampler(std::span<const double> weights) {
+  if (weights.empty())
+    throw std::invalid_argument("WeightedSampler: weights must be non-empty");
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0)
+      throw std::invalid_argument("WeightedSampler: negative weight");
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  if (acc <= 0.0)
+    throw std::invalid_argument("WeightedSampler: weights sum to zero");
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t WeightedSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace gorilla::util

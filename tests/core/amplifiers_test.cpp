@@ -1,0 +1,237 @@
+#include "core/amplifiers.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::core {
+namespace {
+
+net::RegistryConfig small_registry() {
+  net::RegistryConfig cfg;
+  cfg.num_ases = 300;
+  return cfg;
+}
+
+class AmplifierCensusTest : public ::testing::Test {
+ protected:
+  AmplifierCensusTest()
+      : registry_(small_registry()),
+        pbl_(registry_, net::PblConfig{}),
+        census_(registry_, pbl_) {}
+
+  scan::AmplifierObservation obs(net::Ipv4Address addr,
+                                 std::uint64_t wire_bytes) {
+    scan::AmplifierObservation o;
+    o.address = addr;
+    o.response_packets = 1;
+    o.response_udp_bytes = wire_bytes * 9 / 10;
+    o.response_wire_bytes = wire_bytes;
+    o.table = {ntp::MonitorEntry{}};
+    o.probe_time = 0;
+    return o;
+  }
+
+  net::Ipv4Address addr_in_block(std::size_t block_index, std::uint64_t i) {
+    const auto& p = registry_.blocks()[block_index].prefix;
+    return p.at(i % p.size());
+  }
+
+  net::Registry registry_;
+  net::PolicyBlockList pbl_;
+  AmplifierCensus census_;
+};
+
+TEST_F(AmplifierCensusTest, RequiresOpenSample) {
+  EXPECT_THROW(census_.add(obs(net::Ipv4Address(1, 2, 3, 4), 100)),
+               std::logic_error);
+  EXPECT_THROW(census_.end_sample(), std::logic_error);
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  EXPECT_THROW(census_.begin_sample(1, util::Date{2014, 1, 17}),
+               std::logic_error);
+}
+
+TEST_F(AmplifierCensusTest, AggregationLevels) {
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  // Three IPs in the same /24 of block 0, one in block 1.
+  census_.add(obs(addr_in_block(0, 1), 500));
+  census_.add(obs(addr_in_block(0, 2), 500));
+  census_.add(obs(addr_in_block(0, 3), 500));
+  census_.add(obs(addr_in_block(1, 9), 500));
+  census_.end_sample();
+  const auto& row = census_.rows().at(0);
+  EXPECT_EQ(row.ips, 4u);
+  EXPECT_EQ(row.slash24s, 2u);
+  EXPECT_EQ(row.routed_blocks, 2u);
+  // Blocks 0 and 1 may share an AS; asns <= blocks.
+  EXPECT_GE(row.asns, 1u);
+  EXPECT_LE(row.asns, 2u);
+  EXPECT_NEAR(row.ips_per_block, 2.0, 1e-12);
+}
+
+TEST_F(AmplifierCensusTest, BafUsesPaperDenominator) {
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(addr_in_block(0, 1), 840));
+  census_.end_sample();
+  EXPECT_NEAR(census_.rows().at(0).baf.median, 10.0, 1e-12);  // 840/84
+}
+
+TEST_F(AmplifierCensusTest, MegaDetection) {
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(addr_in_block(0, 1), 500));
+  census_.add(obs(addr_in_block(0, 2), 150'000));  // mega: >100KB
+  census_.end_sample();
+  EXPECT_EQ(census_.rows().at(0).mega_count, 1u);
+  const auto roster = census_.mega_roster();
+  ASSERT_EQ(roster.size(), 1u);
+  EXPECT_EQ(roster[0].first, addr_in_block(0, 2));
+  EXPECT_EQ(roster[0].second, 150'000u);
+}
+
+TEST_F(AmplifierCensusTest, ChurnStatistics) {
+  const auto a = addr_in_block(0, 1);
+  const auto b = addr_in_block(0, 2);
+  const auto c = addr_in_block(1, 3);
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(a, 100));
+  census_.add(obs(b, 100));
+  census_.end_sample();
+  census_.begin_sample(1, util::Date{2014, 1, 17});
+  census_.add(obs(a, 100));
+  census_.add(obs(c, 100));
+  census_.end_sample();
+  EXPECT_EQ(census_.unique_ips(), 3u);
+  EXPECT_NEAR(census_.first_sample_fraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(census_.seen_once_fraction(), 2.0 / 3.0, 1e-12);  // b and c
+}
+
+TEST_F(AmplifierCensusTest, BytesRankCurveAveragesAcrossSamples) {
+  const auto a = addr_in_block(0, 1);
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(a, 100));
+  census_.end_sample();
+  census_.begin_sample(1, util::Date{2014, 1, 17});
+  census_.add(obs(a, 300));
+  census_.end_sample();
+  const auto curve = census_.bytes_rank_curve();
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0], 200.0, 1e-12);  // (100+300)/2
+}
+
+TEST_F(AmplifierCensusTest, RankCurveSortedDescending) {
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(addr_in_block(0, 1), 50));
+  census_.add(obs(addr_in_block(0, 2), 5000));
+  census_.add(obs(addr_in_block(0, 3), 500));
+  census_.end_sample();
+  const auto curve = census_.bytes_rank_curve();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_GE(curve[0], curve[1]);
+  EXPECT_GE(curve[1], curve[2]);
+}
+
+TEST_F(AmplifierCensusTest, EndHostPercent) {
+  // Find a residential and a non-residential block.
+  std::optional<std::size_t> res, infra;
+  for (std::size_t i = 0; i < registry_.blocks().size(); ++i) {
+    if (registry_.blocks()[i].residential && !res &&
+        pbl_.is_end_host(registry_.blocks()[i].prefix.base())) {
+      res = i;
+    }
+    if (!registry_.blocks()[i].residential && !infra &&
+        !pbl_.is_end_host(registry_.blocks()[i].prefix.base())) {
+      infra = i;
+    }
+  }
+  ASSERT_TRUE(res);
+  ASSERT_TRUE(infra);
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(registry_.blocks()[*res].prefix.base(), 100));
+  census_.add(obs(registry_.blocks()[*infra].prefix.base(), 100));
+  census_.end_sample();
+  EXPECT_NEAR(census_.rows().at(0).end_host_pct, 50.0, 1e-12);
+}
+
+TEST_F(AmplifierCensusTest, ContinentCounts) {
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(addr_in_block(0, 1), 100));
+  census_.end_sample();
+  const auto& row = census_.rows().at(0);
+  std::uint64_t total = 0;
+  for (const auto c : row.by_continent) total += c;
+  EXPECT_EQ(total, 1u);
+}
+
+class VersionCensusTest : public ::testing::Test {
+ protected:
+  scan::VersionObservation vobs(const std::string& system, int stratum,
+                                const std::string& version,
+                                std::uint64_t bytes = 420) {
+    scan::VersionObservation o;
+    o.address = net::Ipv4Address(1, 2, 3, 4);
+    o.response_packets = 1;
+    o.response_wire_bytes = bytes;
+    o.system = system;
+    o.version = version;
+    o.stratum = stratum;
+    return o;
+  }
+
+  VersionCensus census_;
+};
+
+TEST_F(VersionCensusTest, RowsTrackTotals) {
+  census_.begin_sample(0, util::Date{2014, 2, 21});
+  census_.add(vobs("cisco", 2, "ntpd 4.1.0 Mon Jan 1 2007"));
+  census_.add(vobs("UNIX", 3, "ntpd 4.2.6 Tue Feb 2 2010"));
+  census_.end_sample(40000);
+  const auto& row = census_.rows().at(0);
+  EXPECT_EQ(row.responders_total, 40000u);
+  EXPECT_EQ(row.responders_detailed, 2u);
+  EXPECT_NEAR(row.baf.median, 5.0, 1e-12);  // 420/84
+}
+
+TEST_F(VersionCensusTest, OsRankingNormalizes) {
+  census_.begin_sample(0, util::Date{2014, 2, 21});
+  for (int i = 0; i < 6; ++i) {
+    census_.add(vobs("cisco", 2, "x"));
+  }
+  for (int i = 0; i < 4; ++i) {
+    census_.add(vobs("Linux/3.2", 2, "x"));
+  }
+  census_.end_sample(10);
+  const auto ranking = census_.os_ranking();
+  ASSERT_GE(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].first, "cisco");
+  EXPECT_NEAR(ranking[0].second, 60.0, 1e-12);
+  EXPECT_EQ(ranking[1].first, "linux");
+  EXPECT_NEAR(ranking[1].second, 40.0, 1e-12);
+}
+
+TEST_F(VersionCensusTest, StratumSixteenFraction) {
+  census_.begin_sample(0, util::Date{2014, 2, 21});
+  census_.add(vobs("linux", 16, "x"));
+  census_.add(vobs("linux", 2, "x"));
+  census_.add(vobs("linux", 3, "x"));
+  census_.add(vobs("linux", 16, "x"));
+  census_.end_sample(4);
+  EXPECT_NEAR(census_.stratum16_fraction(), 0.5, 1e-12);
+}
+
+TEST_F(VersionCensusTest, CompileYearCensus) {
+  census_.begin_sample(0, util::Date{2014, 2, 21});
+  census_.add(vobs("linux", 2, "ntpd 4.0.0 Fri Mar 3 2000"));
+  census_.add(vobs("linux", 2, "ntpd 4.2.0 Sat Apr 4 2010"));
+  census_.add(vobs("linux", 2, "ntpd 4.2.8 Sun May 5 2013"));
+  census_.add(vobs("linux", 2, "no year here"));
+  census_.end_sample(4);
+  EXPECT_NEAR(census_.compiled_before_fraction(2004), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(census_.compiled_before_fraction(2012), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(census_.compiled_before_fraction(2020), 1.0, 1e-12);
+}
+
+TEST_F(VersionCensusTest, SampleLifecycleEnforced) {
+  EXPECT_THROW(census_.add(vobs("x", 2, "y")), std::logic_error);
+  EXPECT_THROW(census_.end_sample(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace gorilla::core

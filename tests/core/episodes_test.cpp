@@ -1,0 +1,131 @@
+#include "core/episodes.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::core {
+namespace {
+
+WitnessedAttack witness(std::uint32_t victim, std::uint32_t amplifier,
+                        util::SimTime start, util::SimTime end,
+                        std::uint64_t packets = 100) {
+  WitnessedAttack w;
+  w.victim = net::Ipv4Address{victim};
+  w.amplifier = net::Ipv4Address{amplifier};
+  w.start_time = start;
+  w.end_time = end;
+  w.packets = packets;
+  return w;
+}
+
+TEST(EpisodesTest, EmptyInput) {
+  EXPECT_TRUE(merge_episodes({}).empty());
+  const auto stats = summarize_episodes({});
+  EXPECT_EQ(stats.episodes, 0u);
+}
+
+TEST(EpisodesTest, SingleWitness) {
+  const auto episodes = merge_episodes({witness(1, 10, 100, 200)});
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].victim, net::Ipv4Address{1u});
+  EXPECT_EQ(episodes[0].start, 100);
+  EXPECT_EQ(episodes[0].end, 200);
+  EXPECT_EQ(episodes[0].amplifiers, 1u);
+  EXPECT_EQ(episodes[0].packets, 100u);
+}
+
+TEST(EpisodesTest, OverlappingWitnessesMerge) {
+  // Coordinated reflection: three amplifiers, staggered intervals.
+  const auto episodes = merge_episodes({
+      witness(1, 10, 100, 200),
+      witness(1, 11, 150, 260),
+      witness(1, 12, 190, 240),
+  });
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].start, 100);
+  EXPECT_EQ(episodes[0].end, 260);
+  EXPECT_EQ(episodes[0].amplifiers, 3u);
+  EXPECT_EQ(episodes[0].packets, 300u);
+}
+
+TEST(EpisodesTest, SameAmplifierCountedOnce) {
+  const auto episodes = merge_episodes({
+      witness(1, 10, 100, 200),
+      witness(1, 10, 150, 260),
+  });
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].amplifiers, 1u);
+  EXPECT_EQ(episodes[0].packets, 200u);
+}
+
+TEST(EpisodesTest, GapWithinJoinGapMerges) {
+  const auto episodes = merge_episodes(
+      {witness(1, 10, 100, 200), witness(1, 11, 200 + 3599, 5000)});
+  ASSERT_EQ(episodes.size(), 1u);
+}
+
+TEST(EpisodesTest, GapBeyondJoinGapSplits) {
+  const auto episodes = merge_episodes(
+      {witness(1, 10, 100, 200), witness(1, 11, 200 + 3601, 5000)});
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].end, 200);
+  EXPECT_EQ(episodes[1].start, 3801);
+}
+
+TEST(EpisodesTest, DistinctVictimsNeverMerge) {
+  const auto episodes = merge_episodes(
+      {witness(1, 10, 100, 200), witness(2, 10, 150, 250)});
+  ASSERT_EQ(episodes.size(), 2u);
+}
+
+TEST(EpisodesTest, InputOrderIrrelevant) {
+  const std::vector<WitnessedAttack> forward = {
+      witness(1, 10, 100, 200), witness(1, 11, 150, 260),
+      witness(2, 12, 50, 80)};
+  std::vector<WitnessedAttack> reversed(forward.rbegin(), forward.rend());
+  const auto a = merge_episodes(forward);
+  const auto b = merge_episodes(reversed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].victim, b[i].victim);
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].end, b[i].end);
+    EXPECT_EQ(a[i].packets, b[i].packets);
+  }
+}
+
+TEST(EpisodesTest, ChainedOverlapsFormOneEpisode) {
+  // a-b overlap, b-c overlap, a-c don't: still one episode (transitivity).
+  const auto episodes = merge_episodes({
+      witness(1, 10, 0, 100),
+      witness(1, 11, 90, 200),
+      witness(1, 12, 190, 300),
+  });
+  ASSERT_EQ(episodes.size(), 1u);
+  EXPECT_EQ(episodes[0].end, 300);
+}
+
+TEST(EpisodesTest, ZeroJoinGapRequiresTrueOverlap) {
+  const auto episodes = merge_episodes(
+      {witness(1, 10, 100, 200), witness(1, 11, 201, 300)}, 0);
+  EXPECT_EQ(episodes.size(), 2u);
+  const auto touching = merge_episodes(
+      {witness(1, 10, 100, 200), witness(1, 11, 200, 300)}, 0);
+  EXPECT_EQ(touching.size(), 1u);
+}
+
+TEST(EpisodesTest, SummaryStatistics) {
+  const auto episodes = merge_episodes({
+      witness(1, 10, 0, 100),        // 100 s, 1 amp
+      witness(2, 10, 0, 300),        // 300 s episode below
+      witness(2, 11, 100, 300),
+      witness(3, 12, 0, 1000),       // 1000 s, 1 amp
+  });
+  const auto stats = summarize_episodes(episodes);
+  EXPECT_EQ(stats.episodes, 3u);
+  EXPECT_NEAR(stats.median_duration_s, 300.0, 1e-9);
+  EXPECT_NEAR(stats.median_amplifiers, 1.0, 1e-9);
+  EXPECT_NEAR(stats.max_amplifiers, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace gorilla::core

@@ -1,0 +1,273 @@
+#include "core/local_view.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace gorilla::core {
+namespace {
+
+net::RegistryConfig small_registry() {
+  net::RegistryConfig cfg;
+  cfg.num_ases = 300;
+  return cfg;
+}
+
+class LocalForensicsTest : public ::testing::Test {
+ protected:
+  LocalForensicsTest()
+      : registry_(small_registry()),
+        collector_("merit", {registry_.named().merit_space}) {}
+
+  net::Ipv4Address local_amp(std::uint64_t i = 1) {
+    return registry_.named().merit_space.at(i);
+  }
+
+  net::Ipv4Address external(std::uint8_t d) {
+    // OVH-analogue space: definitely external and AS-attributable.
+    const auto& info = registry_.as_info(registry_.named().ovh_analogue);
+    return registry_.blocks()[info.block_indices[0]].prefix.at(d);
+  }
+
+  /// Emits the canonical attack pair: triggers in, responses out.
+  void add_attack(net::Ipv4Address amp, net::Ipv4Address victim,
+                  std::uint64_t response_bytes, util::SimTime first,
+                  util::SimTime last, std::uint64_t trigger_payload = 4800) {
+    telemetry::FlowRecord trigger;
+    trigger.src = victim;
+    trigger.dst = amp;
+    trigger.src_port = 80;
+    trigger.dst_port = net::kNtpPort;
+    trigger.ttl = 109;
+    trigger.packets = 100;
+    trigger.bytes = trigger_payload * 114 / 48;
+    trigger.payload_bytes = trigger_payload;
+    trigger.first = first;
+    trigger.last = last;
+    collector_.add(trigger);
+
+    telemetry::FlowRecord response;
+    response.src = amp;
+    response.dst = victim;
+    response.src_port = net::kNtpPort;
+    response.dst_port = 80;
+    response.ttl = 52;
+    response.packets = response_bytes / 480;
+    response.bytes = response_bytes;
+    response.payload_bytes = response_bytes * 9 / 10;
+    response.first = first;
+    response.last = last;
+    collector_.add(response);
+  }
+
+  void add_scan(net::Ipv4Address scanner, net::Ipv4Address target) {
+    // Scanners recur: two sweeps, days apart (one-shot sources are treated
+    // as spoof artifacts by the forensics).
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      telemetry::FlowRecord f;
+      f.src = scanner;
+      f.dst = target;
+      f.src_port = 40000;
+      f.dst_port = net::kNtpPort;
+      f.ttl = 54;
+      f.packets = 10;
+      f.bytes = 1140;
+      f.payload_bytes = 480;
+      f.first = 100 + sweep * 3 * util::kSecondsPerDay;
+      f.last = f.first + 100;
+      collector_.add(f);
+    }
+  }
+
+  net::Registry registry_;
+  telemetry::FlowCollector collector_;
+};
+
+TEST_F(LocalForensicsTest, QualifiesAmplifiersByVolumeAndRatio) {
+  add_attack(local_amp(), external(10), 50'000'000, 0, 3600);
+  LocalForensics forensics(collector_, registry_);
+  const auto amps = forensics.amplifiers();
+  ASSERT_EQ(amps.size(), 1u);
+  EXPECT_EQ(amps[0].address, local_amp());
+  EXPECT_EQ(amps[0].unique_victims, 1u);
+  EXPECT_GT(amps[0].baf, kLocalVictimMinRatio);
+  EXPECT_EQ(amps[0].bytes_sent, 50'000'000u);
+}
+
+TEST_F(LocalForensicsTest, SmallSendersNotAmplifiers) {
+  add_attack(local_amp(), external(10), 5'000'000, 0, 3600);  // < 10MB
+  LocalForensics forensics(collector_, registry_);
+  EXPECT_TRUE(forensics.amplifiers().empty());
+}
+
+TEST_F(LocalForensicsTest, BalancedTrafficNotAmplifier) {
+  // A host that sends a lot but receives comparably (ratio <= 5) is just a
+  // busy NTP server, not an abused amplifier.
+  telemetry::FlowRecord out;
+  out.src = local_amp();
+  out.dst = external(10);
+  out.src_port = net::kNtpPort;
+  out.dst_port = 123;
+  out.packets = 1000;
+  out.bytes = 20'000'000;
+  out.payload_bytes = 18'000'000;
+  out.first = 0;
+  out.last = 100;
+  collector_.add(out);
+  telemetry::FlowRecord in = out;
+  in.src = external(10);
+  in.dst = local_amp();
+  in.dst_port = net::kNtpPort;
+  in.bytes = 10'000'000;
+  in.payload_bytes = 9'000'000;
+  collector_.add(in);
+  LocalForensics forensics(collector_, registry_);
+  EXPECT_TRUE(forensics.amplifiers().empty());
+}
+
+TEST_F(LocalForensicsTest, VictimsQualifyByBytesAndRatio) {
+  add_attack(local_amp(), external(10), 50'000'000, 1000, 4600);
+  add_attack(local_amp(), external(11), 50'000, 1000, 4600);  // < 100KB: no
+  LocalForensics forensics(collector_, registry_);
+  const auto victims = forensics.victims();
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0].address, external(10));
+  EXPECT_EQ(forensics.unique_victim_count(), 1u);
+}
+
+TEST_F(LocalForensicsTest, VictimReportFields) {
+  add_attack(local_amp(1), external(10), 50'000'000, 0, 3600);
+  add_attack(local_amp(2), external(10), 30'000'000, 3600, 36000);
+  LocalForensics forensics(collector_, registry_);
+  const auto victims = forensics.victims();
+  ASSERT_EQ(victims.size(), 1u);
+  const auto& v = victims[0];
+  EXPECT_EQ(v.amplifiers, 2u);
+  EXPECT_EQ(v.bytes, 80'000'000u);
+  EXPECT_EQ(v.asn, registry_.named().ovh_analogue);
+  EXPECT_EQ(v.region, "Europe");
+  EXPECT_NEAR(v.duration_hours, 10.0, 1e-9);  // [0, 36000]
+  EXPECT_GT(v.baf, 100.0);
+}
+
+TEST_F(LocalForensicsTest, VictimsRankedByBytes) {
+  add_attack(local_amp(1), external(10), 10'000'000, 0, 100);
+  add_attack(local_amp(1), external(11), 90'000'000, 0, 100);
+  LocalForensics forensics(collector_, registry_);
+  const auto victims = forensics.victims();
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0].address, external(11));
+}
+
+TEST_F(LocalForensicsTest, ScannersExcludeVictims) {
+  add_attack(local_amp(1), external(10), 50'000'000, 0, 100);
+  add_scan(external(20), local_amp(50));
+  add_scan(external(21), local_amp(51));
+  LocalForensics forensics(collector_, registry_);
+  const auto scanners = forensics.scanners();
+  ASSERT_EQ(scanners.size(), 2u);
+  for (const auto& s : scanners) {
+    EXPECT_NE(s, external(10));  // the victim is not a scanner
+  }
+}
+
+TEST_F(LocalForensicsTest, TtlProfileSeparatesScannersFromBots) {
+  add_attack(local_amp(1), external(10), 50'000'000, 0, 100);
+  add_scan(external(20), local_amp(50));
+  add_scan(external(21), local_amp(51));
+  LocalForensics forensics(collector_, registry_);
+  const auto profile = forensics.ttl_profile();
+  ASSERT_TRUE(profile.scanner_mode_ttl);
+  ASSERT_TRUE(profile.attack_mode_ttl);
+  EXPECT_EQ(*profile.scanner_mode_ttl, 54);   // Linux scanning hosts
+  EXPECT_EQ(*profile.attack_mode_ttl, 109);   // Windows botnet spoofers
+}
+
+TEST_F(LocalForensicsTest, VictimVolumeSeries) {
+  add_attack(local_amp(1), external(10), 36'000'000, 0, 3599);
+  LocalForensics forensics(collector_, registry_);
+  const auto series = forensics.victim_volume(external(10), 0, 3600, 600);
+  ASSERT_EQ(series.bytes.size(), 6u);
+  double total = 0;
+  for (const double b : series.bytes) total += b;
+  EXPECT_NEAR(total, 36'000'000.0, 1.0);
+}
+
+TEST_F(LocalForensicsTest, CommonVictimsAcrossSites) {
+  telemetry::FlowCollector frgp("frgp", {registry_.named().frgp_space});
+  // Shared victim hit from both sites; plus one victim per site.
+  const auto shared = external(10);
+  add_attack(local_amp(1), shared, 50'000'000, 0, 100);
+  add_attack(local_amp(1), external(11), 50'000'000, 0, 100);
+
+  auto add_frgp_attack = [&](net::Ipv4Address victim) {
+    telemetry::FlowRecord response;
+    response.src = registry_.named().frgp_space.at(70000);
+    response.dst = victim;
+    response.src_port = net::kNtpPort;
+    response.dst_port = 80;
+    response.packets = 100000;
+    response.bytes = 50'000'000;
+    response.payload_bytes = 45'000'000;
+    response.first = 0;
+    response.last = 100;
+    frgp.add(response);
+    telemetry::FlowRecord trigger;
+    trigger.src = victim;
+    trigger.dst = response.src;
+    trigger.src_port = 80;
+    trigger.dst_port = net::kNtpPort;
+    trigger.packets = 100;
+    trigger.bytes = 11400;
+    trigger.payload_bytes = 4800;
+    trigger.first = 0;
+    trigger.last = 100;
+    frgp.add(trigger);
+  };
+  add_frgp_attack(shared);
+  add_frgp_attack(external(12));
+
+  LocalForensics merit_view(collector_, registry_);
+  LocalForensics frgp_view(frgp, registry_);
+  const auto common = LocalForensics::common_victims(merit_view, frgp_view);
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], shared);
+}
+
+TEST_F(LocalForensicsTest, CommonScannersAcrossSites) {
+  telemetry::FlowCollector frgp("frgp", {registry_.named().frgp_space});
+  const auto research = external(30);
+  add_scan(research, local_amp(50));
+  add_scan(external(31), local_amp(51));
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    telemetry::FlowRecord f;
+    f.src = research;
+    f.dst = registry_.named().frgp_space.at(5);
+    f.src_port = 40000;
+    f.dst_port = net::kNtpPort;
+    f.ttl = 54;
+    f.packets = 10;
+    f.bytes = 1140;
+    f.payload_bytes = 480;
+    f.first = sweep * 3 * util::kSecondsPerDay;
+    f.last = f.first + 10;
+    frgp.add(f);
+  }
+
+  LocalForensics merit_view(collector_, registry_);
+  LocalForensics frgp_view(frgp, registry_);
+  const auto common = LocalForensics::common_scanners(merit_view, frgp_view);
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(common[0], research);
+}
+
+TEST_F(LocalForensicsTest, EmptyCollectorYieldsEmptyReports) {
+  LocalForensics forensics(collector_, registry_);
+  EXPECT_TRUE(forensics.amplifiers().empty());
+  EXPECT_TRUE(forensics.victims().empty());
+  EXPECT_TRUE(forensics.scanners().empty());
+  EXPECT_FALSE(forensics.ttl_profile().scanner_mode_ttl);
+}
+
+}  // namespace
+}  // namespace gorilla::core

@@ -1,0 +1,104 @@
+#include "core/monlist_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::core {
+namespace {
+
+ntp::MonitorEntry entry(std::uint8_t mode, std::uint32_t count,
+                        std::uint32_t avg_interval,
+                        std::uint32_t last_seen = 0) {
+  ntp::MonitorEntry e;
+  e.address = net::Ipv4Address(10, 0, 0, 1);
+  e.port = 80;
+  e.mode = mode;
+  e.count = count;
+  e.avg_interval = avg_interval;
+  e.last_seen = last_seen;
+  return e;
+}
+
+TEST(ClassifyClientTest, NormalModesAreNonVictims) {
+  // §4.2: modes < 6 provide no amplification, so they are never victims.
+  for (std::uint8_t mode : {0, 1, 2, 3, 4, 5}) {
+    EXPECT_EQ(classify_client(entry(mode, 1000000, 1)),
+              ClientClass::kNonVictim)
+        << static_cast<int>(mode);
+  }
+}
+
+TEST(ClassifyClientTest, LowCountIsScanner) {
+  EXPECT_EQ(classify_client(entry(7, 1, 0)),
+            ClientClass::kScannerOrLowVolume);
+  EXPECT_EQ(classify_client(entry(7, 2, 0)),
+            ClientClass::kScannerOrLowVolume);
+  EXPECT_EQ(classify_client(entry(6, 2, 10)),
+            ClientClass::kScannerOrLowVolume);
+}
+
+TEST(ClassifyClientTest, SlowSendersAreScanners) {
+  // More than an hour between packets on average.
+  EXPECT_EQ(classify_client(entry(7, 100, 3601)),
+            ClientClass::kScannerOrLowVolume);
+  // The weekly ONP probe itself: interarrival ~ 604800.
+  EXPECT_EQ(classify_client(entry(7, 7, 604800)),
+            ClientClass::kScannerOrLowVolume);
+}
+
+TEST(ClassifyClientTest, BoundaryConditions) {
+  // count >= 3 and interarrival <= 3600 exactly: victim.
+  EXPECT_EQ(classify_client(entry(7, 3, 3600)), ClientClass::kVictim);
+  EXPECT_EQ(classify_client(entry(6, 3, 3600)), ClientClass::kVictim);
+  EXPECT_EQ(classify_client(entry(7, 3, 3601)),
+            ClientClass::kScannerOrLowVolume);
+  EXPECT_EQ(classify_client(entry(7, 2, 3600)),
+            ClientClass::kScannerOrLowVolume);
+}
+
+TEST(ClassifyClientTest, HeavyFloodIsVictim) {
+  // Table 3b's shape: billions of packets, interarrival 0.
+  EXPECT_EQ(classify_client(entry(7, 3358227026u, 0)), ClientClass::kVictim);
+}
+
+TEST(DeriveAttackTest, RejectsNonVictims) {
+  EXPECT_FALSE(derive_attack(entry(3, 100, 1), 1000,
+                             net::Ipv4Address(1, 1, 1, 1)));
+  EXPECT_FALSE(derive_attack(entry(7, 1, 0), 1000,
+                             net::Ipv4Address(1, 1, 1, 1)));
+}
+
+TEST(DeriveAttackTest, TimingArithmetic) {
+  // Probe at t=100000; victim last seen 400s ago; 100 packets at 10s
+  // spacing -> duration 1000s, end 99600, start 98600.
+  const auto a = derive_attack(entry(7, 100, 10, 400), 100000,
+                               net::Ipv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->end_time, 99600);
+  EXPECT_EQ(a->duration, 1000);
+  EXPECT_EQ(a->start_time, 98600);
+  EXPECT_EQ(a->packets, 100u);
+  EXPECT_EQ(a->amplifier, net::Ipv4Address(2, 2, 2, 2));
+  EXPECT_EQ(a->victim, net::Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(a->victim_port, 80);
+}
+
+TEST(DeriveAttackTest, ZeroIntervalFlood) {
+  const auto a = derive_attack(entry(7, 5000, 0, 2), 1000,
+                               net::Ipv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->duration, 0);
+  EXPECT_EQ(a->start_time, a->end_time);
+  EXPECT_EQ(a->end_time, 998);
+}
+
+TEST(DeriveAttackTest, StartCanPrecedeObservationWindow) {
+  // §4.3.4: derived start times can fall before the first sample — the
+  // paper plots attacks predating January 10th this way.
+  const auto a = derive_attack(entry(7, 1000000, 3600, 0), 1000,
+                               net::Ipv4Address(2, 2, 2, 2));
+  ASSERT_TRUE(a);
+  EXPECT_LT(a->start_time, 0);
+}
+
+}  // namespace
+}  // namespace gorilla::core

@@ -1,0 +1,185 @@
+#include "core/remediation_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::core {
+namespace {
+
+net::RegistryConfig small_registry() {
+  net::RegistryConfig cfg;
+  cfg.num_ases = 300;
+  return cfg;
+}
+
+class RemediationAnalysisTest : public ::testing::Test {
+ protected:
+  RemediationAnalysisTest()
+      : registry_(small_registry()),
+        pbl_(registry_, net::PblConfig{}),
+        census_(registry_, pbl_),
+        victims_(registry_, pbl_) {}
+
+  scan::AmplifierObservation obs(net::Ipv4Address addr,
+                                 std::vector<ntp::MonitorEntry> table = {}) {
+    scan::AmplifierObservation o;
+    o.address = addr;
+    o.response_packets = 1;
+    o.response_wire_bytes = 500;
+    o.response_udp_bytes = 400;
+    o.table = std::move(table);
+    o.probe_time = 100000;
+    return o;
+  }
+
+  ntp::MonitorEntry victim_entry(net::Ipv4Address victim,
+                                 std::uint32_t count) {
+    ntp::MonitorEntry e;
+    e.address = victim;
+    e.port = 80;
+    e.mode = 7;
+    e.count = count;
+    e.avg_interval = 1;
+    e.last_seen = 10;
+    return e;
+  }
+
+  net::Ipv4Address block_addr(std::size_t block, std::uint64_t i) {
+    const auto& p = registry_.blocks()[block].prefix;
+    return p.at(i % p.size());
+  }
+
+  net::Registry registry_;
+  net::PolicyBlockList pbl_;
+  AmplifierCensus census_;
+  VictimAnalysis victims_;
+};
+
+TEST_F(RemediationAnalysisTest, LevelReductionComputesPercentages) {
+  // First sample: 4 IPs in 2 blocks; last sample: 1 IP in 1 block.
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(block_addr(0, 1)));
+  census_.add(obs(block_addr(0, 2)));
+  census_.add(obs(block_addr(1, 1)));
+  census_.add(obs(block_addr(1, 2)));
+  census_.end_sample();
+  census_.begin_sample(1, util::Date{2014, 4, 18});
+  census_.add(obs(block_addr(0, 1)));
+  census_.end_sample();
+  const auto r = level_reduction(census_);
+  EXPECT_NEAR(r.ips_pct, 75.0, 1e-12);
+  EXPECT_NEAR(r.blocks_pct, 50.0, 1e-12);
+}
+
+TEST_F(RemediationAnalysisTest, LevelReductionNeedsTwoSamples) {
+  const auto r = level_reduction(census_);
+  EXPECT_EQ(r.ips_pct, 0.0);
+}
+
+TEST_F(RemediationAnalysisTest, ContinentReductionSorted) {
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  for (std::size_t b = 0; b < 40; ++b) census_.add(obs(block_addr(b, 1)));
+  census_.end_sample();
+  census_.begin_sample(1, util::Date{2014, 4, 18});
+  for (std::size_t b = 0; b < 10; ++b) census_.add(obs(block_addr(b, 1)));
+  census_.end_sample();
+  const auto rows = continent_reduction(census_);
+  EXPECT_EQ(rows.size(), static_cast<std::size_t>(net::kContinentCount));
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i - 1].remediated_pct, rows[i].remediated_pct);
+  }
+}
+
+TEST_F(RemediationAnalysisTest, PoolSeriesNormalizesToPeak) {
+  const auto s = make_pool_series("test", {100, 400, 200, 100});
+  EXPECT_EQ(s.peak, 400u);
+  ASSERT_EQ(s.relative_to_peak.size(), 4u);
+  EXPECT_NEAR(s.relative_to_peak[0], 0.25, 1e-12);
+  EXPECT_NEAR(s.relative_to_peak[1], 1.0, 1e-12);
+  EXPECT_NEAR(s.relative_to_peak[3], 0.25, 1e-12);
+}
+
+TEST_F(RemediationAnalysisTest, PoolSeriesEmptyInput) {
+  const auto s = make_pool_series("empty", {});
+  EXPECT_EQ(s.peak, 0u);
+  EXPECT_TRUE(s.relative_to_peak.empty());
+}
+
+TEST_F(RemediationAnalysisTest, RemediationEffectRows) {
+  // Sample 0: 2 amplifiers, 1 victim with 1000 packets from both.
+  census_.begin_sample(0, util::Date{2014, 1, 10});
+  census_.add(obs(block_addr(0, 1)));
+  census_.add(obs(block_addr(0, 2)));
+  census_.end_sample();
+  victims_.begin_sample(0, util::Date{2014, 1, 10});
+  victims_.add(obs(block_addr(0, 1), {victim_entry(block_addr(1, 5), 600)}));
+  victims_.add(obs(block_addr(0, 2), {victim_entry(block_addr(1, 5), 400)}));
+  victims_.end_sample();
+  const auto rows = remediation_effect(census_, victims_);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_NEAR(rows[0].amplifiers_per_victim, 2.0, 1e-12);
+  EXPECT_NEAR(rows[0].packets_per_amplifier, 500.0, 1e-12);  // 1000/2
+}
+
+TEST_F(RemediationAnalysisTest, CrossDatasetValidation) {
+  // Victims witnessed from amplifiers in two different ASes; a "published"
+  // list covering one of them plus an AS we never saw.
+  victims_.begin_sample(0, util::Date{2014, 1, 10});
+  victims_.add(obs(block_addr(0, 1), {victim_entry(block_addr(1, 5), 600)}));
+  // Find a block in a different AS for the second amplifier.
+  std::size_t other_block = 0;
+  for (std::size_t i = 1; i < registry_.blocks().size(); ++i) {
+    if (registry_.blocks()[i].asn != registry_.blocks()[0].asn) {
+      other_block = i;
+      break;
+    }
+  }
+  ASSERT_NE(other_block, 0u);
+  victims_.add(obs(block_addr(other_block, 1),
+                   {victim_entry(block_addr(1, 5), 400)}));
+  victims_.end_sample();
+
+  const auto first_asn = registry_.blocks()[0].asn;
+  const auto v = core::validate_published_as_list(
+      {first_asn, first_asn, net::Asn{999999}}, victims_);
+  EXPECT_EQ(v.published_ases, 2u);  // deduplicated
+  EXPECT_EQ(v.overlapping_ases, 1u);
+  EXPECT_NEAR(v.overlap_fraction, 0.5, 1e-12);
+  EXPECT_NEAR(v.packet_share_of_total, 0.6, 1e-12);  // 600 of 1000
+}
+
+TEST_F(RemediationAnalysisTest, CrossDatasetValidationEmptyInputs) {
+  const auto v = core::validate_published_as_list({}, victims_);
+  EXPECT_EQ(v.published_ases, 0u);
+  EXPECT_EQ(v.overlap_fraction, 0.0);
+  EXPECT_EQ(v.packet_share_of_total, 0.0);
+}
+
+TEST_F(RemediationAnalysisTest, PoolOverlapCountsIntersection) {
+  std::vector<net::Ipv4Address> a = {net::Ipv4Address(1, 0, 0, 1),
+                                     net::Ipv4Address(1, 0, 0, 2),
+                                     net::Ipv4Address(1, 0, 0, 3)};
+  std::vector<net::Ipv4Address> b = {net::Ipv4Address(1, 0, 0, 2),
+                                     net::Ipv4Address(1, 0, 0, 3),
+                                     net::Ipv4Address(1, 0, 0, 4)};
+  const auto r = pool_overlap(a, b);
+  EXPECT_EQ(r.intersection, 2u);
+  EXPECT_NEAR(r.fraction_of_first, 2.0 / 3.0, 1e-12);
+}
+
+TEST_F(RemediationAnalysisTest, PoolOverlapDeduplicates) {
+  std::vector<net::Ipv4Address> a = {net::Ipv4Address(1, 0, 0, 1),
+                                     net::Ipv4Address(1, 0, 0, 1)};
+  std::vector<net::Ipv4Address> b = {net::Ipv4Address(1, 0, 0, 1)};
+  const auto r = pool_overlap(a, b);
+  EXPECT_EQ(r.intersection, 1u);
+  EXPECT_NEAR(r.fraction_of_first, 1.0, 1e-12);
+}
+
+TEST_F(RemediationAnalysisTest, PoolOverlapEmptyInputs) {
+  const auto r = pool_overlap({}, {net::Ipv4Address(1, 0, 0, 1)});
+  EXPECT_EQ(r.intersection, 0u);
+  EXPECT_EQ(r.fraction_of_first, 0.0);
+}
+
+}  // namespace
+}  // namespace gorilla::core

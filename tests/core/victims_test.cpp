@@ -1,0 +1,248 @@
+#include "core/victims.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::core {
+namespace {
+
+net::RegistryConfig small_registry() {
+  net::RegistryConfig cfg;
+  cfg.num_ases = 300;
+  return cfg;
+}
+
+class VictimAnalysisTest : public ::testing::Test {
+ protected:
+  VictimAnalysisTest()
+      : registry_(small_registry()),
+        pbl_(registry_, net::PblConfig{}),
+        analysis_(registry_, pbl_) {}
+
+  ntp::MonitorEntry victim_entry(net::Ipv4Address victim, std::uint16_t port,
+                                 std::uint32_t count,
+                                 std::uint32_t avg_interval = 1,
+                                 std::uint32_t last_seen = 10) {
+    ntp::MonitorEntry e;
+    e.address = victim;
+    e.port = port;
+    e.mode = 7;
+    e.count = count;
+    e.avg_interval = avg_interval;
+    e.last_seen = last_seen;
+    return e;
+  }
+
+  ntp::MonitorEntry scanner_entry(net::Ipv4Address who) {
+    ntp::MonitorEntry e;
+    e.address = who;
+    e.port = 50000;
+    e.mode = 7;
+    e.count = 1;
+    e.avg_interval = 0;
+    e.last_seen = 0;
+    return e;
+  }
+
+  scan::AmplifierObservation obs_with(net::Ipv4Address amp,
+                                      std::vector<ntp::MonitorEntry> table,
+                                      util::SimTime probe_time = 100000) {
+    scan::AmplifierObservation o;
+    o.address = amp;
+    o.response_packets = 1;
+    o.response_udp_bytes = 400;
+    o.response_wire_bytes = 500;
+    o.table = std::move(table);
+    o.probe_time = probe_time;
+    return o;
+  }
+
+  net::Ipv4Address block_addr(std::size_t block, std::uint64_t i) {
+    const auto& p = registry_.blocks()[block].prefix;
+    return p.at(i % p.size());
+  }
+
+  net::Registry registry_;
+  net::PolicyBlockList pbl_;
+  VictimAnalysis analysis_;
+};
+
+TEST_F(VictimAnalysisTest, LifecycleEnforced) {
+  EXPECT_THROW(analysis_.end_sample(), std::logic_error);
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  EXPECT_THROW(analysis_.begin_sample(1, util::Date{2014, 1, 17}),
+               std::logic_error);
+}
+
+TEST_F(VictimAnalysisTest, CountsVictimsNotScanners) {
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(block_addr(1, 5), 80, 1000),
+                          scanner_entry(block_addr(2, 9))}));
+  analysis_.end_sample();
+  const auto& row = analysis_.rows().at(0);
+  EXPECT_EQ(row.ips, 1u);
+  EXPECT_EQ(analysis_.unique_victims(), 1u);
+  EXPECT_EQ(analysis_.total_packets(), 1000u);
+}
+
+TEST_F(VictimAnalysisTest, VictimSeenByMultipleAmplifiers) {
+  const auto victim = block_addr(1, 5);
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1), {victim_entry(victim, 80, 100)}));
+  analysis_.add(obs_with(block_addr(0, 2), {victim_entry(victim, 80, 200)}));
+  analysis_.add(obs_with(block_addr(0, 3), {victim_entry(victim, 80, 300)}));
+  analysis_.end_sample();
+  const auto& row = analysis_.rows().at(0);
+  EXPECT_EQ(row.ips, 1u);
+  EXPECT_NEAR(row.amplifiers_per_victim, 3.0, 1e-12);
+  EXPECT_NEAR(row.packets_mean, 600.0, 1e-12);  // 100+200+300 to one victim
+  EXPECT_EQ(analysis_.total_packets(), 600u);
+}
+
+TEST_F(VictimAnalysisTest, PortTallyCountsPairs) {
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(block_addr(1, 5), 80, 10),
+                          victim_entry(block_addr(1, 6), 80, 10),
+                          victim_entry(block_addr(1, 7), 123, 10),
+                          victim_entry(block_addr(1, 8), 3074, 10)}));
+  analysis_.end_sample();
+  const auto ports = analysis_.top_ports(3);
+  ASSERT_EQ(ports.size(), 3u);
+  EXPECT_EQ(ports[0].first, 80);
+  EXPECT_NEAR(ports[0].second, 0.5, 1e-12);
+  EXPECT_NEAR(ports[1].second, 0.25, 1e-12);
+}
+
+TEST_F(VictimAnalysisTest, PerAsConcentration) {
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  // Two victims in (likely) different ASes, one amplifier AS.
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(block_addr(1, 5), 80, 900),
+                          victim_entry(block_addr(2, 5), 80, 100)}));
+  analysis_.end_sample();
+  const auto vpackets = analysis_.victim_as_packets();
+  double total = 0;
+  for (const double p : vpackets) total += p;
+  EXPECT_NEAR(total, 1000.0, 1e-12);
+  EXPECT_GE(analysis_.victim_as_count(), 1u);
+  EXPECT_EQ(analysis_.amplifier_as_count(), 1u);
+  const auto apackets = analysis_.amplifier_as_packets();
+  ASSERT_EQ(apackets.size(), 1u);
+  EXPECT_NEAR(apackets[0], 1000.0, 1e-12);
+}
+
+TEST_F(VictimAnalysisTest, TopVictimAses) {
+  // Pick two blocks with distinct origin ASes so the ranking separates.
+  std::size_t block_a = 0;
+  std::size_t block_b = 0;
+  for (std::size_t i = 1; i < registry_.blocks().size(); ++i) {
+    if (registry_.blocks()[i].asn != registry_.blocks()[block_a].asn) {
+      block_b = i;
+      break;
+    }
+  }
+  ASSERT_NE(block_a, block_b);
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(block_addr(block_a, 5), 80, 900),
+                          victim_entry(block_addr(block_b, 5), 80, 100)}));
+  analysis_.end_sample();
+  const auto top = analysis_.top_victim_ases(10);
+  ASSERT_GE(top.size(), 2u);
+  EXPECT_EQ(top[0].second, 900u);
+  EXPECT_EQ(top[1].second, 100u);
+}
+
+TEST_F(VictimAnalysisTest, AttackStartBinning) {
+  // Probe at t=100000; victim last seen 10s ago, 100 pkts at 1s spacing:
+  // start ~ 99890 -> hour 27.
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(block_addr(1, 5), 80, 100, 1, 10)}));
+  analysis_.end_sample();
+  const auto& hours = analysis_.attacks_per_hour();
+  ASSERT_EQ(hours.size(), 1u);
+  EXPECT_EQ(hours.begin()->first, 99890 / 3600);
+  EXPECT_EQ(hours.begin()->second, 1u);
+}
+
+TEST_F(VictimAnalysisTest, MedianStartAcrossAmplifiers) {
+  const auto victim = block_addr(1, 5);
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  // Three witnesses with different derived starts; the median one is kept.
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(victim, 80, 10, 1, 0)}));
+  analysis_.add(obs_with(block_addr(0, 2),
+                         {victim_entry(victim, 80, 10, 1, 5000)}));
+  analysis_.add(obs_with(block_addr(0, 3),
+                         {victim_entry(victim, 80, 10, 1, 80000)}));
+  analysis_.end_sample();
+  const auto& hours = analysis_.attacks_per_hour();
+  ASSERT_EQ(hours.size(), 1u);
+  // Median start: probe 100000 - 5000 - 10 = 94990 -> hour 26.
+  EXPECT_EQ(hours.begin()->first, 94990 / 3600);
+}
+
+TEST_F(VictimAnalysisTest, WindowMedianTracksLargestLastSeen) {
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(block_addr(1, 5), 80, 10, 1, 1000),
+                          scanner_entry(block_addr(2, 9))}));
+  analysis_.add(obs_with(block_addr(0, 2),
+                         {victim_entry(block_addr(1, 6), 80, 10, 1, 3000)}));
+  analysis_.end_sample();
+  EXPECT_NEAR(analysis_.rows().at(0).median_window_seconds, 2000.0, 1e-12);
+}
+
+TEST_F(VictimAnalysisTest, ModeSixShares) {
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  auto v6 = victim_entry(block_addr(1, 5), 80, 100);
+  v6.mode = 6;
+  auto s6 = scanner_entry(block_addr(2, 9));
+  s6.mode = 6;
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {v6, victim_entry(block_addr(1, 6), 80, 100),
+                          s6, scanner_entry(block_addr(2, 10))}));
+  analysis_.end_sample();
+  const auto& row = analysis_.rows().at(0);
+  EXPECT_NEAR(row.victim_mode6_share, 0.5, 1e-12);
+  EXPECT_NEAR(row.scanner_mode6_share, 0.5, 1e-12);
+}
+
+TEST_F(VictimAnalysisTest, DurationsPerSample) {
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(block_addr(1, 5), 80, 40, 1, 0)}));
+  analysis_.end_sample();
+  const auto& durations = analysis_.duration_median_p95_by_sample();
+  ASSERT_EQ(durations.size(), 1u);
+  EXPECT_NEAR(durations[0].first, 40.0, 1e-12);  // count x interval
+}
+
+TEST_F(VictimAnalysisTest, UniqueVictimsAcrossSamples) {
+  const auto v1 = block_addr(1, 5);
+  const auto v2 = block_addr(1, 6);
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.add(obs_with(block_addr(0, 1), {victim_entry(v1, 80, 10)}));
+  analysis_.end_sample();
+  analysis_.begin_sample(1, util::Date{2014, 1, 17});
+  analysis_.add(obs_with(block_addr(0, 1),
+                         {victim_entry(v1, 80, 10), victim_entry(v2, 80, 10)}));
+  analysis_.end_sample();
+  EXPECT_EQ(analysis_.unique_victims(), 2u);
+  EXPECT_EQ(analysis_.rows().at(0).ips, 1u);
+  EXPECT_EQ(analysis_.rows().at(1).ips, 2u);
+}
+
+TEST_F(VictimAnalysisTest, EmptySampleProducesZeroRow) {
+  analysis_.begin_sample(0, util::Date{2014, 1, 10});
+  analysis_.end_sample();
+  const auto& row = analysis_.rows().at(0);
+  EXPECT_EQ(row.ips, 0u);
+  EXPECT_EQ(row.packets_mean, 0.0);
+  EXPECT_EQ(row.amplifiers_per_victim, 0.0);
+}
+
+}  // namespace
+}  // namespace gorilla::core

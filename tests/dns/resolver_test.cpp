@@ -1,0 +1,108 @@
+#include "dns/resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::dns {
+namespace {
+
+net::RegistryConfig small_registry() {
+  net::RegistryConfig cfg;
+  cfg.num_ases = 300;
+  return cfg;
+}
+
+ResolverPoolConfig small_pool() {
+  ResolverPoolConfig cfg;
+  cfg.peak_size = 20000;
+  return cfg;
+}
+
+TEST(ResolverPoolTest, PeakSizeAtWeekZero) {
+  const net::Registry registry{small_registry()};
+  const ResolverPool pool(registry, small_pool(), 52);
+  EXPECT_EQ(pool.open_count(0), 20000u);
+  EXPECT_EQ(pool.resolvers().size(), 20000u);
+}
+
+TEST(ResolverPoolTest, DecaysSlowly) {
+  // §6.2: the open-resolver pool "has not decreased much in relative
+  // terms" — under a few percent over the measured year.
+  const net::Registry registry{small_registry()};
+  const ResolverPool pool(registry, small_pool(), 52);
+  const double year_survival =
+      static_cast<double>(pool.open_count(52)) /
+      static_cast<double>(pool.open_count(0));
+  EXPECT_GT(year_survival, 0.93);
+  EXPECT_LT(year_survival, 1.0);
+}
+
+TEST(ResolverPoolTest, MonotoneNonIncreasing) {
+  const net::Registry registry{small_registry()};
+  const ResolverPool pool(registry, small_pool(), 30);
+  for (int w = 1; w <= 30; ++w) {
+    EXPECT_LE(pool.open_count(w), pool.open_count(w - 1));
+  }
+}
+
+TEST(ResolverPoolTest, CpeFractionRoughlyConfigured) {
+  const net::Registry registry{small_registry()};
+  const ResolverPool pool(registry, small_pool(), 10);
+  std::size_t cpe = 0;
+  for (const auto& r : pool.resolvers()) {
+    if (r.cpe) ++cpe;
+  }
+  EXPECT_NEAR(static_cast<double>(cpe) / pool.resolvers().size(), 0.85, 0.02);
+}
+
+TEST(ResolverPoolTest, CpeResolversLiveInResidentialSpace) {
+  const net::Registry registry{small_registry()};
+  const ResolverPool pool(registry, small_pool(), 10);
+  std::size_t checked = 0, residential = 0;
+  for (const auto& r : pool.resolvers()) {
+    if (!r.cpe) continue;
+    ++checked;
+    const auto idx = registry.block_index_of(r.address);
+    if (idx && registry.blocks()[*idx].residential) ++residential;
+    if (checked >= 2000) break;
+  }
+  ASSERT_GT(checked, 0u);
+  EXPECT_GT(static_cast<double>(residential) / checked, 0.95);
+}
+
+TEST(ResolverPoolTest, IsOpenConsistentWithCounts) {
+  const net::Registry registry{small_registry()};
+  const ResolverPool pool(registry, small_pool(), 20);
+  for (int w : {0, 5, 20}) {
+    std::uint64_t open = 0;
+    for (std::size_t i = 0; i < pool.resolvers().size(); ++i) {
+      if (pool.is_open(i, w)) ++open;
+    }
+    EXPECT_EQ(open, pool.open_count(w));
+  }
+}
+
+TEST(ResolverPoolTest, NegativeWeekClampsToZero) {
+  const net::Registry registry{small_registry()};
+  const ResolverPool pool(registry, small_pool(), 10);
+  EXPECT_EQ(pool.open_count(-5), pool.open_count(0));
+}
+
+TEST(AnyQueryTest, AmplificationIsSubstantial) {
+  util::Rng rng(1);
+  const double query = static_cast<double>(any_query_bytes());
+  double total = 0.0;
+  constexpr int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const auto resp = any_response_bytes(rng);
+    EXPECT_GE(resp, 512u);
+    EXPECT_LE(resp, 4096u);
+    total += static_cast<double>(resp);
+  }
+  // Mean payload amplification for DNS ANY abuse is tens of x.
+  const double mean_amp = total / n / query;
+  EXPECT_GT(mean_amp, 20.0);
+  EXPECT_LT(mean_amp, 120.0);
+}
+
+}  // namespace
+}  // namespace gorilla::dns

@@ -1,0 +1,49 @@
+#include "net/ethernet.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::net {
+namespace {
+
+TEST(EthernetTest, MinimalQueryIs84Bytes) {
+  // The paper's BAF denominator (§3.2): 64-byte minimum frame + 8-byte
+  // preamble + 12-byte inter-packet gap.
+  EXPECT_EQ(kMinOnWireBytes, 84u);
+  EXPECT_EQ(on_wire_bytes_for_ip(0), 84u);
+}
+
+TEST(EthernetTest, SmallPacketsPadToMinimum) {
+  // Anything whose frame would be under 64 bytes pads up: IP datagrams of
+  // up to 46 bytes all cost 84 on-wire bytes.
+  EXPECT_EQ(on_wire_bytes_for_ip(28), 84u);   // empty UDP datagram
+  EXPECT_EQ(on_wire_bytes_for_ip(46), 84u);   // exactly at the boundary
+  EXPECT_EQ(on_wire_bytes_for_ip(47), 85u);   // one past it
+}
+
+TEST(EthernetTest, LargePacketsScaleLinearly) {
+  EXPECT_EQ(on_wire_bytes_for_ip(1000), 1000 + 14 + 4 + 8 + 12);
+  EXPECT_EQ(on_wire_bytes_for_ip(1500), 1538u);  // classic full-MTU frame
+}
+
+TEST(EthernetTest, UdpHelperAddsHeaders) {
+  EXPECT_EQ(on_wire_bytes_for_udp(0), on_wire_bytes_for_ip(28));
+  EXPECT_EQ(on_wire_bytes_for_udp(100), on_wire_bytes_for_ip(128));
+}
+
+TEST(EthernetTest, MonlistQueryOnWireCost) {
+  // The plain 48-byte mode 7 request: IP datagram 76 bytes -> frame 94 ->
+  // 114 on wire.
+  EXPECT_EQ(on_wire_bytes_for_udp(48), 114u);
+}
+
+TEST(EthernetTest, MonotoneInPayload) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t payload = 0; payload < 2000; payload += 7) {
+    const auto w = on_wire_bytes_for_udp(payload);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+}  // namespace
+}  // namespace gorilla::net

@@ -1,0 +1,122 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::net {
+namespace {
+
+TEST(Ipv4AddressTest, OctetConstruction) {
+  const Ipv4Address a(192, 168, 1, 42);
+  EXPECT_EQ(a.value(), 0xc0a8012au);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(1), 168);
+  EXPECT_EQ(a.octet(2), 1);
+  EXPECT_EQ(a.octet(3), 42);
+}
+
+TEST(Ipv4AddressTest, Ordering) {
+  EXPECT_LT(Ipv4Address(1, 0, 0, 1), Ipv4Address(1, 0, 0, 2));
+  EXPECT_LT(Ipv4Address(9, 255, 255, 255), Ipv4Address(10, 0, 0, 0));
+  EXPECT_EQ(Ipv4Address(5, 6, 7, 8), Ipv4Address{0x05060708u});
+}
+
+TEST(Ipv4AddressTest, ToString) {
+  EXPECT_EQ(to_string(Ipv4Address(10, 0, 0, 1)), "10.0.0.1");
+  EXPECT_EQ(to_string(Ipv4Address(255, 255, 255, 255)), "255.255.255.255");
+  EXPECT_EQ(to_string(Ipv4Address{0u}), "0.0.0.0");
+}
+
+TEST(Ipv4AddressTest, ParseValid) {
+  EXPECT_EQ(parse_ipv4("10.20.30.40"), Ipv4Address(10, 20, 30, 40));
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), Ipv4Address{0u});
+}
+
+TEST(Ipv4AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_ipv4(""));
+  EXPECT_FALSE(parse_ipv4("1.2.3"));
+  EXPECT_FALSE(parse_ipv4("256.0.0.1"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5"));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4x"));
+  EXPECT_FALSE(parse_ipv4("a.b.c.d"));
+}
+
+TEST(Ipv4AddressTest, ParseToStringRoundTrip) {
+  const Ipv4Address a(172, 16, 254, 3);
+  EXPECT_EQ(parse_ipv4(to_string(a)), a);
+}
+
+TEST(PrefixTest, CanonicalizesHostBits) {
+  const Prefix p(Ipv4Address(10, 1, 2, 3), 16);
+  EXPECT_EQ(p.base(), Ipv4Address(10, 1, 0, 0));
+  EXPECT_EQ(p.length(), 16);
+}
+
+TEST(PrefixTest, Contains) {
+  const Prefix p(Ipv4Address(10, 1, 0, 0), 16);
+  EXPECT_TRUE(p.contains(Ipv4Address(10, 1, 255, 255)));
+  EXPECT_TRUE(p.contains(Ipv4Address(10, 1, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Address(10, 2, 0, 0)));
+  EXPECT_FALSE(p.contains(Ipv4Address(11, 1, 0, 0)));
+}
+
+TEST(PrefixTest, ZeroLengthContainsEverything) {
+  const Prefix all(Ipv4Address{0u}, 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(1, 2, 3, 4)));
+  EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+}
+
+TEST(PrefixTest, ContainsPrefix) {
+  const Prefix p16(Ipv4Address(10, 1, 0, 0), 16);
+  const Prefix p24(Ipv4Address(10, 1, 7, 0), 24);
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+}
+
+TEST(PrefixTest, SizeAndAt) {
+  const Prefix p(Ipv4Address(10, 1, 2, 0), 24);
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.at(0), Ipv4Address(10, 1, 2, 0));
+  EXPECT_EQ(p.at(255), Ipv4Address(10, 1, 2, 255));
+}
+
+TEST(PrefixTest, Slash32IsSingleHost) {
+  const Prefix p(Ipv4Address(8, 8, 8, 8), 32);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.contains(Ipv4Address(8, 8, 8, 8)));
+  EXPECT_FALSE(p.contains(Ipv4Address(8, 8, 8, 9)));
+}
+
+TEST(PrefixTest, ToString) {
+  EXPECT_EQ(to_string(Prefix(Ipv4Address(10, 0, 0, 0), 8)), "10.0.0.0/8");
+}
+
+TEST(PrefixTest, ParseValid) {
+  const auto p = parse_prefix("192.168.0.0/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->base(), Ipv4Address(192, 168, 0, 0));
+  EXPECT_EQ(p->length(), 16);
+}
+
+TEST(PrefixTest, ParseCanonicalizes) {
+  const auto p = parse_prefix("192.168.77.5/16");
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->base(), Ipv4Address(192, 168, 0, 0));
+}
+
+TEST(PrefixTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_prefix("192.168.0.0"));
+  EXPECT_FALSE(parse_prefix("192.168.0.0/33"));
+  EXPECT_FALSE(parse_prefix("192.168.0.0/-1"));
+  EXPECT_FALSE(parse_prefix("bogus/8"));
+  EXPECT_FALSE(parse_prefix("1.2.3.4/x"));
+}
+
+TEST(PrefixTest, Slash24Of) {
+  EXPECT_EQ(slash24_of(Ipv4Address(10, 1, 2, 200)),
+            Prefix(Ipv4Address(10, 1, 2, 0), 24));
+}
+
+}  // namespace
+}  // namespace gorilla::net

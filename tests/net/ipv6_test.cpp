@@ -1,0 +1,99 @@
+#include "net/ipv6.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::net {
+namespace {
+
+Ipv6Address from_groups(std::array<std::uint16_t, 8> groups) {
+  std::array<std::uint8_t, 16> bytes{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i * 2] = static_cast<std::uint8_t>(groups[i] >> 8);
+    bytes[i * 2 + 1] = static_cast<std::uint8_t>(groups[i]);
+  }
+  return Ipv6Address{bytes};
+}
+
+TEST(Ipv6AddressTest, DefaultIsUnspecified) {
+  EXPECT_EQ(to_string(Ipv6Address{}), "::");
+}
+
+TEST(Ipv6AddressTest, FormatsCanonically) {
+  EXPECT_EQ(to_string(from_groups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 1})),
+            "2001:db8::1");
+  EXPECT_EQ(to_string(from_groups({0x2001, 0xdb8, 1, 2, 3, 4, 5, 6})),
+            "2001:db8:1:2:3:4:5:6");
+  EXPECT_EQ(to_string(from_groups({0, 0, 0, 0, 0, 0, 0, 1})), "::1");
+  EXPECT_EQ(to_string(from_groups({0xfe80, 0, 0, 0, 0, 0, 0, 0})), "fe80::");
+}
+
+TEST(Ipv6AddressTest, CompressesLongestZeroRun) {
+  // Two runs of zeros: the longer one is compressed.
+  EXPECT_EQ(to_string(from_groups({0x2001, 0, 0, 1, 0, 0, 0, 1})),
+            "2001:0:0:1::1");
+}
+
+TEST(Ipv6AddressTest, ParseValid) {
+  EXPECT_EQ(parse_ipv6("2001:db8::1"),
+            from_groups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 1}));
+  EXPECT_EQ(parse_ipv6("::"), Ipv6Address{});
+  EXPECT_EQ(parse_ipv6("::1"), from_groups({0, 0, 0, 0, 0, 0, 0, 1}));
+  EXPECT_EQ(parse_ipv6("fe80::"), from_groups({0xfe80, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(parse_ipv6("2001:DB8::A"),
+            from_groups({0x2001, 0xdb8, 0, 0, 0, 0, 0, 0xa}));
+  EXPECT_EQ(parse_ipv6("1:2:3:4:5:6:7:8"),
+            from_groups({1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Ipv6AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_ipv6(""));
+  EXPECT_FALSE(parse_ipv6("1:2:3"));
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8:9"));
+  EXPECT_FALSE(parse_ipv6("2001:db8::1::2"));
+  EXPECT_FALSE(parse_ipv6("2001:db8::12345"));
+  EXPECT_FALSE(parse_ipv6("g::1"));
+  EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:"));
+}
+
+TEST(Ipv6AddressTest, RoundTrip) {
+  for (const char* text : {"2001:db8::1", "::1", "fe80::1:2:3",
+                           "2620:0:e00::", "1:2:3:4:5:6:7:8"}) {
+    const auto parsed = parse_ipv6(text);
+    ASSERT_TRUE(parsed) << text;
+    EXPECT_EQ(to_string(*parsed), text);
+  }
+}
+
+TEST(Ipv6PrefixTest, CanonicalizesHostBits) {
+  const auto addr = *parse_ipv6("2001:db8::ff");
+  const Ipv6Prefix p(addr, 32);
+  EXPECT_EQ(to_string(p), "2001:db8::/32");
+}
+
+TEST(Ipv6PrefixTest, Contains) {
+  const auto p = *parse_ipv6_prefix("2001:db8::/32");
+  EXPECT_TRUE(p.contains(*parse_ipv6("2001:db8::1")));
+  EXPECT_TRUE(p.contains(*parse_ipv6("2001:db8:ffff::")));
+  EXPECT_FALSE(p.contains(*parse_ipv6("2001:db9::")));
+}
+
+TEST(Ipv6PrefixTest, ZeroLengthContainsAll) {
+  const Ipv6Prefix everything(Ipv6Address{}, 0);
+  EXPECT_TRUE(everything.contains(*parse_ipv6("ffff::1")));
+}
+
+TEST(Ipv6PrefixTest, NonOctetAlignedLength) {
+  const auto p = *parse_ipv6_prefix("2620::/13");
+  EXPECT_TRUE(p.contains(*parse_ipv6("2620::1")));
+  EXPECT_TRUE(p.contains(*parse_ipv6("2627:ffff::")));
+  EXPECT_FALSE(p.contains(*parse_ipv6("2628::")));
+}
+
+TEST(Ipv6PrefixTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_ipv6_prefix("2001:db8::"));
+  EXPECT_FALSE(parse_ipv6_prefix("2001:db8::/129"));
+  EXPECT_FALSE(parse_ipv6_prefix("bogus/64"));
+}
+
+}  // namespace
+}  // namespace gorilla::net

@@ -1,0 +1,73 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::net {
+namespace {
+
+TEST(UdpPacketTest, IpLengthIncludesHeaders) {
+  UdpPacket p;
+  p.payload.assign(100, 0);
+  EXPECT_EQ(p.ip_length(), 128u);
+}
+
+TEST(UdpPacketTest, OnWireBytesMatchesModel) {
+  UdpPacket p;
+  p.payload.assign(48, 0);
+  EXPECT_EQ(p.on_wire_bytes(), on_wire_bytes_for_udp(48));
+  p.payload.clear();
+  EXPECT_EQ(p.on_wire_bytes(), 84u);
+}
+
+TEST(ChecksumTest, KnownVector) {
+  // RFC 1071 example-style: checksum of zero data is 0xffff.
+  const std::vector<std::uint8_t> zeros(8, 0);
+  EXPECT_EQ(internet_checksum(zeros), 0xffff);
+}
+
+TEST(ChecksumTest, ComplementsToZero) {
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x54, 0xa6, 0xf2};
+  const std::uint16_t sum = internet_checksum(data);
+  // Appending the checksum makes the whole buffer sum to zero (i.e. its
+  // checksum is 0).
+  data.push_back(static_cast<std::uint8_t>(sum >> 8));
+  data.push_back(static_cast<std::uint8_t>(sum));
+  EXPECT_EQ(internet_checksum(data), 0u);
+}
+
+TEST(ChecksumTest, OddLengthPadsWithZero) {
+  const std::vector<std::uint8_t> odd = {0x01, 0x02, 0x03};
+  const std::vector<std::uint8_t> even = {0x01, 0x02, 0x03, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(ByteOrderTest, PutGetU16RoundTrip) {
+  std::vector<std::uint8_t> buf;
+  put_u16(buf, 0xbeef);
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0xbe);  // big-endian on the wire
+  EXPECT_EQ(get_u16(buf, 0), 0xbeef);
+}
+
+TEST(ByteOrderTest, PutGetU32RoundTrip) {
+  std::vector<std::uint8_t> buf;
+  put_u32(buf, 0xdeadbeef);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf[0], 0xde);
+  EXPECT_EQ(get_u32(buf, 0), 0xdeadbeefu);
+}
+
+TEST(ByteOrderTest, GetThrowsOnTruncation) {
+  const std::vector<std::uint8_t> buf = {1, 2, 3};
+  EXPECT_THROW(get_u32(buf, 0), std::out_of_range);
+  EXPECT_THROW(get_u16(buf, 2), std::out_of_range);
+  EXPECT_NO_THROW(get_u16(buf, 1));
+}
+
+TEST(WellKnownPortsTest, Values) {
+  EXPECT_EQ(kNtpPort, 123);
+  EXPECT_EQ(kDnsPort, 53);
+}
+
+}  // namespace
+}  // namespace gorilla::net

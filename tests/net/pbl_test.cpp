@@ -1,0 +1,62 @@
+#include "net/pbl.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::net {
+namespace {
+
+RegistryConfig small_config() {
+  RegistryConfig cfg;
+  cfg.num_ases = 400;
+  return cfg;
+}
+
+TEST(PblTest, ListsMostResidentialSpace) {
+  const Registry registry{small_config()};
+  PblConfig cfg;
+  cfg.residential_listing_rate = 1.0;
+  cfg.false_listing_rate = 0.0;
+  const PolicyBlockList pbl(registry, cfg);
+  for (const auto& block : registry.blocks()) {
+    EXPECT_EQ(pbl.is_end_host(block.prefix.base()), block.residential)
+        << to_string(block.prefix);
+  }
+}
+
+TEST(PblTest, NoiseRatesApproximatelyHold) {
+  const Registry registry{small_config()};
+  const PolicyBlockList pbl(registry, PblConfig{});
+  std::size_t res_total = 0, res_listed = 0;
+  std::size_t infra_total = 0, infra_listed = 0;
+  for (const auto& block : registry.blocks()) {
+    const bool listed = pbl.is_end_host(block.prefix.base());
+    if (block.residential) {
+      ++res_total;
+      if (listed) ++res_listed;
+    } else {
+      ++infra_total;
+      if (listed) ++infra_listed;
+    }
+  }
+  ASSERT_GT(res_total, 0u);
+  ASSERT_GT(infra_total, 0u);
+  EXPECT_GT(static_cast<double>(res_listed) / res_total, 0.85);
+  EXPECT_LT(static_cast<double>(infra_listed) / infra_total, 0.05);
+}
+
+TEST(PblTest, UnallocatedSpaceNotListed) {
+  const Registry registry{small_config()};
+  const PolicyBlockList pbl(registry, PblConfig{});
+  EXPECT_FALSE(pbl.is_end_host(registry.named().darknet.base()));
+  EXPECT_FALSE(pbl.is_end_host(Ipv4Address(0, 0, 0, 1)));
+}
+
+TEST(PblTest, DeterministicForSeed) {
+  const Registry registry{small_config()};
+  const PolicyBlockList a(registry, PblConfig{});
+  const PolicyBlockList b(registry, PblConfig{});
+  EXPECT_EQ(a.listed_prefixes(), b.listed_prefixes());
+}
+
+}  // namespace
+}  // namespace gorilla::net

@@ -1,0 +1,143 @@
+#include "net/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ntp/mode7.h"
+
+namespace gorilla::net {
+namespace {
+
+UdpPacket sample_packet(std::uint32_t src = 0x0a000001,
+                        std::uint32_t dst = 0xc0a80101) {
+  UdpPacket p;
+  p.src = Ipv4Address{src};
+  p.dst = Ipv4Address{dst};
+  p.src_port = 57915;
+  p.dst_port = kNtpPort;
+  p.ttl = 54;
+  p.timestamp = 12345;
+  p.payload = ntp::serialize(ntp::make_monlist_request());
+  return p;
+}
+
+TEST(EthernetFrameTest, RoundTrip) {
+  const auto original = sample_packet();
+  const auto frame = to_ethernet_frame(original);
+  const auto parsed = from_ethernet_frame(frame);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src, original.src);
+  EXPECT_EQ(parsed->dst, original.dst);
+  EXPECT_EQ(parsed->src_port, original.src_port);
+  EXPECT_EQ(parsed->dst_port, original.dst_port);
+  EXPECT_EQ(parsed->ttl, original.ttl);
+  EXPECT_EQ(parsed->payload, original.payload);
+}
+
+TEST(EthernetFrameTest, FrameLayout) {
+  const auto frame = to_ethernet_frame(sample_packet());
+  // 14 Ethernet + 20 IP + 8 UDP + 48 payload.
+  EXPECT_EQ(frame.size(), 14u + 20u + 8u + 48u);
+  EXPECT_EQ(frame[12], 0x08);  // EtherType IPv4
+  EXPECT_EQ(frame[13], 0x00);
+  EXPECT_EQ(frame[14] >> 4, 4);  // IP version
+  EXPECT_EQ(frame[14 + 9], 17);  // protocol UDP
+}
+
+TEST(EthernetFrameTest, IpChecksumValidates) {
+  const auto frame = to_ethernet_frame(sample_packet());
+  // Checksum over the IP header (including the checksum field) must be 0.
+  EXPECT_EQ(internet_checksum(
+                std::span<const std::uint8_t>(frame).subspan(14, 20)),
+            0u);
+}
+
+TEST(EthernetFrameTest, RejectsNonIpv4) {
+  auto frame = to_ethernet_frame(sample_packet());
+  frame[12] = 0x86;  // EtherType IPv6
+  frame[13] = 0xdd;
+  EXPECT_FALSE(from_ethernet_frame(frame));
+}
+
+TEST(EthernetFrameTest, RejectsNonUdp) {
+  auto frame = to_ethernet_frame(sample_packet());
+  frame[14 + 9] = 6;  // TCP
+  EXPECT_FALSE(from_ethernet_frame(frame));
+}
+
+TEST(EthernetFrameTest, RejectsTruncated) {
+  const auto frame = to_ethernet_frame(sample_packet());
+  EXPECT_FALSE(from_ethernet_frame(
+      std::span<const std::uint8_t>(frame).subspan(0, 30)));
+}
+
+TEST(PcapTest, HeaderWritten) {
+  std::ostringstream out;
+  PcapWriter writer(out);
+  const std::string bytes = out.str();
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]), 0xd4);  // magic LE
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[3]), 0xa1);
+}
+
+TEST(PcapTest, WriteReadRoundTrip) {
+  std::stringstream stream;
+  PcapWriter writer(stream);
+  std::vector<UdpPacket> sent;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    auto p = sample_packet(0x0a000001 + i, 0xc0a80101 + i);
+    p.timestamp = 1000 + i;
+    writer.write(p);
+    sent.push_back(std::move(p));
+  }
+  EXPECT_EQ(writer.packets_written(), 20u);
+
+  PcapReader reader(stream);
+  ASSERT_TRUE(reader.valid());
+  for (const auto& expected : sent) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got);
+    EXPECT_EQ(got->src, expected.src);
+    EXPECT_EQ(got->dst, expected.dst);
+    EXPECT_EQ(got->timestamp, expected.timestamp);
+    EXPECT_EQ(got->payload, expected.payload);
+  }
+  EXPECT_FALSE(reader.next());
+  EXPECT_EQ(reader.packets_read(), 20u);
+  EXPECT_EQ(reader.records_skipped(), 0u);
+}
+
+TEST(PcapTest, ReaderRejectsGarbage) {
+  std::istringstream in("this is not a pcap file at all............");
+  PcapReader reader(in);
+  EXPECT_FALSE(reader.valid());
+  EXPECT_FALSE(reader.next());
+}
+
+TEST(PcapTest, ReaderStopsOnTruncatedRecord) {
+  std::stringstream stream;
+  PcapWriter writer(stream);
+  writer.write(sample_packet());
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() - 10);  // chop the last record
+  std::istringstream in(bytes);
+  PcapReader reader(in);
+  ASSERT_TRUE(reader.valid());
+  EXPECT_FALSE(reader.next());
+}
+
+TEST(PcapTest, EmptyPayloadPacket) {
+  std::stringstream stream;
+  PcapWriter writer(stream);
+  UdpPacket p = sample_packet();
+  p.payload.clear();
+  writer.write(p);
+  PcapReader reader(stream);
+  const auto got = reader.next();
+  ASSERT_TRUE(got);
+  EXPECT_TRUE(got->payload.empty());
+}
+
+}  // namespace
+}  // namespace gorilla::net

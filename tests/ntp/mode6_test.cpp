@@ -1,0 +1,181 @@
+#include "ntp/mode6.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::ntp {
+namespace {
+
+SystemVariables sample_vars() {
+  SystemVariables v;
+  v.version = "ntpd 4.2.6p5@1.2349-o Tue May 10 2011";
+  v.system = "Linux/2.6.32";
+  v.processor = "x86_64";
+  v.stratum = 3;
+  v.leap = 0;
+  v.rootdelay_ms = 1.5;
+  v.rootdisp_ms = 10.25;
+  return v;
+}
+
+TEST(ControlPacketTest, VersionRequestShape) {
+  const auto req = make_version_request(7);
+  EXPECT_FALSE(req.response);
+  EXPECT_EQ(req.opcode, ControlOp::kReadVariables);
+  EXPECT_EQ(req.sequence, 7);
+  EXPECT_TRUE(req.data.empty());
+  EXPECT_EQ(serialize(req).size(), kControlHeaderBytes);
+}
+
+TEST(ControlPacketTest, RoundTrip) {
+  ControlPacket p;
+  p.response = true;
+  p.error = false;
+  p.more = true;
+  p.opcode = ControlOp::kReadVariables;
+  p.sequence = 0x1234;
+  p.status = 0x0615;
+  p.association_id = 42;
+  p.offset = 468;
+  p.data = {'a', 'b', 'c'};
+  const auto parsed = parse_control_packet(serialize(p));
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->response);
+  EXPECT_TRUE(parsed->more);
+  EXPECT_FALSE(parsed->error);
+  EXPECT_EQ(parsed->opcode, ControlOp::kReadVariables);
+  EXPECT_EQ(parsed->sequence, 0x1234);
+  EXPECT_EQ(parsed->status, 0x0615);
+  EXPECT_EQ(parsed->association_id, 42);
+  EXPECT_EQ(parsed->offset, 468);
+  EXPECT_EQ(parsed->data, (std::vector<std::uint8_t>{'a', 'b', 'c'}));
+}
+
+TEST(ControlPacketTest, SerializePadsToFourBytes) {
+  ControlPacket p;
+  p.data = {'x'};
+  EXPECT_EQ(serialize(p).size() % 4, 0u);
+  EXPECT_EQ(p.total_bytes(), kControlHeaderBytes + 4);
+}
+
+TEST(ControlPacketTest, RejectsNonControlMode) {
+  auto wire = serialize(make_version_request());
+  wire[0] = make_li_vn_mode(0, 2, Mode::kPrivate);
+  EXPECT_FALSE(parse_control_packet(wire));
+}
+
+TEST(ControlPacketTest, RejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> wire(kControlHeaderBytes - 1, 0x06);
+  EXPECT_FALSE(parse_control_packet(wire));
+}
+
+TEST(ControlPacketTest, RejectsCountBeyondBuffer) {
+  ControlPacket p;
+  p.data = {'a', 'b', 'c', 'd'};
+  auto wire = serialize(p);
+  wire[11] = 200;  // declared count >> actual
+  EXPECT_FALSE(parse_control_packet(wire));
+}
+
+TEST(SystemVariablesTest, RenderContainsAllFields) {
+  const auto text = sample_vars().render();
+  EXPECT_NE(text.find("version=\"ntpd 4.2.6p5"), std::string::npos);
+  EXPECT_NE(text.find("system=\"Linux/2.6.32\""), std::string::npos);
+  EXPECT_NE(text.find("stratum=3"), std::string::npos);
+  EXPECT_NE(text.find("leap=0"), std::string::npos);
+}
+
+TEST(VariableListTest, ParsesQuotedAndBare) {
+  const auto vars = parse_variable_list(
+      "version=\"ntpd 4.2.6\", system=\"UNIX\", leap=0, stratum=16");
+  EXPECT_EQ(vars.at("version"), "ntpd 4.2.6");
+  EXPECT_EQ(vars.at("system"), "UNIX");
+  EXPECT_EQ(vars.at("leap"), "0");
+  EXPECT_EQ(vars.at("stratum"), "16");
+}
+
+TEST(VariableListTest, RenderParseRoundTrip) {
+  const auto vars = parse_variable_list(sample_vars().render());
+  EXPECT_EQ(vars.at("system"), "Linux/2.6.32");
+  EXPECT_EQ(vars.at("stratum"), "3");
+  EXPECT_EQ(vars.at("version"), "ntpd 4.2.6p5@1.2349-o Tue May 10 2011");
+}
+
+TEST(VariableListTest, ToleratesEmptyAndGarbage) {
+  EXPECT_TRUE(parse_variable_list("").empty());
+  EXPECT_TRUE(parse_variable_list("no equals here").empty());
+}
+
+TEST(ReadvarResponseTest, SingleFragmentForShortText) {
+  const auto frags = make_readvar_response(sample_vars(), 9);
+  ASSERT_EQ(frags.size(), 1u);
+  EXPECT_TRUE(frags[0].response);
+  EXPECT_FALSE(frags[0].more);
+  EXPECT_EQ(frags[0].sequence, 9);
+  EXPECT_EQ(frags[0].offset, 0);
+}
+
+TEST(ReadvarResponseTest, FragmentsLongText) {
+  SystemVariables v = sample_vars();
+  v.version.assign(600, 'x');  // force > 468 bytes of rendered text
+  const auto frags = make_readvar_response(v, 1);
+  ASSERT_GE(frags.size(), 2u);
+  EXPECT_TRUE(frags.front().more);
+  EXPECT_FALSE(frags.back().more);
+  for (const auto& f : frags) {
+    EXPECT_LE(f.data.size(), kControlMaxDataBytes);
+  }
+}
+
+TEST(ReadvarResponseTest, ReassemblyRoundTrip) {
+  SystemVariables v = sample_vars();
+  v.version.assign(1200, 'y');
+  const auto frags = make_readvar_response(v, 1);
+  const auto text = reassemble_readvar(frags);
+  ASSERT_TRUE(text);
+  EXPECT_EQ(*text, v.render());
+}
+
+TEST(ReadvarResponseTest, ReassemblyHandlesOutOfOrder) {
+  SystemVariables v = sample_vars();
+  v.version.assign(1200, 'z');
+  auto frags = make_readvar_response(v, 1);
+  ASSERT_GE(frags.size(), 3u);
+  std::swap(frags[0], frags[2]);
+  const auto text = reassemble_readvar(frags);
+  ASSERT_TRUE(text);
+  EXPECT_EQ(*text, v.render());
+}
+
+TEST(ReadvarResponseTest, ReassemblyDetectsGaps) {
+  SystemVariables v = sample_vars();
+  v.version.assign(1200, 'w');
+  auto frags = make_readvar_response(v, 1);
+  ASSERT_GE(frags.size(), 3u);
+  frags.erase(frags.begin() + 1);
+  EXPECT_FALSE(reassemble_readvar(frags));
+}
+
+TEST(ReadvarResponseTest, ReassemblyDetectsMissingTail) {
+  SystemVariables v = sample_vars();
+  v.version.assign(1200, 'q');
+  auto frags = make_readvar_response(v, 1);
+  frags.pop_back();
+  EXPECT_FALSE(reassemble_readvar(frags));
+}
+
+TEST(ReadvarResponseTest, WireRoundTripThroughSerialization) {
+  const auto frags = make_readvar_response(sample_vars(), 3);
+  std::vector<ControlPacket> reparsed;
+  for (const auto& f : frags) {
+    const auto p = parse_control_packet(serialize(f));
+    ASSERT_TRUE(p);
+    reparsed.push_back(*p);
+  }
+  const auto text = reassemble_readvar(reparsed);
+  ASSERT_TRUE(text);
+  const auto vars = parse_variable_list(*text);
+  EXPECT_EQ(vars.at("system"), "Linux/2.6.32");
+}
+
+}  // namespace
+}  // namespace gorilla::ntp

@@ -1,0 +1,134 @@
+// Model-based test: MonitorTable against a trivially-correct reference
+// implementation under long random operation sequences. The MRU table is
+// the evidentiary heart of the study (every §4 number flows through it),
+// so its eviction, ordering, and interval arithmetic get the heavy
+// treatment.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ntp/monlist.h"
+#include "util/rng.h"
+
+namespace gorilla::ntp {
+namespace {
+
+/// The obviously-correct reference: a plain map plus linear eviction.
+class ReferenceTable {
+ public:
+  explicit ReferenceTable(std::size_t capacity) : capacity_(capacity) {}
+
+  void observe_many(std::uint32_t addr, std::uint16_t port, std::uint8_t mode,
+                    std::uint64_t count, util::SimTime first,
+                    util::SimTime last) {
+    if (count == 0) return;
+    auto it = slots_.find(addr);
+    if (it == slots_.end()) {
+      if (slots_.size() >= capacity_) {
+        auto victim = slots_.begin();
+        for (auto cur = slots_.begin(); cur != slots_.end(); ++cur) {
+          if (cur->second.last < victim->second.last) victim = cur;
+        }
+        slots_.erase(victim);
+      }
+      it = slots_.emplace(addr, Slot{port, mode, 0, first, first}).first;
+    }
+    it->second.port = port;
+    it->second.mode = mode;
+    it->second.count += count;
+    it->second.first = std::min(it->second.first, first);
+    it->second.last = std::max(it->second.last, last);
+  }
+
+  struct Slot {
+    std::uint16_t port;
+    std::uint8_t mode;
+    std::uint64_t count;
+    util::SimTime first;
+    util::SimTime last;
+  };
+
+  void expire_before(util::SimTime cutoff) {
+    for (auto it = slots_.begin(); it != slots_.end();) {
+      it = it->second.last < cutoff ? slots_.erase(it) : std::next(it);
+    }
+  }
+
+  [[nodiscard]] const std::map<std::uint32_t, Slot>& slots() const {
+    return slots_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::map<std::uint32_t, Slot> slots_;
+};
+
+class MonlistModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MonlistModelTest, AgreesWithReferenceUnderRandomOps) {
+  util::Rng rng(GetParam());
+  const std::size_t capacity = 1 + rng.uniform(40);
+  MonitorTable table(capacity);
+  ReferenceTable reference(capacity);
+
+  util::SimTime clock = 0;
+  for (int op = 0; op < 3000; ++op) {
+    // Strictly increasing clock so every slot's last-seen is unique and
+    // eviction has a deterministic victim in both implementations.
+    clock += 1 + static_cast<util::SimTime>(rng.uniform(50));
+    // Address space small enough to force collisions AND evictions.
+    const auto addr = static_cast<std::uint32_t>(1 + rng.uniform(capacity * 3));
+    const auto port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+    const auto mode = static_cast<std::uint8_t>(rng.uniform_int(1, 7));
+    const std::uint64_t count = rng.chance(0.2) ? rng.uniform(100000) : 1;
+    const util::SimTime first =
+        clock - static_cast<util::SimTime>(rng.uniform(30));
+    table.observe_many(net::Ipv4Address{addr}, port, mode, 2, count, first,
+                       clock);
+    reference.observe_many(addr, port, mode, count, first, clock);
+
+    if (op % 97 == 0) {
+      // Periodic deep compare via dump.
+      const auto entries = table.dump(clock, net::Ipv4Address{0x0a000001});
+      ASSERT_EQ(entries.size(), reference.slots().size()) << "op " << op;
+      for (const auto& e : entries) {
+        const auto it = reference.slots().find(e.address.value());
+        ASSERT_NE(it, reference.slots().end());
+        EXPECT_EQ(e.port, it->second.port);
+        EXPECT_EQ(e.mode, it->second.mode);
+        EXPECT_EQ(e.count,
+                  std::min<std::uint64_t>(it->second.count, 0xffffffffu));
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(it->second.last - it->second.first);
+        const std::uint32_t expected_interval =
+            it->second.count > 1
+                ? static_cast<std::uint32_t>(span / (it->second.count - 1))
+                : 0;
+        EXPECT_EQ(e.avg_interval, expected_interval);
+        EXPECT_EQ(e.last_seen,
+                  static_cast<std::uint32_t>(clock - it->second.last));
+      }
+      // Dump order: most recently seen first (ties by address).
+      for (std::size_t i = 1; i < entries.size(); ++i) {
+        EXPECT_LE(entries[i - 1].last_seen, entries[i].last_seen);
+      }
+    }
+    if (op % 501 == 0 && op > 0) {
+      // Occasional restart, mirrored on both sides.
+      const util::SimTime cutoff =
+          clock - static_cast<util::SimTime>(rng.uniform(2000));
+      table.expire_before(cutoff);
+      reference.expire_before(cutoff);
+    }
+  }
+  // Final invariant: never above capacity.
+  EXPECT_LE(table.size(), capacity);
+  EXPECT_EQ(table.size(), reference.slots().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonlistModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace gorilla::ntp

@@ -1,0 +1,182 @@
+#include "ntp/monlist.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::ntp {
+namespace {
+
+constexpr net::Ipv4Address kLocal{0x0a000001};
+
+TEST(MonitorTableTest, StartsEmpty) {
+  MonitorTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.capacity(), kMonlistMaxEntries);
+  EXPECT_TRUE(table.dump(100, kLocal).empty());
+}
+
+TEST(MonitorTableTest, ObserveCreatesSlot) {
+  MonitorTable table;
+  table.observe(net::Ipv4Address(1, 2, 3, 4), 123, 3, 4, 50);
+  EXPECT_EQ(table.size(), 1u);
+  const auto* slot = table.find(net::Ipv4Address(1, 2, 3, 4));
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->count, 1u);
+  EXPECT_EQ(slot->first_seen, 50);
+  EXPECT_EQ(slot->last_seen, 50);
+}
+
+TEST(MonitorTableTest, RepeatObservationsUpdateInPlace) {
+  MonitorTable table;
+  const net::Ipv4Address client(1, 2, 3, 4);
+  table.observe(client, 1000, 3, 4, 10);
+  table.observe(client, 2000, 7, 2, 70);
+  EXPECT_EQ(table.size(), 1u);
+  const auto* slot = table.find(client);
+  ASSERT_NE(slot, nullptr);
+  EXPECT_EQ(slot->count, 2u);
+  EXPECT_EQ(slot->port, 2000);   // last packet wins
+  EXPECT_EQ(slot->mode, 7);
+  EXPECT_EQ(slot->first_seen, 10);
+  EXPECT_EQ(slot->last_seen, 70);
+}
+
+TEST(MonitorTableTest, DumpComputesAvgIntervalAndLastSeen) {
+  MonitorTable table;
+  const net::Ipv4Address client(1, 2, 3, 4);
+  // 7 packets spread over 6 weeks: avg interval ~ 604800.
+  table.observe_many(client, 123, 7, 2, 7, 0, 6 * 604800);
+  const auto entries = table.dump(6 * 604800 + 100, kLocal);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].avg_interval, 604800u);
+  EXPECT_EQ(entries[0].last_seen, 100u);
+  EXPECT_EQ(entries[0].count, 7u);
+  EXPECT_EQ(entries[0].local_address, kLocal);
+}
+
+TEST(MonitorTableTest, SinglePacketHasZeroInterval) {
+  MonitorTable table;
+  table.observe(net::Ipv4Address(1, 2, 3, 4), 123, 3, 4, 500);
+  const auto entries = table.dump(500, kLocal);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].avg_interval, 0u);
+  EXPECT_EQ(entries[0].last_seen, 0u);
+}
+
+TEST(MonitorTableTest, DumpOrdersMostRecentFirst) {
+  MonitorTable table;
+  table.observe(net::Ipv4Address(1, 0, 0, 1), 1, 3, 4, 100);
+  table.observe(net::Ipv4Address(1, 0, 0, 2), 2, 3, 4, 300);
+  table.observe(net::Ipv4Address(1, 0, 0, 3), 3, 3, 4, 200);
+  const auto entries = table.dump(400, kLocal);
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].address, net::Ipv4Address(1, 0, 0, 2));
+  EXPECT_EQ(entries[1].address, net::Ipv4Address(1, 0, 0, 3));
+  EXPECT_EQ(entries[2].address, net::Ipv4Address(1, 0, 0, 1));
+}
+
+TEST(MonitorTableTest, ProbeAppearsTopmostAfterProbing) {
+  // Table 3a: the ONP probe is typically the topmost entry with last
+  // seen 0 — the most recent client is the prober itself.
+  MonitorTable table;
+  table.observe(net::Ipv4Address(9, 9, 9, 9), 1234, 3, 4, 50);
+  table.observe(net::Ipv4Address(8, 8, 8, 8), 57915, 7, 2, 100);
+  const auto entries = table.dump(100, kLocal);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].address, net::Ipv4Address(8, 8, 8, 8));
+  EXPECT_EQ(entries[0].last_seen, 0u);
+  EXPECT_EQ(entries[0].mode, 7);
+}
+
+TEST(MonitorTableTest, EvictsLeastRecentlySeenAtCapacity) {
+  MonitorTable table(3);
+  table.observe(net::Ipv4Address(1, 0, 0, 1), 1, 3, 4, 10);
+  table.observe(net::Ipv4Address(1, 0, 0, 2), 2, 3, 4, 20);
+  table.observe(net::Ipv4Address(1, 0, 0, 3), 3, 3, 4, 30);
+  table.observe(net::Ipv4Address(1, 0, 0, 4), 4, 3, 4, 40);  // evicts .1
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_EQ(table.find(net::Ipv4Address(1, 0, 0, 1)), nullptr);
+  EXPECT_NE(table.find(net::Ipv4Address(1, 0, 0, 4)), nullptr);
+}
+
+TEST(MonitorTableTest, ReobservationRefreshesEvictionOrder) {
+  MonitorTable table(2);
+  table.observe(net::Ipv4Address(1, 0, 0, 1), 1, 3, 4, 10);
+  table.observe(net::Ipv4Address(1, 0, 0, 2), 2, 3, 4, 20);
+  table.observe(net::Ipv4Address(1, 0, 0, 1), 1, 3, 4, 30);  // refresh .1
+  table.observe(net::Ipv4Address(1, 0, 0, 3), 3, 3, 4, 40);  // evicts .2
+  EXPECT_NE(table.find(net::Ipv4Address(1, 0, 0, 1)), nullptr);
+  EXPECT_EQ(table.find(net::Ipv4Address(1, 0, 0, 2)), nullptr);
+}
+
+TEST(MonitorTableTest, CapacityIs600ByDefault) {
+  MonitorTable table;
+  for (std::uint32_t i = 0; i < 700; ++i) {
+    table.observe(net::Ipv4Address{0x01000000u + i}, 1, 3, 4,
+                  static_cast<util::SimTime>(i));
+  }
+  EXPECT_EQ(table.size(), 600u);
+  // The earliest 100 clients were recycled.
+  EXPECT_EQ(table.find(net::Ipv4Address{0x01000000u}), nullptr);
+  EXPECT_NE(table.find(net::Ipv4Address{0x01000000u + 699}), nullptr);
+}
+
+TEST(MonitorTableTest, ObserveManyMatchesRepeatedObserve) {
+  MonitorTable bulk, loop;
+  const net::Ipv4Address client(5, 5, 5, 5);
+  bulk.observe_many(client, 80, 7, 2, 100, 1000, 1990);
+  for (int i = 0; i < 100; ++i) {
+    loop.observe(client, 80, 7, 2, 1000 + i * 10);
+  }
+  const auto be = bulk.dump(2000, kLocal);
+  const auto le = loop.dump(2000, kLocal);
+  ASSERT_EQ(be.size(), 1u);
+  ASSERT_EQ(le.size(), 1u);
+  EXPECT_EQ(be[0].count, le[0].count);
+  EXPECT_EQ(be[0].avg_interval, le[0].avg_interval);
+  EXPECT_EQ(be[0].last_seen, le[0].last_seen);
+}
+
+TEST(MonitorTableTest, ObserveManyZeroPacketsIsNoop) {
+  MonitorTable table;
+  table.observe_many(net::Ipv4Address(1, 1, 1, 1), 80, 7, 2, 0, 0, 100);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(MonitorTableTest, CountSaturatesAt32BitsOnDump) {
+  MonitorTable table;
+  const net::Ipv4Address client(6, 6, 6, 6);
+  table.observe_many(client, 80, 7, 2, 10'000'000'000ULL, 0, 100);
+  const auto entries = table.dump(100, kLocal);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].count, 0xffffffffu);
+  // Internally the full count survives.
+  EXPECT_EQ(table.find(client)->count, 10'000'000'000ULL);
+}
+
+TEST(MonitorTableTest, DumpNeverReportsNegativeLastSeen) {
+  MonitorTable table;
+  table.observe(net::Ipv4Address(1, 1, 1, 1), 80, 7, 2, 1000);
+  // Dump taken "before" the observation (clock skew): clamps to 0.
+  const auto entries = table.dump(500, kLocal);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].last_seen, 0u);
+}
+
+TEST(MonitorTableTest, ClearEmptiesTable) {
+  MonitorTable table;
+  table.observe(net::Ipv4Address(1, 1, 1, 1), 80, 7, 2, 10);
+  table.clear();
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(MonitorTableTest, DeterministicTieBreakOnEqualLastSeen) {
+  MonitorTable table;
+  table.observe(net::Ipv4Address(2, 0, 0, 2), 1, 3, 4, 100);
+  table.observe(net::Ipv4Address(2, 0, 0, 1), 2, 3, 4, 100);
+  const auto entries = table.dump(100, kLocal);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_LT(entries[0].address, entries[1].address);
+}
+
+}  // namespace
+}  // namespace gorilla::ntp

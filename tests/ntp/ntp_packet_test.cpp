@@ -1,0 +1,92 @@
+#include "ntp/ntp_packet.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::ntp {
+namespace {
+
+TEST(LiVnModeTest, BitPacking) {
+  EXPECT_EQ(make_li_vn_mode(0, 4, Mode::kClient), 0x23);   // 00 100 011
+  EXPECT_EQ(make_li_vn_mode(0, 2, Mode::kPrivate), 0x17);  // 00 010 111
+  EXPECT_EQ(make_li_vn_mode(3, 4, Mode::kServer), 0xe4);   // 11 100 100
+}
+
+TEST(PeekTest, ModeAndVersion) {
+  const std::vector<std::uint8_t> pkt = {make_li_vn_mode(0, 3, Mode::kControl)};
+  EXPECT_EQ(peek_mode(pkt), Mode::kControl);
+  EXPECT_EQ(peek_version(pkt), 3);
+}
+
+TEST(PeekTest, EmptyBuffer) {
+  EXPECT_FALSE(peek_mode({}));
+  EXPECT_FALSE(peek_version({}));
+}
+
+TEST(TimePacketTest, SerializesTo48Bytes) {
+  TimePacket p;
+  EXPECT_EQ(serialize(p).size(), kTimePacketBytes);
+}
+
+TEST(TimePacketTest, RoundTrip) {
+  TimePacket p;
+  p.leap = 3;
+  p.version = 4;
+  p.mode = Mode::kServer;
+  p.stratum = 2;
+  p.poll = 10;
+  p.precision = -23;
+  p.root_delay = 0x12345678;
+  p.root_dispersion = 0x9abcdef0;
+  p.reference_id = 0x7f000001;
+  p.reference_ts = 0x0123456789abcdefULL;
+  p.origin_ts = 1;
+  p.receive_ts = 2;
+  p.transmit_ts = 3;
+  const auto wire = serialize(p);
+  const auto parsed = parse_time_packet(wire);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->leap, p.leap);
+  EXPECT_EQ(parsed->version, p.version);
+  EXPECT_EQ(parsed->mode, p.mode);
+  EXPECT_EQ(parsed->stratum, p.stratum);
+  EXPECT_EQ(parsed->poll, p.poll);
+  EXPECT_EQ(parsed->precision, p.precision);
+  EXPECT_EQ(parsed->root_delay, p.root_delay);
+  EXPECT_EQ(parsed->root_dispersion, p.root_dispersion);
+  EXPECT_EQ(parsed->reference_id, p.reference_id);
+  EXPECT_EQ(parsed->reference_ts, p.reference_ts);
+  EXPECT_EQ(parsed->origin_ts, p.origin_ts);
+  EXPECT_EQ(parsed->receive_ts, p.receive_ts);
+  EXPECT_EQ(parsed->transmit_ts, p.transmit_ts);
+}
+
+TEST(TimePacketTest, RejectsShortBuffer) {
+  const auto wire = serialize(TimePacket{});
+  EXPECT_FALSE(parse_time_packet(
+      std::span<const std::uint8_t>(wire).subspan(0, 47)));
+}
+
+TEST(TimePacketTest, RejectsControlAndPrivateModes) {
+  std::vector<std::uint8_t> wire = serialize(TimePacket{});
+  wire[0] = make_li_vn_mode(0, 2, Mode::kControl);
+  EXPECT_FALSE(parse_time_packet(wire));
+  wire[0] = make_li_vn_mode(0, 2, Mode::kPrivate);
+  EXPECT_FALSE(parse_time_packet(wire));
+}
+
+TEST(TimePacketTest, NegativePollAndPrecisionSurvive) {
+  TimePacket p;
+  p.poll = -6;
+  p.precision = -29;
+  const auto parsed = parse_time_packet(serialize(p));
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->poll, -6);
+  EXPECT_EQ(parsed->precision, -29);
+}
+
+TEST(ConstantsTest, StratumUnsynchronized) {
+  EXPECT_EQ(kStratumUnsynchronized, 16);
+}
+
+}  // namespace
+}  // namespace gorilla::ntp

@@ -1,0 +1,90 @@
+#include "ntp/ntpdc.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::ntp {
+namespace {
+
+MonitorEntry entry(std::uint32_t ip, std::uint16_t port, std::uint32_t count,
+                   std::uint8_t mode, std::uint32_t avgint,
+                   std::uint32_t lstint) {
+  MonitorEntry e;
+  e.address = net::Ipv4Address{ip};
+  e.local_address = net::Ipv4Address(10, 1, 2, 3);
+  e.port = port;
+  e.mode = mode;
+  e.version = 2;
+  e.count = count;
+  e.avg_interval = avgint;
+  e.last_seen = lstint;
+  return e;
+}
+
+TEST(NtpdcRenderTest, HeaderAndSeparator) {
+  const auto text = render_monlist({});
+  EXPECT_NE(text.find("remote address"), std::string::npos);
+  EXPECT_NE(text.find("avgint"), std::string::npos);
+  EXPECT_NE(text.find("====="), std::string::npos);
+}
+
+TEST(NtpdcRenderTest, RowContainsAllFields) {
+  const auto row = render_monlist_row(
+      entry(0xc6336407, 57915, 7, 7, 526929, 0));
+  EXPECT_NE(row.find("198.51.100.7"), std::string::npos);
+  EXPECT_NE(row.find("57915"), std::string::npos);
+  EXPECT_NE(row.find("10.1.2.3"), std::string::npos);
+  EXPECT_NE(row.find("526929"), std::string::npos);
+}
+
+TEST(NtpdcRenderTest, TextRoundTrip) {
+  std::vector<MonitorEntry> table = {
+      entry(0xc6336407, 57915, 7, 7, 526929, 0),
+      entry(0x42424201, 59436, 3358227026u, 7, 0, 0),
+      entry(0x0a030303, 123, 20, 3, 941, 120),
+  };
+  const auto text = render_monlist(table);
+  const auto parsed = parse_monlist_text(text);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].address, table[i].address);
+    EXPECT_EQ((*parsed)[i].port, table[i].port);
+    EXPECT_EQ((*parsed)[i].count, table[i].count);
+    EXPECT_EQ((*parsed)[i].mode, table[i].mode);
+    EXPECT_EQ((*parsed)[i].avg_interval, table[i].avg_interval);
+    EXPECT_EQ((*parsed)[i].last_seen, table[i].last_seen);
+    EXPECT_EQ((*parsed)[i].local_address, table[i].local_address);
+  }
+}
+
+TEST(NtpdcParseTest, SkipsBlankAndHeaderLines) {
+  const std::string text =
+      "\nremote address          port local address      count m ver rstr "
+      "avgint  lstint\n"
+      "==========================================\n\n" +
+      render_monlist_row(entry(0x01020304, 80, 5, 7, 10, 20)) + "\n\n";
+  const auto parsed = parse_monlist_text(text);
+  ASSERT_TRUE(parsed);
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].address, net::Ipv4Address(1, 2, 3, 4));
+}
+
+TEST(NtpdcParseTest, EmptyTextYieldsEmptyTable) {
+  const auto parsed = parse_monlist_text("");
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(NtpdcParseTest, RejectsMalformedRow) {
+  EXPECT_FALSE(parse_monlist_text("1.2.3.4 not-a-port garbage\n"));
+  EXPECT_FALSE(parse_monlist_text("not-an-ip 80 10.0.0.1 5 7 2 0 10 20\n"));
+  EXPECT_FALSE(parse_monlist_text("1.2.3.4 99999 10.0.0.1 5 7 2 0 10 20\n"));
+  EXPECT_FALSE(parse_monlist_text("1.2.3.4 80 10.0.0.1 5 9 2 0 10 20\n"));
+}
+
+TEST(NtpdcParseTest, TruncatedRowRejected) {
+  EXPECT_FALSE(parse_monlist_text("1.2.3.4 80 10.0.0.1 5 7\n"));
+}
+
+}  // namespace
+}  // namespace gorilla::ntp

@@ -1,0 +1,127 @@
+#include "ntp/sysinfo.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace gorilla::ntp {
+namespace {
+
+TEST(SystemDistributionTest, PoolsHaveDistinctLeaders) {
+  // Table 2: the overall NTP pool is cisco-led; amplifiers are linux-led;
+  // megas are linux/junos.
+  EXPECT_EQ(system_string_distribution(SystemPool::kAllNtp)[0].first, "cisco");
+  EXPECT_EQ(system_string_distribution(SystemPool::kAllAmplifiers)[0].first,
+            "linux");
+  EXPECT_EQ(system_string_distribution(SystemPool::kMega)[0].first, "linux");
+  EXPECT_EQ(system_string_distribution(SystemPool::kMega)[1].first, "junos");
+}
+
+TEST(SystemDistributionTest, SamplingTracksWeights) {
+  util::Rng rng(1);
+  std::map<std::string, int> counts;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[sample_system_string(SystemPool::kAllNtp, rng)];
+  }
+  EXPECT_NEAR(counts["cisco"] / double(n), 0.484, 0.02);
+  EXPECT_NEAR(counts["unix"] / double(n), 0.306, 0.02);
+  EXPECT_NEAR(counts["linux"] / double(n), 0.19, 0.02);
+}
+
+TEST(SystemDistributionTest, AmplifierPoolLinuxDominates) {
+  util::Rng rng(2);
+  int linux_count = 0;
+  constexpr int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sample_system_string(SystemPool::kAllAmplifiers, rng) == "linux") {
+      ++linux_count;
+    }
+  }
+  EXPECT_NEAR(linux_count / double(n), 0.80, 0.02);
+}
+
+TEST(CompileYearTest, CumulativeFractionsMatchPaper) {
+  util::Rng rng(3);
+  constexpr int n = 100000;
+  int before2004 = 0, before2010 = 0, before2012 = 0, recent = 0;
+  for (int i = 0; i < n; ++i) {
+    const int y = sample_compile_year(rng);
+    EXPECT_GE(y, 1998);
+    EXPECT_LE(y, 2014);
+    if (y < 2004) ++before2004;
+    if (y < 2010) ++before2010;
+    if (y < 2012) ++before2012;
+    if (y >= 2013) ++recent;
+  }
+  EXPECT_NEAR(before2004 / double(n), 0.13, 0.01);   // §3.3: 13% before 2004
+  EXPECT_NEAR(before2010 / double(n), 0.23, 0.01);   // 23% before 2010
+  EXPECT_NEAR(before2012 / double(n), 0.59, 0.01);   // 59% before 2012
+  EXPECT_NEAR(recent / double(n), 0.21, 0.01);       // 21% in 2013-14
+}
+
+TEST(StratumTest, NineteenPercentUnsynchronized) {
+  util::Rng rng(4);
+  constexpr int n = 100000;
+  int stratum16 = 0;
+  for (int i = 0; i < n; ++i) {
+    const int s = sample_stratum(rng);
+    EXPECT_GE(s, 1);
+    EXPECT_LE(s, 16);
+    if (s == kStratumUnsynchronized) ++stratum16;
+  }
+  EXPECT_NEAR(stratum16 / double(n), 0.19, 0.01);
+}
+
+TEST(MakeSystemVariablesTest, EmbedsIdentity) {
+  util::Rng rng(5);
+  const auto vars = make_system_variables("junos", 2009, 16, rng);
+  EXPECT_EQ(vars.system, "junos");
+  EXPECT_EQ(vars.stratum, 16);
+  EXPECT_EQ(vars.leap, 3);
+  EXPECT_NE(vars.version.find("2009"), std::string::npos);
+  EXPECT_NE(vars.version.find("ntpd "), std::string::npos);
+}
+
+TEST(ExtractCompileYearTest, FindsTrailingYear) {
+  EXPECT_EQ(extract_compile_year("ntpd 4.2.6p5@1.2349-o Tue May 10 2011"),
+            2011);
+  EXPECT_EQ(extract_compile_year("ntpd 4.1.1@1.786 Mon Feb  3 2003"), 2003);
+}
+
+TEST(ExtractCompileYearTest, IgnoresNonYearDigits) {
+  EXPECT_EQ(extract_compile_year("ntpd 4.2.8p15"), 0);
+  EXPECT_EQ(extract_compile_year(""), 0);
+  // 2349 in the build number is a plausible year token; the last valid year
+  // wins, which is the date's.
+  EXPECT_EQ(extract_compile_year("ntpd 4.2.6@1.2349-o Jan 5 2012"), 2012);
+}
+
+TEST(ExtractCompileYearTest, RoundTripsWithGenerator) {
+  util::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const int year = sample_compile_year(rng);
+    const auto vars = make_system_variables("linux", year, 2, rng);
+    EXPECT_EQ(extract_compile_year(vars.version), year) << vars.version;
+  }
+}
+
+TEST(NormalizeOsLabelTest, MapsVariants) {
+  EXPECT_EQ(normalize_os_label("Linux/2.6.32"), "linux");
+  EXPECT_EQ(normalize_os_label("Linux2.4.20"), "linux");
+  EXPECT_EQ(normalize_os_label("cisco IOS"), "cisco");
+  EXPECT_EQ(normalize_os_label("JUNOS 10.4"), "junos");
+  EXPECT_EQ(normalize_os_label("FreeBSD/9.1 bsd"), "bsd");
+  EXPECT_EQ(normalize_os_label("UNIX"), "unix");
+  EXPECT_EQ(normalize_os_label("Windows"), "windows");
+  EXPECT_EQ(normalize_os_label("SomethingElse OS"), "OTHER");
+}
+
+TEST(NormalizeOsLabelTest, CiscoBeforeUnixForIosXr) {
+  // Some Cisco IOS-XR devices report "UNIX" — the label logic checks cisco
+  // first so explicit cisco strings stay cisco.
+  EXPECT_EQ(normalize_os_label("cisco-UNIX"), "cisco");
+}
+
+}  // namespace
+}  // namespace gorilla::ntp

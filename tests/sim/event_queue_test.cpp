@@ -1,0 +1,99 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.now(), 0);
+}
+
+TEST(EventQueueTest, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule_at(30, [&] { order.push_back(3); });
+  q.schedule_at(10, [&] { order.push_back(1); });
+  q.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(q.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  q.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule_at(10, [&] { ++fired; });
+  q.schedule_at(20, [&] { ++fired; });
+  q.schedule_at(21, [&] { ++fired; });
+  EXPECT_EQ(q.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 20);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueueTest, NowAdvancesToEventTimes) {
+  EventQueue q;
+  util::SimTime seen = -1;
+  q.schedule_at(42, [&] { seen = q.now(); });
+  q.run();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueueTest, ScheduleInIsRelative) {
+  EventQueue q;
+  util::SimTime seen = -1;
+  q.schedule_at(100, [&] {
+    q.schedule_in(5, [&] { seen = q.now(); });
+  });
+  q.run();
+  EXPECT_EQ(seen, 105);
+}
+
+TEST(EventQueueTest, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int count = 0;
+  std::function<void()> recur = [&] {
+    if (++count < 5) q.schedule_in(10, recur);
+  };
+  q.schedule_at(0, recur);
+  q.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(1000), 0u);
+  EXPECT_EQ(q.now(), 1000);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  util::SimTime last = -1;
+  bool ordered = true;
+  for (int i = 0; i < 10000; ++i) {
+    const util::SimTime when = (i * 7919) % 10007;
+    q.schedule_at(when, [&, when] {
+      if (when < last) ordered = false;
+      last = when;
+    });
+  }
+  q.run();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace gorilla::sim

@@ -1,0 +1,128 @@
+#include "sim/remediation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gorilla::sim {
+namespace {
+
+TEST(MonlistSurvivalTest, AnchorsToPaperCounts) {
+  EXPECT_DOUBLE_EQ(monlist_survival(0), 1.0);
+  EXPECT_NEAR(monlist_survival(2), 677112.0 / 1405186.0, 1e-9);
+  EXPECT_NEAR(monlist_survival(14), 106445.0 / 1405186.0, 1e-9);
+}
+
+TEST(MonlistSurvivalTest, PreStudyIsFull) {
+  EXPECT_DOUBLE_EQ(monlist_survival(-3), 1.0);
+}
+
+TEST(MonlistSurvivalTest, BeyondHorizonHoldsSteady) {
+  EXPECT_DOUBLE_EQ(monlist_survival(20), monlist_survival(14));
+}
+
+TEST(MonlistSurvivalTest, NinetyTwoPercentReduction) {
+  // §6: "a reduction of 92%" from first to last sample.
+  EXPECT_NEAR(1.0 - monlist_survival(14), 0.92, 0.005);
+}
+
+TEST(ContinentHazardTest, OrderingMatchesPaper) {
+  // §6.1 remediated%: NA 97 > OC 93 > EU 89 > AS 84 > AF 77 > SA 63.
+  EXPECT_GT(continent_hazard(net::Continent::kNorthAmerica),
+            continent_hazard(net::Continent::kOceania));
+  EXPECT_GT(continent_hazard(net::Continent::kOceania),
+            continent_hazard(net::Continent::kEurope));
+  EXPECT_GT(continent_hazard(net::Continent::kEurope),
+            continent_hazard(net::Continent::kAsia));
+  EXPECT_GT(continent_hazard(net::Continent::kAsia),
+            continent_hazard(net::Continent::kAfrica));
+  EXPECT_GT(continent_hazard(net::Continent::kAfrica),
+            continent_hazard(net::Continent::kSouthAmerica));
+}
+
+TEST(ContinentHazardTest, ImpliedSurvivalMatchesPaper) {
+  const double base = monlist_survival(14);
+  // survival^hazard should land near 1 - remediated%.
+  EXPECT_NEAR(std::pow(base, continent_hazard(net::Continent::kNorthAmerica)),
+              0.03, 0.01);
+  EXPECT_NEAR(std::pow(base, continent_hazard(net::Continent::kSouthAmerica)),
+              0.37, 0.02);
+}
+
+TEST(HostTypeHazardTest, EndHostsSlower) {
+  EXPECT_LT(host_type_hazard(true), host_type_hazard(false));
+}
+
+TEST(SampleFixWeekTest, ZeroDrawNeverFixes) {
+  // u -> 0 means the server survives everything.
+  EXPECT_EQ(sample_monlist_fix_week(1.0, 1e-12), -1);
+}
+
+TEST(SampleFixWeekTest, DrawNearOneFixesImmediately) {
+  EXPECT_EQ(sample_monlist_fix_week(1.0, 0.999999), 1);
+}
+
+TEST(SampleFixWeekTest, PopulationTracksSurvivalCurve) {
+  util::Rng rng(77);
+  constexpr int n = 200000;
+  std::array<int, 15> alive{};
+  for (int i = 0; i < n; ++i) {
+    const int fix = sample_monlist_fix_week(1.0, rng.uniform01());
+    for (int w = 0; w < 15; ++w) {
+      if (fix < 0 || w < fix) ++alive[static_cast<std::size_t>(w)];
+    }
+  }
+  for (int w : {0, 2, 7, 14}) {
+    EXPECT_NEAR(alive[static_cast<std::size_t>(w)] / double(n),
+                monlist_survival(w), 0.01)
+        << "week " << w;
+  }
+}
+
+TEST(SampleFixWeekTest, HigherHazardFixesFaster) {
+  util::Rng rng(78);
+  constexpr int n = 50000;
+  int fast_alive = 0, slow_alive = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    const int fast = sample_monlist_fix_week(1.4, u);
+    const int slow = sample_monlist_fix_week(0.5, u);
+    if (fast < 0) ++fast_alive;
+    if (slow < 0) ++slow_alive;
+    // Coupled draws: a higher hazard can never fix *later*.
+    if (fast >= 0 && slow >= 0) EXPECT_LE(fast, slow);
+    if (slow >= 0) EXPECT_GE(fast, 0);
+  }
+  EXPECT_LT(fast_alive, slow_alive);
+}
+
+TEST(VersionSurvivalTest, NineteenPercentOverNineWeeks) {
+  EXPECT_DOUBLE_EQ(version_survival(0), 1.0);
+  EXPECT_NEAR(version_survival(9), 0.81, 0.005);
+}
+
+TEST(VersionSurvivalTest, MonotoneDecline) {
+  for (int w = 1; w < 40; ++w) {
+    EXPECT_LT(version_survival(w), version_survival(w - 1));
+  }
+}
+
+TEST(VersionFixWeekTest, MostSurviveHorizon) {
+  util::Rng rng(79);
+  constexpr int n = 50000;
+  int survived = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sample_version_fix_week(1.0, rng.uniform01(), 9) < 0) ++survived;
+  }
+  EXPECT_NEAR(survived / double(n), 0.81, 0.01);
+}
+
+TEST(PaperConstantsTest, TableOneCounts) {
+  EXPECT_EQ(kPaperAmplifierCounts.front(), 1405186u);
+  EXPECT_EQ(kPaperAmplifierCounts.back(), 106445u);
+  EXPECT_EQ(kPaperVictimCounts.front(), 49979u);
+  EXPECT_EQ(kPaperVictimCounts[5], 94125u);
+}
+
+}  // namespace
+}  // namespace gorilla::sim

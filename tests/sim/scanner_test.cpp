@@ -1,0 +1,150 @@
+#include "sim/scanner.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::sim {
+namespace {
+
+WorldConfig tiny_config() {
+  WorldConfig cfg;
+  cfg.scale = 200;
+  cfg.registry.num_ases = 2000;
+  return cfg;
+}
+
+ScanTrafficConfig scan_config() {
+  ScanTrafficConfig cfg;
+  return cfg;
+}
+
+class ScanTrafficTest : public ::testing::Test {
+ protected:
+  ScanTrafficTest() : world_(tiny_config()), scans_(world_, scan_config()) {}
+
+  telemetry::DarknetTelescope make_telescope() {
+    telemetry::DarknetConfig cfg;
+    cfg.telescope = world_.registry().named().darknet;
+    return telemetry::DarknetTelescope(cfg);
+  }
+
+  World world_;
+  ScanTraffic scans_;
+};
+
+TEST_F(ScanTrafficTest, ActorsIncludeResearchAndMalicious) {
+  std::size_t benign = 0, malicious = 0;
+  for (const auto& a : scans_.actors()) {
+    (a.benign ? benign : malicious)++;
+  }
+  EXPECT_EQ(benign, 6u);
+  EXPECT_GT(malicious, 10u);
+}
+
+TEST_F(ScanTrafficTest, MaliciousOnsetMidDecember) {
+  for (const auto& a : scans_.actors()) {
+    if (!a.benign) {
+      EXPECT_GE(a.first_day, scan_config().malicious_onset_day);
+      EXPECT_LT(a.first_day, scan_config().malicious_onset_day +
+                                 scan_config().malicious_ramp_days);
+    }
+  }
+}
+
+TEST_F(ScanTrafficTest, DarknetQuietBeforeOnsetBusyAfter) {
+  auto telescope = make_telescope();
+  for (int day = 0; day < 140; ++day) {
+    scans_.run_day(day, &telescope, {});
+  }
+  const auto per_day = telescope.unique_scanners_per_day();
+  auto scanners_on = [&](int day) {
+    const auto it = per_day.find(day);
+    return it == per_day.end() ? std::uint64_t{0} : it->second;
+  };
+  // Average scanners/day in November vs February.
+  double nov = 0, feb = 0;
+  for (int d = 0; d < 30; ++d) nov += static_cast<double>(scanners_on(d));
+  for (int d = 100; d < 130; ++d) feb += static_cast<double>(scanners_on(d));
+  EXPECT_GT(feb, nov * 5 + 10);
+}
+
+TEST_F(ScanTrafficTest, ScanningContinuesThroughRemediation) {
+  // §5.1: scanning stays high even as the vulnerable pool collapses.
+  auto telescope = make_telescope();
+  for (int day = 0; day < 170; ++day) {
+    scans_.run_day(day, &telescope, {});
+  }
+  const auto per_day = telescope.unique_scanners_per_day();
+  double march = 0, april = 0;
+  for (int d = 120; d < 150; ++d) {
+    const auto it = per_day.find(d);
+    if (it != per_day.end()) march += static_cast<double>(it->second);
+  }
+  for (int d = 150; d < 170; ++d) {
+    const auto it = per_day.find(d);
+    if (it != per_day.end()) april += static_cast<double>(it->second);
+  }
+  EXPECT_GT(april / 20.0, march / 30.0 * 0.5);
+}
+
+TEST_F(ScanTrafficTest, BenignFractionIdentifiable) {
+  auto telescope = make_telescope();
+  for (int day = 0; day < 60; ++day) {
+    scans_.run_day(day, &telescope, {});
+  }
+  const auto monthly = telescope.monthly_volumes();
+  ASSERT_FALSE(monthly.empty());
+  // Before the malicious onset (first month), research dominates.
+  EXPECT_GT(monthly.front().benign_fraction(), 0.5);
+}
+
+TEST_F(ScanTrafficTest, VantageSeesScanFlowsWithLinuxTtl) {
+  const auto& named = world_.registry().named();
+  telemetry::FlowCollector merit("merit", {named.merit_space});
+  for (int day = 50; day < 80; ++day) {
+    scans_.run_day(day, nullptr, {&merit});
+  }
+  ASSERT_FALSE(merit.flows().empty());
+  for (const auto& f : merit.flows()) {
+    EXPECT_EQ(f.dst_port, net::kNtpPort);
+    EXPECT_EQ(f.ttl, kScanTtl);
+  }
+}
+
+TEST_F(ScanTrafficTest, SeedMonitorTablesLeavesScannerEntries) {
+  scans_.seed_monitor_tables(0);
+  std::size_t with_entries = 0;
+  for (const auto ai : world_.amplifier_indices()) {
+    const auto* server = world_.detailed(ai);
+    if (server != nullptr && server->monitor().size() > 0) ++with_entries;
+  }
+  // Research scanners sweep everything: every amplifier has entries.
+  EXPECT_GT(with_entries, world_.amplifier_indices().size() * 9 / 10);
+}
+
+TEST_F(ScanTrafficTest, SeededEntriesClassifyAsScanners) {
+  scans_.seed_monitor_tables(0);
+  const auto ai = world_.amplifier_indices().front();
+  const auto* server = world_.detailed(ai);
+  ASSERT_NE(server, nullptr);
+  const auto entries = server->monitor().dump(
+      70 * util::kSecondsPerDay, server->config().address);
+  ASSERT_FALSE(entries.empty());
+  for (const auto& e : entries) {
+    // Probe entries: mode 6 or 7, tiny counts — the §4.2 scanner class.
+    EXPECT_GE(e.mode, 6);
+    EXPECT_LT(e.count, 3u);
+  }
+}
+
+TEST_F(ScanTrafficTest, DeterministicGivenSeed) {
+  World w2(tiny_config());
+  ScanTraffic s2(w2, scan_config());
+  ASSERT_EQ(scans_.actors().size(), s2.actors().size());
+  for (std::size_t i = 0; i < scans_.actors().size(); ++i) {
+    EXPECT_EQ(scans_.actors()[i].address, s2.actors()[i].address);
+    EXPECT_EQ(scans_.actors()[i].first_day, s2.actors()[i].first_day);
+  }
+}
+
+}  // namespace
+}  // namespace gorilla::sim

@@ -1,0 +1,80 @@
+#include "telemetry/billing.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::telemetry {
+namespace {
+
+VolumeSeries series_of(std::vector<double> bytes,
+                       util::SimTime bucket = 300) {
+  VolumeSeries s;
+  s.bucket_seconds = bucket;
+  s.bytes = std::move(bytes);
+  return s;
+}
+
+TEST(BillingTest, EmptySeries) {
+  const auto r = percentile_billing(series_of({}));
+  EXPECT_EQ(r.samples, 0u);
+  EXPECT_EQ(r.billed_bps, 0.0);
+}
+
+TEST(BillingTest, ConstantSeries) {
+  const auto r = percentile_billing(series_of(std::vector<double>(100, 300.0)));
+  // 300 bytes per 300s = 8 bps.
+  EXPECT_NEAR(r.billed_bps, 8.0, 1e-9);
+  EXPECT_NEAR(r.peak_bps, 8.0, 1e-9);
+  EXPECT_NEAR(r.mean_bps, 8.0, 1e-9);
+}
+
+TEST(BillingTest, DiscardsTopFivePercent) {
+  // 100 samples: 95 at 300 bytes, 5 enormous spikes. The 95th-percentile
+  // rate must ignore the spikes.
+  std::vector<double> bytes(95, 300.0);
+  bytes.insert(bytes.end(), 5, 3e9);
+  const auto r = percentile_billing(series_of(std::move(bytes)));
+  EXPECT_NEAR(r.billed_bps, 8.0, 1e-6);
+  EXPECT_GT(r.peak_bps, 1e6);
+}
+
+TEST(BillingTest, SustainedAttackRaisesBill) {
+  // An attack occupying 10% of samples does move the 95th percentile.
+  std::vector<double> bytes(90, 300.0);
+  bytes.insert(bytes.end(), 10, 3000.0);
+  const auto r = percentile_billing(series_of(std::move(bytes)));
+  EXPECT_NEAR(r.billed_bps, 80.0, 1e-6);
+}
+
+TEST(BillingIncreaseTest, ZeroOverlayZeroIncrease) {
+  const auto base = series_of(std::vector<double>(100, 300.0));
+  const auto overlay = series_of(std::vector<double>(100, 0.0));
+  EXPECT_NEAR(billing_increase(base, overlay), 0.0, 1e-12);
+}
+
+TEST(BillingIncreaseTest, ProportionalOverlay) {
+  const auto base = series_of(std::vector<double>(100, 1000.0));
+  const auto overlay = series_of(std::vector<double>(100, 20.0));
+  // +2% everywhere -> +2% billed.
+  EXPECT_NEAR(billing_increase(base, overlay), 0.02, 1e-9);
+}
+
+TEST(BillingIncreaseTest, BriefSpikeIsFree) {
+  // The paper's point about the 95th-percentile model: a spike shorter
+  // than 5% of the month costs nothing.
+  std::vector<double> overlay_bytes(100, 0.0);
+  overlay_bytes[50] = 1e9;
+  const auto base = series_of(std::vector<double>(100, 1000.0));
+  const auto overlay = series_of(std::move(overlay_bytes));
+  EXPECT_NEAR(billing_increase(base, overlay), 0.0, 1e-12);
+}
+
+TEST(BillingIncreaseTest, RejectsMisalignedSeries) {
+  const auto base = series_of(std::vector<double>(100, 1.0));
+  const auto overlay = series_of(std::vector<double>(99, 1.0));
+  EXPECT_THROW(billing_increase(base, overlay), std::invalid_argument);
+  const auto other_bucket = series_of(std::vector<double>(100, 1.0), 600);
+  EXPECT_THROW(billing_increase(base, other_bucket), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gorilla::telemetry

@@ -1,0 +1,101 @@
+#include "telemetry/darknet.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::telemetry {
+namespace {
+
+DarknetConfig config() {
+  DarknetConfig cfg;
+  cfg.telescope = net::Prefix{net::Ipv4Address(50, 0, 0, 0), 8};
+  cfg.effective_coverage = 0.75;
+  return cfg;
+}
+
+TEST(DarknetTest, EffectiveDarkSlash24s) {
+  DarknetTelescope t(config());
+  // A /8 holds 65536 /24s; 75% are effectively dark.
+  EXPECT_NEAR(t.effective_dark_slash24s(), 49152.0, 1e-6);
+}
+
+TEST(DarknetTest, ObserveScanAggregates) {
+  DarknetTelescope t(config());
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 0, 1000, false);
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 0, 500, false);
+  t.observe_scan(net::Ipv4Address(2, 2, 2, 2), 0, 100, true);
+  EXPECT_EQ(t.total_packets(), 1600u);
+  const auto per_day = t.unique_scanners_per_day();
+  EXPECT_EQ(per_day.at(0), 2u);
+}
+
+TEST(DarknetTest, ZeroPacketScansIgnored) {
+  DarknetTelescope t(config());
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 0, 0, false);
+  EXPECT_EQ(t.total_packets(), 0u);
+  EXPECT_TRUE(t.unique_scanners_per_day().empty());
+}
+
+TEST(DarknetTest, PacketEntryPointFiltersByPrefix) {
+  DarknetTelescope t(config());
+  net::UdpPacket inside;
+  inside.src = net::Ipv4Address(9, 9, 9, 9);
+  inside.dst = net::Ipv4Address(50, 1, 2, 3);
+  inside.timestamp = 3 * util::kSecondsPerDay + 5;
+  net::UdpPacket outside = inside;
+  outside.dst = net::Ipv4Address(51, 1, 2, 3);
+  t.observe_packet(inside, false);
+  t.observe_packet(outside, false);
+  EXPECT_EQ(t.total_packets(), 1u);
+  EXPECT_EQ(t.unique_scanners_per_day().begin()->first, 3);
+}
+
+TEST(DarknetTest, MonthlyVolumesNormalizePerSlash24) {
+  DarknetTelescope t(config());
+  // 49152 dark /24s; 49152000 packets -> 1000 packets per /24.
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 5, 49152000, false);
+  const auto monthly = t.monthly_volumes();
+  ASSERT_EQ(monthly.size(), 1u);
+  EXPECT_EQ(monthly[0].year, 2013);
+  EXPECT_EQ(monthly[0].month, 11);
+  EXPECT_NEAR(monthly[0].other_packets_per_24, 1000.0, 1e-6);
+  EXPECT_NEAR(monthly[0].benign_packets_per_24, 0.0, 1e-9);
+}
+
+TEST(DarknetTest, BenignFraction) {
+  DarknetTelescope t(config());
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 0, 600, true);
+  t.observe_scan(net::Ipv4Address(2, 2, 2, 2), 0, 400, false);
+  const auto monthly = t.monthly_volumes();
+  ASSERT_EQ(monthly.size(), 1u);
+  EXPECT_NEAR(monthly[0].benign_fraction(), 0.6, 1e-9);
+  EXPECT_NEAR(monthly[0].total(),
+              1000.0 / t.effective_dark_slash24s(), 1e-9);
+}
+
+TEST(DarknetTest, MonthBoundariesRespected) {
+  DarknetTelescope t(config());
+  // Day 29 is 2013-11-30; day 30 is 2013-12-01.
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 29, 100, false);
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 30, 100, false);
+  const auto monthly = t.monthly_volumes();
+  ASSERT_EQ(monthly.size(), 2u);
+  EXPECT_EQ(monthly[0].month, 11);
+  EXPECT_EQ(monthly[1].month, 12);
+}
+
+TEST(DarknetTest, ScannersCollectIdentity) {
+  DarknetTelescope t(config());
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 0, 10, false);
+  t.observe_scan(net::Ipv4Address(1, 1, 1, 1), 5, 10, true);  // later benign
+  t.observe_scan(net::Ipv4Address(2, 2, 2, 2), 1, 10, false);
+  const auto scanners = t.scanners();
+  ASSERT_EQ(scanners.size(), 2u);
+  // Benign sticks once seen.
+  for (const auto& s : scanners) {
+    if (s.address == net::Ipv4Address(1, 1, 1, 1)) EXPECT_TRUE(s.benign);
+    if (s.address == net::Ipv4Address(2, 2, 2, 2)) EXPECT_FALSE(s.benign);
+  }
+}
+
+}  // namespace
+}  // namespace gorilla::telemetry

@@ -1,0 +1,137 @@
+#include "telemetry/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::telemetry {
+namespace {
+
+VolumeSeries series_of(std::vector<double> bytes,
+                       util::SimTime bucket = 300,
+                       util::SimTime start = 0) {
+  VolumeSeries s;
+  s.start = start;
+  s.bucket_seconds = bucket;
+  s.bytes = std::move(bytes);
+  return s;
+}
+
+DetectorConfig quiet_config() {
+  DetectorConfig cfg;
+  cfg.floor_bps = 100.0;  // tests use small synthetic rates
+  return cfg;
+}
+
+TEST(DetectorTest, EmptySeriesNoDetections) {
+  EXPECT_TRUE(detect_attacks(series_of({}), quiet_config()).empty());
+}
+
+TEST(DetectorTest, FlatBaselineNoDetections) {
+  const auto detections =
+      detect_attacks(series_of(std::vector<double>(200, 1000.0)),
+                     quiet_config());
+  EXPECT_TRUE(detections.empty());
+}
+
+TEST(DetectorTest, DetectsObviousSpike) {
+  std::vector<double> bytes(100, 1000.0);
+  for (std::size_t b = 40; b < 50; ++b) bytes[b] = 1'000'000.0;
+  const auto detections = detect_attacks(series_of(bytes), quiet_config());
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].start, 40 * 300);
+  EXPECT_EQ(detections[0].end, 50 * 300);
+  EXPECT_NEAR(detections[0].peak_bps, 1'000'000.0 * 8 / 300, 1.0);
+  EXPECT_NEAR(detections[0].volume_bytes, 10'000'000.0, 1.0);
+}
+
+TEST(DetectorTest, HysteresisBridgesSingleQuietBucket) {
+  std::vector<double> bytes(100, 1000.0);
+  for (std::size_t b = 40; b < 44; ++b) bytes[b] = 1'000'000.0;
+  bytes[44] = 1000.0;  // one quiet bucket inside the attack
+  for (std::size_t b = 45; b < 50; ++b) bytes[b] = 1'000'000.0;
+  const auto detections = detect_attacks(series_of(bytes), quiet_config());
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].end, 50 * 300);
+}
+
+TEST(DetectorTest, SeparatesDistinctAttacks) {
+  std::vector<double> bytes(200, 1000.0);
+  for (std::size_t b = 40; b < 45; ++b) bytes[b] = 1'000'000.0;
+  for (std::size_t b = 120; b < 130; ++b) bytes[b] = 2'000'000.0;
+  const auto detections = detect_attacks(series_of(bytes), quiet_config());
+  ASSERT_EQ(detections.size(), 2u);
+  EXPECT_LT(detections[0].end, detections[1].start);
+}
+
+TEST(DetectorTest, MinDurationGateDropsBlips) {
+  std::vector<double> bytes(100, 1000.0);
+  bytes[40] = 1'000'000.0;  // one-bucket blip
+  DetectorConfig cfg = quiet_config();
+  cfg.min_duration = 600;  // two buckets
+  EXPECT_TRUE(detect_attacks(series_of(bytes), cfg).empty());
+  cfg.min_duration = 0;
+  EXPECT_EQ(detect_attacks(series_of(bytes), cfg).size(), 1u);
+}
+
+TEST(DetectorTest, MinVolumeGate) {
+  std::vector<double> bytes(100, 1000.0);
+  for (std::size_t b = 40; b < 43; ++b) bytes[b] = 500'000.0;
+  DetectorConfig cfg = quiet_config();
+  cfg.min_volume_bytes = 10'000'000.0;
+  EXPECT_TRUE(detect_attacks(series_of(bytes), cfg).empty());
+}
+
+TEST(DetectorTest, BaselineDoesNotLearnFromAttack) {
+  // A long attack must not be absorbed into the baseline: the detector
+  // should report ONE long episode, not quit midway.
+  std::vector<double> bytes(300, 1000.0);
+  for (std::size_t b = 50; b < 250; ++b) bytes[b] = 1'000'000.0;
+  const auto detections = detect_attacks(series_of(bytes), quiet_config());
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].start, 50 * 300);
+  EXPECT_EQ(detections[0].end, 250 * 300);
+}
+
+TEST(DetectorTest, SlowGrowthIsEventuallyAbsorbed) {
+  // A gradual organic ramp (2% per bucket) is baseline growth, not attack.
+  std::vector<double> bytes;
+  double v = 1000.0;
+  for (int i = 0; i < 300; ++i) {
+    bytes.push_back(v);
+    v *= 1.02;
+  }
+  DetectorConfig cfg = quiet_config();
+  cfg.floor_bps = 0.0;
+  EXPECT_TRUE(detect_attacks(series_of(bytes), cfg).empty());
+}
+
+TEST(DetectorTest, AttackRunningToEndOfSeriesIsFinalized) {
+  std::vector<double> bytes(100, 1000.0);
+  for (std::size_t b = 90; b < 100; ++b) bytes[b] = 1'000'000.0;
+  const auto detections = detect_attacks(series_of(bytes), quiet_config());
+  ASSERT_EQ(detections.size(), 1u);
+  EXPECT_EQ(detections[0].end, 100 * 300);
+}
+
+TEST(ScoreDetectionsTest, PerfectMatch) {
+  std::vector<DetectedAttack> detections = {{100, 200, 1.0, 1.0}};
+  const auto q = score_detections(detections, {{150, 180}});
+  EXPECT_EQ(q.recall(), 1.0);
+  EXPECT_EQ(q.precision(), 1.0);
+}
+
+TEST(ScoreDetectionsTest, MissAndFalsePositive) {
+  std::vector<DetectedAttack> detections = {{100, 200, 1.0, 1.0},
+                                            {900, 950, 1.0, 1.0}};
+  const auto q = score_detections(detections, {{150, 180}, {400, 500}});
+  EXPECT_NEAR(q.recall(), 0.5, 1e-12);     // second truth missed
+  EXPECT_NEAR(q.precision(), 0.5, 1e-12);  // second detection spurious
+}
+
+TEST(ScoreDetectionsTest, EmptyInputs) {
+  const auto q = score_detections({}, {});
+  EXPECT_EQ(q.recall(), 0.0);
+  EXPECT_EQ(q.precision(), 0.0);
+}
+
+}  // namespace
+}  // namespace gorilla::telemetry

@@ -1,0 +1,168 @@
+#include "telemetry/flow.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace gorilla::telemetry {
+namespace {
+
+const net::Prefix kLocalNet{net::Ipv4Address(10, 0, 0, 0), 16};
+const net::Ipv4Address kLocalHost{net::Ipv4Address(10, 0, 1, 1)};
+const net::Ipv4Address kRemoteHost{net::Ipv4Address(99, 0, 0, 1)};
+
+FlowRecord flow(net::Ipv4Address src, net::Ipv4Address dst,
+                std::uint16_t sport, std::uint16_t dport,
+                std::uint64_t bytes, util::SimTime first, util::SimTime last) {
+  FlowRecord f;
+  f.src = src;
+  f.dst = dst;
+  f.src_port = sport;
+  f.dst_port = dport;
+  f.packets = bytes / 500 + 1;
+  f.bytes = bytes;
+  f.payload_bytes = bytes * 9 / 10;
+  f.first = first;
+  f.last = last;
+  return f;
+}
+
+TEST(FlowRecordTest, DurationClampsNegative) {
+  FlowRecord f;
+  f.first = 100;
+  f.last = 50;
+  EXPECT_EQ(f.duration(), 0);
+  f.last = 160;
+  EXPECT_EQ(f.duration(), 60);
+}
+
+TEST(FlowCollectorTest, DirectionClassification) {
+  FlowCollector c("test", {kLocalNet});
+  EXPECT_EQ(c.direction(flow(kLocalHost, kRemoteHost, 123, 80, 1, 0, 0)),
+            Direction::kEgress);
+  EXPECT_EQ(c.direction(flow(kRemoteHost, kLocalHost, 80, 123, 1, 0, 0)),
+            Direction::kIngress);
+  EXPECT_EQ(c.direction(flow(kLocalHost, net::Ipv4Address(10, 0, 2, 2), 1, 2,
+                             1, 0, 0)),
+            Direction::kInternal);
+  EXPECT_EQ(c.direction(flow(kRemoteHost, net::Ipv4Address(98, 0, 0, 1), 1, 2,
+                             1, 0, 0)),
+            Direction::kTransit);
+}
+
+TEST(FlowCollectorTest, DropsTransitFlows) {
+  FlowCollector c("test", {kLocalNet});
+  c.add(flow(kRemoteHost, net::Ipv4Address(98, 0, 0, 1), 1, 2, 100, 0, 10));
+  EXPECT_TRUE(c.flows().empty());
+  c.add(flow(kLocalHost, kRemoteHost, 1, 2, 100, 0, 10));
+  EXPECT_EQ(c.flows().size(), 1u);
+}
+
+TEST(FlowCollectorTest, MultiplePrefixes) {
+  FlowCollector c("test", {kLocalNet,
+                           net::Prefix{net::Ipv4Address(172, 16, 0, 0), 12}});
+  EXPECT_TRUE(c.is_local(net::Ipv4Address(172, 20, 1, 1)));
+  EXPECT_TRUE(c.is_local(kLocalHost));
+  EXPECT_FALSE(c.is_local(kRemoteHost));
+}
+
+TEST(VolumeSeriesTest, SpreadsBytesAcrossBuckets) {
+  FlowCollector c("test", {kLocalNet});
+  // 1000 bytes over [0, 99] -> 10 bytes/sec; buckets of 50s get 500 each.
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 1000, 0, 99));
+  const auto series = c.volume_series(0, 100, 50,
+                                      [](const FlowRecord&) { return true; });
+  ASSERT_EQ(series.bytes.size(), 2u);
+  EXPECT_NEAR(series.bytes[0], 500.0, 1.0);
+  EXPECT_NEAR(series.bytes[1], 500.0, 1.0);
+}
+
+TEST(VolumeSeriesTest, TotalMassPreserved) {
+  FlowCollector c("test", {kLocalNet});
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 7777, 13, 371));
+  const auto series = c.volume_series(0, 400, 25,
+                                      [](const FlowRecord&) { return true; });
+  double total = 0;
+  for (const double b : series.bytes) total += b;
+  EXPECT_NEAR(total, 7777.0, 1.0);
+}
+
+TEST(VolumeSeriesTest, InstantFlowLandsInOneBucket) {
+  FlowCollector c("test", {kLocalNet});
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 640, 75, 75));
+  const auto series = c.volume_series(0, 100, 50,
+                                      [](const FlowRecord&) { return true; });
+  EXPECT_NEAR(series.bytes[0], 0.0, 1e-9);
+  EXPECT_NEAR(series.bytes[1], 640.0, 1e-6);
+}
+
+TEST(VolumeSeriesTest, FilterApplies) {
+  FlowCollector c("test", {kLocalNet});
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 1000, 0, 9));
+  c.add(flow(kLocalHost, kRemoteHost, 9999, 80, 5000, 0, 9));
+  const auto series = c.volume_series(0, 10, 10, is_ntp_source);
+  EXPECT_NEAR(series.bytes[0], 1000.0, 1e-6);
+}
+
+TEST(VolumeSeriesTest, FlowsOutsideWindowIgnored) {
+  FlowCollector c("test", {kLocalNet});
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 1000, 500, 600));
+  const auto series = c.volume_series(0, 100, 10,
+                                      [](const FlowRecord&) { return true; });
+  for (const double b : series.bytes) EXPECT_EQ(b, 0.0);
+}
+
+TEST(VolumeSeriesTest, PartialOverlapProportional) {
+  FlowCollector c("test", {kLocalNet});
+  // 1000 bytes over [50, 149] (100s); window [0,100) catches half.
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 1000, 50, 149));
+  const auto series = c.volume_series(0, 100, 100,
+                                      [](const FlowRecord&) { return true; });
+  EXPECT_NEAR(series.bytes[0], 500.0, 1.0);
+}
+
+TEST(VolumeSeriesTest, RateBps) {
+  VolumeSeries s;
+  s.bucket_seconds = 10;
+  s.bytes = {1000.0};
+  EXPECT_NEAR(s.rate_bps(0), 800.0, 1e-9);
+}
+
+TEST(VolumeSeriesTest, DegenerateWindows) {
+  FlowCollector c("test", {kLocalNet});
+  EXPECT_TRUE(c.volume_series(100, 100, 10, [](const FlowRecord&) {
+                 return true;
+               }).bytes.empty());
+  EXPECT_TRUE(c.volume_series(0, 100, 0, [](const FlowRecord&) {
+                 return true;
+               }).bytes.empty());
+}
+
+TEST(TotalBytesTest, SumsMatchingFlows) {
+  FlowCollector c("test", {kLocalNet});
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 100, 0, 1));
+  c.add(flow(kLocalHost, kRemoteHost, 123, 80, 200, 0, 1));
+  c.add(flow(kRemoteHost, kLocalHost, 44, 123, 1000, 0, 1));
+  EXPECT_EQ(c.total_bytes(is_ntp_source), 300u);
+  EXPECT_EQ(c.total_bytes(is_ntp_dest), 1000u);
+}
+
+TEST(FilterHelpersTest, PortAndProtocol) {
+  FlowRecord f;
+  f.protocol = 17;
+  f.src_port = 123;
+  EXPECT_TRUE(is_ntp_source(f));
+  EXPECT_FALSE(is_ntp_dest(f));
+  f.protocol = 6;
+  EXPECT_FALSE(is_ntp_source(f));  // TCP/123 is not NTP service traffic
+}
+
+TEST(FlowCollectorTest, ClearEmpties) {
+  FlowCollector c("test", {kLocalNet});
+  c.add(flow(kLocalHost, kRemoteHost, 1, 2, 100, 0, 1));
+  c.clear();
+  EXPECT_TRUE(c.flows().empty());
+}
+
+}  // namespace
+}  // namespace gorilla::telemetry

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "telemetry/darknet.h"
+#include "util/rng.h"
+
+namespace gorilla::telemetry {
+namespace {
+
+net::Ipv6Address v6(const char* text) { return *net::parse_ipv6(text); }
+
+TEST(Ipv6DarknetTest, RirCoveringPrefixesAreDisjoint) {
+  const auto prefixes = rir_covering_prefixes();
+  ASSERT_EQ(prefixes.size(), 4u);
+  for (std::size_t i = 0; i < prefixes.size(); ++i) {
+    for (std::size_t j = 0; j < prefixes.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_FALSE(prefixes[i].contains(prefixes[j].base()))
+          << to_string(prefixes[i]) << " overlaps " << to_string(prefixes[j]);
+    }
+  }
+}
+
+TEST(Ipv6DarknetTest, IgnoresTrafficOutsideCoveringSpace) {
+  Ipv6DarknetTelescope t(rir_covering_prefixes());
+  t.observe(v6("2001:db8::1"), v6("2001:db8::2"), 123, 0, 10);
+  EXPECT_EQ(t.total_packets(), 0u);
+}
+
+TEST(Ipv6DarknetTest, RecordsDarkSideNtp) {
+  Ipv6DarknetTelescope t(rir_covering_prefixes());
+  t.observe(v6("2001:db8::1"), v6("2600:1234::9"), 123, 0, 3);
+  t.observe(v6("2001:db8::1"), v6("2600:1234::9"), 80, 0, 5);
+  EXPECT_EQ(t.total_packets(), 8u);
+  EXPECT_EQ(t.ntp_packets(), 3u);
+  EXPECT_EQ(t.unique_ntp_sources(), 1u);
+}
+
+TEST(Ipv6DarknetTest, ErrantPointToPointIsNotScanning) {
+  // §5.1's actual finding: a handful of misconfigured hosts chirping NTP
+  // at dark space does not constitute broad scanning.
+  Ipv6DarknetTelescope t(rir_covering_prefixes());
+  util::Rng rng(6);
+  for (int day = 0; day < 90; ++day) {
+    // Three misconfigured associations, a few packets a day each.
+    t.observe(v6("2400:aaaa::1"), v6("2400:dead::1"), 123, day,
+              rng.uniform(3));
+    t.observe(v6("2800:bbbb::7"), v6("2800:beef::2"), 123, day, 1);
+  }
+  EXPECT_GT(t.ntp_packets(), 0u);
+  EXPECT_TRUE(t.no_broad_scanning());
+}
+
+TEST(Ipv6DarknetTest, ActualSweepWouldBeDetected) {
+  // Falsifiability: if someone HAD swept v6 space, the telescope flags it.
+  Ipv6DarknetTelescope t(rir_covering_prefixes());
+  for (int i = 0; i < 1000; ++i) {
+    std::array<std::uint8_t, 16> dst_bytes{};
+    dst_bytes[0] = 0x26;
+    dst_bytes[15] = static_cast<std::uint8_t>(i);
+    dst_bytes[14] = static_cast<std::uint8_t>(i >> 8);
+    t.observe(v6("2400:bad::1"), net::Ipv6Address{dst_bytes}, 123, 1, 1);
+  }
+  EXPECT_FALSE(t.no_broad_scanning());
+  const auto suspects = t.scanning_suspects();
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], v6("2400:bad::1"));
+}
+
+TEST(Ipv6DarknetTest, ZeroPacketObservationsIgnored) {
+  Ipv6DarknetTelescope t(rir_covering_prefixes());
+  t.observe(v6("2400::1"), v6("2600::2"), 123, 0, 0);
+  EXPECT_EQ(t.total_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace gorilla::telemetry

@@ -1,0 +1,95 @@
+#include "telemetry/traffic.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::telemetry {
+namespace {
+
+TEST(GlobalTrafficTest, RejectsNonPositiveHorizon) {
+  EXPECT_THROW(GlobalTrafficCollector(0, 1.0), std::invalid_argument);
+}
+
+TEST(GlobalTrafficTest, LedgerAccumulates) {
+  GlobalTrafficCollector c(10, 1e12);
+  c.add_bytes(3, ProtocolClass::kNtp, 1000.0);
+  c.add_bytes(3, ProtocolClass::kNtp, 500.0);
+  EXPECT_EQ(c.bytes(3, ProtocolClass::kNtp), 1500.0);
+  EXPECT_EQ(c.bytes(3, ProtocolClass::kDns), 0.0);
+  EXPECT_EQ(c.bytes(4, ProtocolClass::kNtp), 0.0);
+}
+
+TEST(GlobalTrafficTest, OutOfWindowIgnored) {
+  GlobalTrafficCollector c(10, 1e12);
+  c.add_bytes(-1, ProtocolClass::kNtp, 1000.0);
+  c.add_bytes(10, ProtocolClass::kNtp, 1000.0);
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_EQ(c.bytes(d, ProtocolClass::kNtp), 0.0);
+  }
+}
+
+TEST(GlobalTrafficTest, ProtocolBpsConversion) {
+  GlobalTrafficCollector c(5, 1e12);
+  // 86400 bytes over a day = 8 bits/sec.
+  c.add_bytes(0, ProtocolClass::kDns, 86400.0);
+  EXPECT_NEAR(c.protocol_bps(0, ProtocolClass::kDns), 8.0, 1e-9);
+}
+
+TEST(GlobalTrafficTest, FractionOfInternet) {
+  GlobalTrafficCollector c(5, 1e9);  // 1 Gbps baseline
+  // Add NTP worth exactly 1 Gbps daily average.
+  c.add_bytes(0, ProtocolClass::kNtp, 1e9 / 8.0 * 86400.0);
+  // Fraction = 1 / (1 + 1) = 0.5.
+  EXPECT_NEAR(c.fraction_of_internet(0, ProtocolClass::kNtp), 0.5, 1e-9);
+  EXPECT_NEAR(c.fraction_of_internet(1, ProtocolClass::kNtp), 0.0, 1e-12);
+}
+
+TEST(SizeClassTest, PaperBins) {
+  EXPECT_EQ(classify_size(1e6), SizeClass::kSmall);
+  EXPECT_EQ(classify_size(1.99e9), SizeClass::kSmall);
+  EXPECT_EQ(classify_size(2e9), SizeClass::kMedium);
+  EXPECT_EQ(classify_size(20e9), SizeClass::kMedium);
+  EXPECT_EQ(classify_size(20.1e9), SizeClass::kLarge);
+  EXPECT_EQ(classify_size(400e9), SizeClass::kLarge);
+}
+
+TEST(AttackLabelStoreTest, MonthlyRollupBinsCorrectly) {
+  AttackLabelStore store;
+  const util::SimTime nov_day =
+      util::sim_time_from_date(util::Date{2013, 11, 5});
+  const util::SimTime feb_day =
+      util::sim_time_from_date(util::Date{2014, 2, 12});
+  store.add({nov_day, AttackVector::kDns, 1e9});       // Nov small DNS
+  store.add({feb_day, AttackVector::kNtp, 30e9});      // Feb large NTP
+  store.add({feb_day + 100, AttackVector::kNtp, 5e9}); // Feb medium NTP
+  store.add({feb_day + 200, AttackVector::kSynFlood, 1e8});
+  const auto rollup = store.monthly_rollup();
+  ASSERT_EQ(rollup.size(), 2u);
+  EXPECT_EQ(rollup[0].year, 2013);
+  EXPECT_EQ(rollup[0].month, 11);
+  EXPECT_EQ(rollup[0].total, 1u);
+  EXPECT_EQ(rollup[0].ntp_total, 0u);
+  EXPECT_EQ(rollup[1].month, 2);
+  EXPECT_EQ(rollup[1].total, 3u);
+  EXPECT_EQ(rollup[1].ntp_total, 2u);
+  EXPECT_DOUBLE_EQ(rollup[1].ntp_fraction(SizeClass::kLarge), 1.0);
+  EXPECT_DOUBLE_EQ(rollup[1].ntp_fraction(SizeClass::kMedium), 1.0);
+  EXPECT_DOUBLE_EQ(rollup[1].ntp_fraction(SizeClass::kSmall), 0.0);
+  EXPECT_NEAR(rollup[1].ntp_fraction_all(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(AttackLabelStoreTest, EmptyBinsYieldZeroFractions) {
+  AttackLabelStore store;
+  store.add({0, AttackVector::kDns, 1e6});
+  const auto rollup = store.monthly_rollup();
+  ASSERT_EQ(rollup.size(), 1u);
+  EXPECT_EQ(rollup[0].ntp_fraction(SizeClass::kLarge), 0.0);
+}
+
+TEST(ToStringTest, Labels) {
+  EXPECT_STREQ(to_string(ProtocolClass::kNtp), "ntp");
+  EXPECT_STREQ(to_string(AttackVector::kSynFlood), "syn");
+  EXPECT_STREQ(to_string(SizeClass::kLarge), "Large (>20 Gbps)");
+}
+
+}  // namespace
+}  // namespace gorilla::telemetry

@@ -1,0 +1,56 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace gorilla::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("2014-01-10"), "2014-01-10");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvRowTest, JoinsWithCommas) {
+  EXPECT_EQ(csv_row({"a", "b", "c"}), "a,b,c\n");
+  EXPECT_EQ(csv_row({"x,y", "z"}), "\"x,y\",z\n");
+  EXPECT_EQ(csv_row({}), "\n");
+}
+
+TEST(CsvDocumentTest, BuildsDocument) {
+  CsvDocument doc({"date", "ips"});
+  doc.add_row({"2014-01-10", "1405186"});
+  doc.add_row({"2014-04-18", "106445"});
+  EXPECT_EQ(doc.row_count(), 2u);
+  EXPECT_EQ(doc.to_string(),
+            "date,ips\n2014-01-10,1405186\n2014-04-18,106445\n");
+}
+
+TEST(CsvDocumentTest, WritesFile) {
+  const std::string path = "/tmp/gorilla_csv_test.csv";
+  CsvDocument doc({"k", "v"});
+  doc.add_row({"a", "1"});
+  ASSERT_TRUE(doc.write_file(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "k,v\na,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvDocumentTest, WriteFailureReported) {
+  CsvDocument doc({"k"});
+  EXPECT_FALSE(doc.write_file("/nonexistent-dir-xyz/out.csv"));
+}
+
+}  // namespace
+}  // namespace gorilla::util

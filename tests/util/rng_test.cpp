@@ -1,0 +1,231 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+namespace gorilla::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversAllResidues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, Uniform01InHalfOpenInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum2 = 0.0;
+  constexpr int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.15);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.0), 2.0);
+  }
+}
+
+TEST(RngTest, ParetoTailHeavierForSmallerAlpha) {
+  Rng rng(29);
+  int heavy_big = 0, light_big = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (rng.pareto(1.0, 0.5) > 100.0) ++heavy_big;
+    if (rng.pareto(1.0, 2.0) > 100.0) ++light_big;
+  }
+  EXPECT_GT(heavy_big, light_big * 5);
+}
+
+TEST(RngTest, PoissonMeanSmallLambda) {
+  Rng rng(31);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(3.0));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(RngTest, PoissonMeanLargeLambda) {
+  Rng rng(37);
+  double sum = 0.0;
+  constexpr int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(100.0));
+  EXPECT_NEAR(sum / n, 100.0, 1.0);
+}
+
+TEST(RngTest, PoissonZeroLambda) {
+  Rng rng(41);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(43);
+  std::vector<double> vals;
+  for (int i = 0; i < 50001; ++i) vals.push_back(rng.lognormal(std::log(40.0), 2.0));
+  std::nth_element(vals.begin(), vals.begin() + vals.size() / 2, vals.end());
+  EXPECT_NEAR(vals[vals.size() / 2], 40.0, 4.0);
+}
+
+TEST(RngTest, ForkIndependentStreams) {
+  Rng parent(47);
+  Rng child1 = parent.fork(1);
+  Rng child2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next() == child2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ForkDeterministic) {
+  Rng p1(47), p2(47);
+  Rng c1 = p1.fork(9), c2 = p2.fork(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(c1.next(), c2.next());
+}
+
+TEST(ZipfSamplerTest, RanksWithinBounds) {
+  ZipfSampler zipf(10, 1.0);
+  Rng rng(53);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 10u);
+  }
+}
+
+TEST(ZipfSamplerTest, RankOneDominates) {
+  ZipfSampler zipf(100, 1.2);
+  Rng rng(59);
+  std::array<int, 100> counts{};
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], 50000 / 10);  // top rank carries a large share
+}
+
+TEST(ZipfSamplerTest, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+}
+
+TEST(WeightedSamplerTest, RespectsWeights) {
+  const std::array<double, 3> w = {0.7, 0.2, 0.1};
+  WeightedSampler sampler{std::span<const double>(w)};
+  Rng rng(61);
+  std::array<int, 3> counts{};
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / double(n), 0.7, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.2, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.1, 0.02);
+}
+
+TEST(WeightedSamplerTest, ZeroWeightNeverSampled) {
+  const std::array<double, 3> w = {1.0, 0.0, 1.0};
+  WeightedSampler sampler{std::span<const double>(w)};
+  Rng rng(67);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(sampler.sample(rng), 1u);
+  }
+}
+
+TEST(WeightedSamplerTest, RejectsInvalidWeights) {
+  EXPECT_THROW(WeightedSampler(std::span<const double>{}),
+               std::invalid_argument);
+  const std::array<double, 2> neg = {1.0, -0.5};
+  EXPECT_THROW(WeightedSampler{std::span<const double>(neg)},
+               std::invalid_argument);
+  const std::array<double, 2> zero = {0.0, 0.0};
+  EXPECT_THROW(WeightedSampler{std::span<const double>(zero)},
+               std::invalid_argument);
+}
+
+// Property sweep: uniform(n) is unbiased for a range of n.
+class UniformSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UniformSweep, MeanNearHalfRange) {
+  const std::uint64_t n = GetParam();
+  Rng rng(n * 7919 + 1);
+  double sum = 0.0;
+  constexpr int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    sum += static_cast<double>(rng.uniform(n));
+  }
+  const double expected = (static_cast<double>(n) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / trials, expected, static_cast<double>(n) * 0.02 + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, UniformSweep,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 65536));
+
+}  // namespace
+}  // namespace gorilla::util

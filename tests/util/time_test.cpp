@@ -1,0 +1,105 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::util {
+namespace {
+
+TEST(DateTest, EpochRoundTrip) {
+  EXPECT_EQ(days_from_civil(Date{1970, 1, 1}), 0);
+  EXPECT_EQ(civil_from_days(0), (Date{1970, 1, 1}));
+}
+
+TEST(DateTest, KnownDates) {
+  // 2013-11-01 is 16010 days after the Unix epoch.
+  EXPECT_EQ(days_from_civil(Date{2013, 11, 1}), 16010);
+  EXPECT_EQ(days_from_civil(Date{2014, 1, 10}) - days_from_civil(Date{2013, 11, 1}),
+            70);
+}
+
+TEST(DateTest, LeapYearHandling) {
+  // 2014 is not a leap year; Feb has 28 days.
+  EXPECT_EQ(days_from_civil(Date{2014, 3, 1}) - days_from_civil(Date{2014, 2, 28}),
+            1);
+  // 2012 was a leap year.
+  EXPECT_EQ(days_from_civil(Date{2012, 3, 1}) - days_from_civil(Date{2012, 2, 28}),
+            2);
+}
+
+TEST(DateTest, RoundTripAcrossStudyWindow) {
+  for (std::int64_t d = days_from_civil(Date{2013, 10, 1});
+       d <= days_from_civil(Date{2014, 6, 30}); ++d) {
+    EXPECT_EQ(days_from_civil(civil_from_days(d)), d);
+  }
+}
+
+TEST(SimTimeTest, EpochIsZero) {
+  EXPECT_EQ(sim_time_from_date(kSimEpochDate), 0);
+  EXPECT_EQ(date_from_sim_time(0), kSimEpochDate);
+}
+
+TEST(SimTimeTest, FirstSampleDate) {
+  const SimTime t = sim_time_from_date(Date{2014, 1, 10});
+  EXPECT_EQ(t, 70 * kSecondsPerDay);
+  EXPECT_EQ(date_from_sim_time(t), (Date{2014, 1, 10}));
+  EXPECT_EQ(date_from_sim_time(t + kSecondsPerDay - 1), (Date{2014, 1, 10}));
+  EXPECT_EQ(date_from_sim_time(t + kSecondsPerDay), (Date{2014, 1, 11}));
+}
+
+TEST(SimTimeTest, NegativeTimesFloorCorrectly) {
+  EXPECT_EQ(date_from_sim_time(-1), (Date{2013, 10, 31}));
+  EXPECT_EQ(day_index(-1), -1);
+  EXPECT_EQ(day_index(-kSecondsPerDay), -1);
+  EXPECT_EQ(day_index(-kSecondsPerDay - 1), -2);
+}
+
+TEST(SimTimeTest, DayIndex) {
+  EXPECT_EQ(day_index(0), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay - 1), 0);
+  EXPECT_EQ(day_index(kSecondsPerDay), 1);
+}
+
+TEST(FormattingTest, ToString) {
+  EXPECT_EQ(to_string(Date{2014, 2, 7}), "2014-02-07");
+  EXPECT_EQ(to_short_string(Date{2014, 2, 7}), "02-07");
+}
+
+TEST(FormattingTest, ParseValid) {
+  EXPECT_EQ(parse_date("2014-04-18"), (Date{2014, 4, 18}));
+}
+
+TEST(FormattingTest, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_date("not-a-date"), std::invalid_argument);
+  EXPECT_THROW(parse_date("2014-13-01"), std::invalid_argument);
+  EXPECT_THROW(parse_date("2014-00-10"), std::invalid_argument);
+  EXPECT_THROW(parse_date("2014-01-32"), std::invalid_argument);
+}
+
+TEST(OnpDatesTest, FifteenWeeklyMonlistSamples) {
+  const auto& dates = onp_sample_dates();
+  ASSERT_EQ(dates.size(), 15u);
+  EXPECT_EQ(dates.front(), (Date{2014, 1, 10}));
+  EXPECT_EQ(dates.back(), (Date{2014, 4, 18}));
+  for (std::size_t i = 1; i < dates.size(); ++i) {
+    EXPECT_EQ(days_from_civil(dates[i]) - days_from_civil(dates[i - 1]), 7);
+  }
+}
+
+TEST(OnpDatesTest, NineVersionSamples) {
+  const auto& dates = onp_version_sample_dates();
+  ASSERT_EQ(dates.size(), 9u);
+  EXPECT_EQ(dates.front(), (Date{2014, 2, 21}));
+  EXPECT_EQ(dates.back(), (Date{2014, 4, 18}));
+}
+
+// The version samples are a strict suffix-aligned subset of monlist weeks.
+TEST(OnpDatesTest, VersionSamplesAlignWithMonlistWeeks) {
+  const auto& monlist = onp_sample_dates();
+  const auto& version = onp_version_sample_dates();
+  for (std::size_t i = 0; i < version.size(); ++i) {
+    EXPECT_EQ(version[i], monlist[i + 6]);
+  }
+}
+
+}  // namespace
+}  // namespace gorilla::util
