@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mitigation.dir/ablation_mitigation.cpp.o"
+  "CMakeFiles/ablation_mitigation.dir/ablation_mitigation.cpp.o.d"
+  "ablation_mitigation"
+  "ablation_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_global_traffic.dir/fig01_global_traffic.cpp.o"
+  "CMakeFiles/fig01_global_traffic.dir/fig01_global_traffic.cpp.o.d"
+  "fig01_global_traffic"
+  "fig01_global_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_global_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

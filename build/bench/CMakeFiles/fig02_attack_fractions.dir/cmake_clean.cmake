@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_attack_fractions.dir/fig02_attack_fractions.cpp.o"
+  "CMakeFiles/fig02_attack_fractions.dir/fig02_attack_fractions.cpp.o.d"
+  "fig02_attack_fractions"
+  "fig02_attack_fractions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_attack_fractions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_amplifier_counts.dir/fig03_amplifier_counts.cpp.o"
+  "CMakeFiles/fig03_amplifier_counts.dir/fig03_amplifier_counts.cpp.o.d"
+  "fig03_amplifier_counts"
+  "fig03_amplifier_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_amplifier_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04a_bytes_returned.dir/fig04a_bytes_returned.cpp.o"
+  "CMakeFiles/fig04a_bytes_returned.dir/fig04a_bytes_returned.cpp.o.d"
+  "fig04a_bytes_returned"
+  "fig04a_bytes_returned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04a_bytes_returned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04a_bytes_returned.
+# This may be replaced when dependencies are built.

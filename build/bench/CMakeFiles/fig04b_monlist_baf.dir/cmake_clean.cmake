@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04b_monlist_baf.dir/fig04b_monlist_baf.cpp.o"
+  "CMakeFiles/fig04b_monlist_baf.dir/fig04b_monlist_baf.cpp.o.d"
+  "fig04b_monlist_baf"
+  "fig04b_monlist_baf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04b_monlist_baf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

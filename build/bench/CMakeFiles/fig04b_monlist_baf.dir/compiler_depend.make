@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04b_monlist_baf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04c_version_baf.dir/fig04c_version_baf.cpp.o"
+  "CMakeFiles/fig04c_version_baf.dir/fig04c_version_baf.cpp.o.d"
+  "fig04c_version_baf"
+  "fig04c_version_baf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04c_version_baf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04c_version_baf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_as_concentration.dir/fig05_as_concentration.cpp.o"
+  "CMakeFiles/fig05_as_concentration.dir/fig05_as_concentration.cpp.o.d"
+  "fig05_as_concentration"
+  "fig05_as_concentration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_as_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

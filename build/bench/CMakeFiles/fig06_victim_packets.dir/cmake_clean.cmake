@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_victim_packets.dir/fig06_victim_packets.cpp.o"
+  "CMakeFiles/fig06_victim_packets.dir/fig06_victim_packets.cpp.o.d"
+  "fig06_victim_packets"
+  "fig06_victim_packets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_victim_packets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig06_victim_packets.
+# This may be replaced when dependencies are built.

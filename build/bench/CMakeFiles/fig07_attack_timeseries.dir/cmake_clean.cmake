@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_attack_timeseries.dir/fig07_attack_timeseries.cpp.o"
+  "CMakeFiles/fig07_attack_timeseries.dir/fig07_attack_timeseries.cpp.o.d"
+  "fig07_attack_timeseries"
+  "fig07_attack_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_attack_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

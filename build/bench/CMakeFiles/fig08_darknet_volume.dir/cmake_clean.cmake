@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_darknet_volume.dir/fig08_darknet_volume.cpp.o"
+  "CMakeFiles/fig08_darknet_volume.dir/fig08_darknet_volume.cpp.o.d"
+  "fig08_darknet_volume"
+  "fig08_darknet_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_darknet_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scanners_vs_egress.dir/fig09_scanners_vs_egress.cpp.o"
+  "CMakeFiles/fig09_scanners_vs_egress.dir/fig09_scanners_vs_egress.cpp.o.d"
+  "fig09_scanners_vs_egress"
+  "fig09_scanners_vs_egress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scanners_vs_egress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_scanners_vs_egress.
+# This may be replaced when dependencies are built.

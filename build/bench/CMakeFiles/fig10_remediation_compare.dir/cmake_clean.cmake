@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_remediation_compare.dir/fig10_remediation_compare.cpp.o"
+  "CMakeFiles/fig10_remediation_compare.dir/fig10_remediation_compare.cpp.o.d"
+  "fig10_remediation_compare"
+  "fig10_remediation_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_remediation_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_merit_traffic.dir/fig11_merit_traffic.cpp.o"
+  "CMakeFiles/fig11_merit_traffic.dir/fig11_merit_traffic.cpp.o.d"
+  "fig11_merit_traffic"
+  "fig11_merit_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_merit_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_top_victims.dir/fig13_top_victims.cpp.o"
+  "CMakeFiles/fig13_top_victims.dir/fig13_top_victims.cpp.o.d"
+  "fig13_top_victims"
+  "fig13_top_victims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_top_victims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_merit_protocols.dir/fig14_merit_protocols.cpp.o"
+  "CMakeFiles/fig14_merit_protocols.dir/fig14_merit_protocols.cpp.o.d"
+  "fig14_merit_protocols"
+  "fig14_merit_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_merit_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

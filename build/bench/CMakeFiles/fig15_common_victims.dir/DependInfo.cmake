@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig15_common_victims.cpp" "bench/CMakeFiles/fig15_common_victims.dir/fig15_common_victims.cpp.o" "gcc" "bench/CMakeFiles/fig15_common_victims.dir/fig15_common_victims.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/gorilla_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gorilla_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/gorilla_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gorilla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/gorilla_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gorilla_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/gorilla_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gorilla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

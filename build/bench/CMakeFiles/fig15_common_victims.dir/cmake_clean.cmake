@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_common_victims.dir/fig15_common_victims.cpp.o"
+  "CMakeFiles/fig15_common_victims.dir/fig15_common_victims.cpp.o.d"
+  "fig15_common_victims"
+  "fig15_common_victims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_common_victims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_common_scanners.dir/fig16_common_scanners.cpp.o"
+  "CMakeFiles/fig16_common_scanners.dir/fig16_common_scanners.cpp.o.d"
+  "fig16_common_scanners"
+  "fig16_common_scanners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_common_scanners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_bench_common.dir/common.cpp.o"
+  "CMakeFiles/gorilla_bench_common.dir/common.cpp.o.d"
+  "libgorilla_bench_common.a"
+  "libgorilla_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

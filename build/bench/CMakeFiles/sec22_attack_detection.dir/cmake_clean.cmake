@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec22_attack_detection.dir/sec22_attack_detection.cpp.o"
+  "CMakeFiles/sec22_attack_detection.dir/sec22_attack_detection.cpp.o.d"
+  "sec22_attack_detection"
+  "sec22_attack_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec22_attack_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

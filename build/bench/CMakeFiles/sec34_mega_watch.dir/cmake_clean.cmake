@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec34_mega_watch.dir/sec34_mega_watch.cpp.o"
+  "CMakeFiles/sec34_mega_watch.dir/sec34_mega_watch.cpp.o.d"
+  "sec34_mega_watch"
+  "sec34_mega_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_mega_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

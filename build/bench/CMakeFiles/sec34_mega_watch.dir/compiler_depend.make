@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec34_mega_watch.
+# This may be replaced when dependencies are built.

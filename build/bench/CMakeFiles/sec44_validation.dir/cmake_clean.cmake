@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec44_validation.dir/sec44_validation.cpp.o"
+  "CMakeFiles/sec44_validation.dir/sec44_validation.cpp.o.d"
+  "sec44_validation"
+  "sec44_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec44_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_attacker_ecosystem.dir/sec52_attacker_ecosystem.cpp.o"
+  "CMakeFiles/sec52_attacker_ecosystem.dir/sec52_attacker_ecosystem.cpp.o.d"
+  "sec52_attacker_ecosystem"
+  "sec52_attacker_ecosystem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_attacker_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

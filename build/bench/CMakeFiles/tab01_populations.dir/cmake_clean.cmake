@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_populations.dir/tab01_populations.cpp.o"
+  "CMakeFiles/tab01_populations.dir/tab01_populations.cpp.o.d"
+  "tab01_populations"
+  "tab01_populations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_populations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

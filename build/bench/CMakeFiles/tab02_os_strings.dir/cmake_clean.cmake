@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_os_strings.dir/tab02_os_strings.cpp.o"
+  "CMakeFiles/tab02_os_strings.dir/tab02_os_strings.cpp.o.d"
+  "tab02_os_strings"
+  "tab02_os_strings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_os_strings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_monlist_examples.dir/tab03_monlist_examples.cpp.o"
+  "CMakeFiles/tab03_monlist_examples.dir/tab03_monlist_examples.cpp.o.d"
+  "tab03_monlist_examples"
+  "tab03_monlist_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_monlist_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

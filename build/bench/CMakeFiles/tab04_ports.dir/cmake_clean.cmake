@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_ports.dir/tab04_ports.cpp.o"
+  "CMakeFiles/tab04_ports.dir/tab04_ports.cpp.o.d"
+  "tab04_ports"
+  "tab04_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab05_top_amplifiers.dir/tab05_top_amplifiers.cpp.o"
+  "CMakeFiles/tab05_top_amplifiers.dir/tab05_top_amplifiers.cpp.o.d"
+  "tab05_top_amplifiers"
+  "tab05_top_amplifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab05_top_amplifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab06_top_victims.dir/tab06_top_victims.cpp.o"
+  "CMakeFiles/tab06_top_victims.dir/tab06_top_victims.cpp.o.d"
+  "tab06_top_victims"
+  "tab06_top_victims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab06_top_victims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

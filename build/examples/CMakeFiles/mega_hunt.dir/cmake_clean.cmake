@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mega_hunt.dir/mega_hunt.cpp.o"
+  "CMakeFiles/mega_hunt.dir/mega_hunt.cpp.o.d"
+  "mega_hunt"
+  "mega_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mega_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_isp.dir/regional_isp.cpp.o"
+  "CMakeFiles/regional_isp.dir/regional_isp.cpp.o.d"
+  "regional_isp"
+  "regional_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/amplifiers.cpp" "src/core/CMakeFiles/gorilla_core.dir/amplifiers.cpp.o" "gcc" "src/core/CMakeFiles/gorilla_core.dir/amplifiers.cpp.o.d"
+  "/root/repo/src/core/episodes.cpp" "src/core/CMakeFiles/gorilla_core.dir/episodes.cpp.o" "gcc" "src/core/CMakeFiles/gorilla_core.dir/episodes.cpp.o.d"
+  "/root/repo/src/core/local_view.cpp" "src/core/CMakeFiles/gorilla_core.dir/local_view.cpp.o" "gcc" "src/core/CMakeFiles/gorilla_core.dir/local_view.cpp.o.d"
+  "/root/repo/src/core/monlist_analysis.cpp" "src/core/CMakeFiles/gorilla_core.dir/monlist_analysis.cpp.o" "gcc" "src/core/CMakeFiles/gorilla_core.dir/monlist_analysis.cpp.o.d"
+  "/root/repo/src/core/remediation_analysis.cpp" "src/core/CMakeFiles/gorilla_core.dir/remediation_analysis.cpp.o" "gcc" "src/core/CMakeFiles/gorilla_core.dir/remediation_analysis.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/gorilla_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/gorilla_core.dir/stats.cpp.o.d"
+  "/root/repo/src/core/victims.cpp" "src/core/CMakeFiles/gorilla_core.dir/victims.cpp.o" "gcc" "src/core/CMakeFiles/gorilla_core.dir/victims.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scan/CMakeFiles/gorilla_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gorilla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/gorilla_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/gorilla_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gorilla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorilla_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gorilla_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_core.dir/amplifiers.cpp.o"
+  "CMakeFiles/gorilla_core.dir/amplifiers.cpp.o.d"
+  "CMakeFiles/gorilla_core.dir/episodes.cpp.o"
+  "CMakeFiles/gorilla_core.dir/episodes.cpp.o.d"
+  "CMakeFiles/gorilla_core.dir/local_view.cpp.o"
+  "CMakeFiles/gorilla_core.dir/local_view.cpp.o.d"
+  "CMakeFiles/gorilla_core.dir/monlist_analysis.cpp.o"
+  "CMakeFiles/gorilla_core.dir/monlist_analysis.cpp.o.d"
+  "CMakeFiles/gorilla_core.dir/remediation_analysis.cpp.o"
+  "CMakeFiles/gorilla_core.dir/remediation_analysis.cpp.o.d"
+  "CMakeFiles/gorilla_core.dir/stats.cpp.o"
+  "CMakeFiles/gorilla_core.dir/stats.cpp.o.d"
+  "CMakeFiles/gorilla_core.dir/victims.cpp.o"
+  "CMakeFiles/gorilla_core.dir/victims.cpp.o.d"
+  "libgorilla_core.a"
+  "libgorilla_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_dns.dir/resolver.cpp.o"
+  "CMakeFiles/gorilla_dns.dir/resolver.cpp.o.d"
+  "libgorilla_dns.a"
+  "libgorilla_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/gorilla_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/gorilla_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/net/CMakeFiles/gorilla_net.dir/ipv6.cpp.o" "gcc" "src/net/CMakeFiles/gorilla_net.dir/ipv6.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/gorilla_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/gorilla_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/pbl.cpp" "src/net/CMakeFiles/gorilla_net.dir/pbl.cpp.o" "gcc" "src/net/CMakeFiles/gorilla_net.dir/pbl.cpp.o.d"
+  "/root/repo/src/net/pcap.cpp" "src/net/CMakeFiles/gorilla_net.dir/pcap.cpp.o" "gcc" "src/net/CMakeFiles/gorilla_net.dir/pcap.cpp.o.d"
+  "/root/repo/src/net/registry.cpp" "src/net/CMakeFiles/gorilla_net.dir/registry.cpp.o" "gcc" "src/net/CMakeFiles/gorilla_net.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gorilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_net.dir/ipv4.cpp.o"
+  "CMakeFiles/gorilla_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/gorilla_net.dir/ipv6.cpp.o"
+  "CMakeFiles/gorilla_net.dir/ipv6.cpp.o.d"
+  "CMakeFiles/gorilla_net.dir/packet.cpp.o"
+  "CMakeFiles/gorilla_net.dir/packet.cpp.o.d"
+  "CMakeFiles/gorilla_net.dir/pbl.cpp.o"
+  "CMakeFiles/gorilla_net.dir/pbl.cpp.o.d"
+  "CMakeFiles/gorilla_net.dir/pcap.cpp.o"
+  "CMakeFiles/gorilla_net.dir/pcap.cpp.o.d"
+  "CMakeFiles/gorilla_net.dir/registry.cpp.o"
+  "CMakeFiles/gorilla_net.dir/registry.cpp.o.d"
+  "libgorilla_net.a"
+  "libgorilla_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ntp/client.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/client.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/client.cpp.o.d"
+  "/root/repo/src/ntp/mode6.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/mode6.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/mode6.cpp.o.d"
+  "/root/repo/src/ntp/mode7.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/mode7.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/mode7.cpp.o.d"
+  "/root/repo/src/ntp/monlist.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/monlist.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/monlist.cpp.o.d"
+  "/root/repo/src/ntp/ntp_packet.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/ntp_packet.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/ntp_packet.cpp.o.d"
+  "/root/repo/src/ntp/ntpdc.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/ntpdc.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/ntpdc.cpp.o.d"
+  "/root/repo/src/ntp/server.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/server.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/server.cpp.o.d"
+  "/root/repo/src/ntp/sysinfo.cpp" "src/ntp/CMakeFiles/gorilla_ntp.dir/sysinfo.cpp.o" "gcc" "src/ntp/CMakeFiles/gorilla_ntp.dir/sysinfo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gorilla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_ntp.dir/client.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/client.cpp.o.d"
+  "CMakeFiles/gorilla_ntp.dir/mode6.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/mode6.cpp.o.d"
+  "CMakeFiles/gorilla_ntp.dir/mode7.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/mode7.cpp.o.d"
+  "CMakeFiles/gorilla_ntp.dir/monlist.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/monlist.cpp.o.d"
+  "CMakeFiles/gorilla_ntp.dir/ntp_packet.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/ntp_packet.cpp.o.d"
+  "CMakeFiles/gorilla_ntp.dir/ntpdc.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/ntpdc.cpp.o.d"
+  "CMakeFiles/gorilla_ntp.dir/server.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/server.cpp.o.d"
+  "CMakeFiles/gorilla_ntp.dir/sysinfo.cpp.o"
+  "CMakeFiles/gorilla_ntp.dir/sysinfo.cpp.o.d"
+  "libgorilla_ntp.a"
+  "libgorilla_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

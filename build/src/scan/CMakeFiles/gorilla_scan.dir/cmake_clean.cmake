@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_scan.dir/prober.cpp.o"
+  "CMakeFiles/gorilla_scan.dir/prober.cpp.o.d"
+  "libgorilla_scan.a"
+  "libgorilla_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

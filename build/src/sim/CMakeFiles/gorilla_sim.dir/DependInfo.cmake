@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/attack.cpp" "src/sim/CMakeFiles/gorilla_sim.dir/attack.cpp.o" "gcc" "src/sim/CMakeFiles/gorilla_sim.dir/attack.cpp.o.d"
+  "/root/repo/src/sim/remediation.cpp" "src/sim/CMakeFiles/gorilla_sim.dir/remediation.cpp.o" "gcc" "src/sim/CMakeFiles/gorilla_sim.dir/remediation.cpp.o.d"
+  "/root/repo/src/sim/scanner.cpp" "src/sim/CMakeFiles/gorilla_sim.dir/scanner.cpp.o" "gcc" "src/sim/CMakeFiles/gorilla_sim.dir/scanner.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/sim/CMakeFiles/gorilla_sim.dir/world.cpp.o" "gcc" "src/sim/CMakeFiles/gorilla_sim.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ntp/CMakeFiles/gorilla_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gorilla_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gorilla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_sim.dir/attack.cpp.o"
+  "CMakeFiles/gorilla_sim.dir/attack.cpp.o.d"
+  "CMakeFiles/gorilla_sim.dir/remediation.cpp.o"
+  "CMakeFiles/gorilla_sim.dir/remediation.cpp.o.d"
+  "CMakeFiles/gorilla_sim.dir/scanner.cpp.o"
+  "CMakeFiles/gorilla_sim.dir/scanner.cpp.o.d"
+  "CMakeFiles/gorilla_sim.dir/world.cpp.o"
+  "CMakeFiles/gorilla_sim.dir/world.cpp.o.d"
+  "libgorilla_sim.a"
+  "libgorilla_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/billing.cpp" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/billing.cpp.o" "gcc" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/billing.cpp.o.d"
+  "/root/repo/src/telemetry/darknet.cpp" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/darknet.cpp.o" "gcc" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/darknet.cpp.o.d"
+  "/root/repo/src/telemetry/detector.cpp" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/detector.cpp.o" "gcc" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/detector.cpp.o.d"
+  "/root/repo/src/telemetry/flow.cpp" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/flow.cpp.o" "gcc" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/flow.cpp.o.d"
+  "/root/repo/src/telemetry/traffic.cpp" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/traffic.cpp.o" "gcc" "src/telemetry/CMakeFiles/gorilla_telemetry.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/gorilla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

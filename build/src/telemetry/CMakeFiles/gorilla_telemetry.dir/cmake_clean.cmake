@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_telemetry.dir/billing.cpp.o"
+  "CMakeFiles/gorilla_telemetry.dir/billing.cpp.o.d"
+  "CMakeFiles/gorilla_telemetry.dir/darknet.cpp.o"
+  "CMakeFiles/gorilla_telemetry.dir/darknet.cpp.o.d"
+  "CMakeFiles/gorilla_telemetry.dir/detector.cpp.o"
+  "CMakeFiles/gorilla_telemetry.dir/detector.cpp.o.d"
+  "CMakeFiles/gorilla_telemetry.dir/flow.cpp.o"
+  "CMakeFiles/gorilla_telemetry.dir/flow.cpp.o.d"
+  "CMakeFiles/gorilla_telemetry.dir/traffic.cpp.o"
+  "CMakeFiles/gorilla_telemetry.dir/traffic.cpp.o.d"
+  "libgorilla_telemetry.a"
+  "libgorilla_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

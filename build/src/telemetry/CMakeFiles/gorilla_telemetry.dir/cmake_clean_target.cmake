@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgorilla_telemetry.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gorilla_util.dir/csv.cpp.o"
+  "CMakeFiles/gorilla_util.dir/csv.cpp.o.d"
+  "CMakeFiles/gorilla_util.dir/format.cpp.o"
+  "CMakeFiles/gorilla_util.dir/format.cpp.o.d"
+  "CMakeFiles/gorilla_util.dir/rng.cpp.o"
+  "CMakeFiles/gorilla_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gorilla_util.dir/time.cpp.o"
+  "CMakeFiles/gorilla_util.dir/time.cpp.o.d"
+  "libgorilla_util.a"
+  "libgorilla_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gorilla_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/amplifiers_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/amplifiers_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/episodes_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/episodes_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/local_view_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/local_view_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/monlist_analysis_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/monlist_analysis_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/remediation_analysis_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/remediation_analysis_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/stats_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/stats_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/victims_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/victims_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_tests.dir/dns/resolver_test.cpp.o"
+  "CMakeFiles/dns_tests.dir/dns/resolver_test.cpp.o.d"
+  "dns_tests"
+  "dns_tests.pdb"
+  "dns_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

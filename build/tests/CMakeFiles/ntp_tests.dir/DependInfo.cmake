@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ntp/client_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/client_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/client_test.cpp.o.d"
+  "/root/repo/tests/ntp/kod_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/kod_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/kod_test.cpp.o.d"
+  "/root/repo/tests/ntp/legacy_monlist_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/legacy_monlist_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/legacy_monlist_test.cpp.o.d"
+  "/root/repo/tests/ntp/mode6_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/mode6_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/mode6_test.cpp.o.d"
+  "/root/repo/tests/ntp/mode7_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/mode7_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/mode7_test.cpp.o.d"
+  "/root/repo/tests/ntp/monlist_model_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/monlist_model_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/monlist_model_test.cpp.o.d"
+  "/root/repo/tests/ntp/monlist_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/monlist_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/monlist_test.cpp.o.d"
+  "/root/repo/tests/ntp/ntp_packet_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/ntp_packet_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/ntp_packet_test.cpp.o.d"
+  "/root/repo/tests/ntp/ntpdc_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/ntpdc_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/ntpdc_test.cpp.o.d"
+  "/root/repo/tests/ntp/parser_fuzz_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/parser_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/parser_fuzz_test.cpp.o.d"
+  "/root/repo/tests/ntp/peerlist_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/peerlist_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/peerlist_test.cpp.o.d"
+  "/root/repo/tests/ntp/server_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/server_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/server_test.cpp.o.d"
+  "/root/repo/tests/ntp/sysinfo_test.cpp" "tests/CMakeFiles/ntp_tests.dir/ntp/sysinfo_test.cpp.o" "gcc" "tests/CMakeFiles/ntp_tests.dir/ntp/sysinfo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gorilla_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/gorilla_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gorilla_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/gorilla_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/gorilla_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/gorilla_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gorilla_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gorilla_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_tests.dir/ntp/client_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/client_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/kod_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/kod_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/legacy_monlist_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/legacy_monlist_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/mode6_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/mode6_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/mode7_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/mode7_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/monlist_model_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/monlist_model_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/monlist_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/monlist_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/ntp_packet_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/ntp_packet_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/ntpdc_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/ntpdc_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/parser_fuzz_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/parser_fuzz_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/peerlist_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/peerlist_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/server_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/server_test.cpp.o.d"
+  "CMakeFiles/ntp_tests.dir/ntp/sysinfo_test.cpp.o"
+  "CMakeFiles/ntp_tests.dir/ntp/sysinfo_test.cpp.o.d"
+  "ntp_tests"
+  "ntp_tests.pdb"
+  "ntp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_tests.dir/scan/probe_targets_test.cpp.o"
+  "CMakeFiles/scan_tests.dir/scan/probe_targets_test.cpp.o.d"
+  "CMakeFiles/scan_tests.dir/scan/prober_test.cpp.o"
+  "CMakeFiles/scan_tests.dir/scan/prober_test.cpp.o.d"
+  "scan_tests"
+  "scan_tests.pdb"
+  "scan_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telemetry_tests.dir/telemetry/billing_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/billing_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/darknet_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/darknet_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/detector_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/detector_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/flow_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/flow_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/ipv6_darknet_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/ipv6_darknet_test.cpp.o.d"
+  "CMakeFiles/telemetry_tests.dir/telemetry/traffic_test.cpp.o"
+  "CMakeFiles/telemetry_tests.dir/telemetry/traffic_test.cpp.o.d"
+  "telemetry_tests"
+  "telemetry_tests.pdb"
+  "telemetry_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
