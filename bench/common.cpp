@@ -98,11 +98,18 @@ void StudyPipeline::run() {
   }
   sim::AttackEngineConfig attack_cfg;
   attack_cfg.seed = opt_.seed ^ 0xa77acdULL;
+  attack_cfg.impairment = impairment;
   sim::AttackEngine attacks(*world, attack_cfg, sinks);
   sim::ScanTrafficConfig scan_cfg;
   scan_cfg.seed = opt_.seed ^ 0x5ca7ULL;
+  scan_cfg.impairment = impairment;
   sim::ScanTraffic scans(*world, scan_cfg);
-  scan::Prober prober(*world, net::Ipv4Address(198, 51, 100, 7));
+  scan::Prober prober(*world, net::Ipv4Address(198, 51, 100, 7),
+                      ntp::Implementation::kXntpd, impairment,
+                      probe_policy);
+  if (darknet && impairment.any()) {
+    darknet->set_capture_loss(impairment.request_loss, impairment.seed);
+  }
 
   const int horizon_weeks = opt_.quick ? 8 : 15;
   int day = 0;

@@ -53,6 +53,15 @@ struct StudyPipeline {
   explicit StudyPipeline(const Options& opt, bool with_vantages = false,
                          bool with_darknet = false);
 
+  /// Network-impairment settings threaded through the whole study (attack
+  /// trigger delivery, scan traffic, prober, darknet capture). Defaults to
+  /// the pristine network — every figure reproduces the seed bit-for-bit.
+  /// Set fields BEFORE calling run().
+  sim::ImpairmentConfig impairment;
+  /// Prober retry/timeout/backoff policy (only consulted when the
+  /// impairment layer is enabled).
+  scan::ProbePolicy probe_policy;
+
   sim::WorldConfig world_config;
   std::unique_ptr<sim::World> world;
   std::unique_ptr<core::AmplifierCensus> census;

@@ -45,6 +45,7 @@ void AmplifierCensus::add(const scan::AmplifierObservation& obs) {
   cur_bytes_.add(bytes);
   cur_baf_.add(bytes / kBafDenominatorBytes);
   if (obs.response_wire_bytes > kMegaThresholdBytes) ++current_.mega_count;
+  if (obs.table_partial) ++current_.partial_tables;
 
   auto& per_ip = per_ip_[obs.address.value()];
   per_ip.total_bytes += obs.response_wire_bytes;
@@ -116,6 +117,17 @@ AmplifierCensus::mega_roster() const {
   std::sort(roster.begin(), roster.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   return roster;
+}
+
+std::vector<int> AmplifierCensus::missing_weeks(int expected_weeks) const {
+  std::vector<int> missing;
+  for (int w = 0; w < expected_weeks; ++w) {
+    const bool present =
+        std::any_of(rows_.begin(), rows_.end(),
+                    [w](const AmplifierSampleRow& r) { return r.week == w; });
+    if (!present) missing.push_back(w);
+  }
+  return missing;
 }
 
 void VersionCensus::begin_sample(int vweek, util::Date date) {

@@ -47,6 +47,10 @@ struct AmplifierSampleRow {
   double bytes_p95 = 0.0;
   double bytes_max = 0.0;
   std::uint64_t mega_count = 0;  ///< responders over kMegaThresholdBytes
+  /// Responders whose monlist arrived damaged (dropped/truncated segments).
+  /// Zero on a clean scan; under impairment these rows undercount bytes,
+  /// and the census reports rather than hides that.
+  std::uint64_t partial_tables = 0;
   std::array<std::uint64_t, net::kContinentCount> by_continent{};
 };
 
@@ -80,6 +84,11 @@ class AmplifierCensus {
   /// any sample, with their largest single-sample response.
   [[nodiscard]] std::vector<std::pair<net::Ipv4Address, std::uint64_t>>
   mega_roster() const;
+
+  /// Weeks in [0, expected_weeks) with no closed sample row — passes an
+  /// impaired scan lost entirely. Consumers flag these and interpolate or
+  /// skip; a clean study returns an empty vector.
+  [[nodiscard]] std::vector<int> missing_weeks(int expected_weeks) const;
 
  private:
   struct PerIp {

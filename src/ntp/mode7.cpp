@@ -51,6 +51,10 @@ std::optional<Mode7Packet> parse_mode7_packet(
   p.item_size = get_u16(raw, 6) & 0x0fff;
   const std::size_t declared =
       static_cast<std::size_t>(p.item_count) * p.item_size;
+  // A header may lie in either direction: declare more data than the
+  // datagram carries (truncated in flight, or a crafted over-read) or more
+  // than the protocol's 500-byte data area allows. Reject both.
+  if (declared > kMode7MaxDataBytes) return std::nullopt;
   if (kMode7HeaderBytes + declared > raw.size()) return std::nullopt;
   p.data.assign(raw.begin() + kMode7HeaderBytes,
                 raw.begin() + kMode7HeaderBytes + declared);
@@ -191,8 +195,12 @@ std::vector<Mode7Packet> make_legacy_monlist_response(
 std::vector<MonitorEntry> decode_legacy_items(const Mode7Packet& p) {
   std::vector<MonitorEntry> entries;
   if (p.item_size != kLegacyMonitorItemBytes) return entries;
-  entries.reserve(p.item_count);
-  for (std::size_t i = 0; i < p.item_count; ++i) {
+  // A hand-built packet can claim more items than its data holds; decode
+  // only the items the payload actually carries.
+  const std::size_t n = std::min<std::size_t>(
+      p.item_count, p.data.size() / kLegacyMonitorItemBytes);
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     const auto item = std::span<const std::uint8_t>(p.data).subspan(
         i * kLegacyMonitorItemBytes, kLegacyMonitorItemBytes);
     MonitorEntry e;
@@ -221,8 +229,11 @@ Mode7Packet make_mode7_error(Mode7Error err, Implementation impl,
 std::vector<MonitorEntry> decode_items(const Mode7Packet& p) {
   std::vector<MonitorEntry> entries;
   if (p.item_size != kMonitorItemBytes) return entries;
-  entries.reserve(p.item_count);
-  for (std::size_t i = 0; i < p.item_count; ++i) {
+  // Decode only what the payload carries, whatever the header claims.
+  const std::size_t n =
+      std::min<std::size_t>(p.item_count, p.data.size() / kMonitorItemBytes);
+  entries.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     entries.push_back(decode_item(
         std::span<const std::uint8_t>(p.data).subspan(i * kMonitorItemBytes,
                                                       kMonitorItemBytes)));
@@ -311,7 +322,9 @@ std::vector<Mode7Packet> make_peer_list_response(
 std::vector<PeerListEntry> decode_peer_items(const Mode7Packet& p) {
   std::vector<PeerListEntry> peers;
   if (p.item_size != kPeerListItemBytes) return peers;
-  for (std::size_t i = 0; i < p.item_count; ++i) {
+  const std::size_t n =
+      std::min<std::size_t>(p.item_count, p.data.size() / kPeerListItemBytes);
+  for (std::size_t i = 0; i < n; ++i) {
     const auto item = std::span<const std::uint8_t>(p.data).subspan(
         i * kPeerListItemBytes, kPeerListItemBytes);
     PeerListEntry e;
@@ -346,6 +359,9 @@ std::optional<std::vector<MonitorEntry>> reassemble_monlist(
     auto items = decode_items(*responses[i]);
     table.insert(table.end(), items.begin(), items.end());
   }
+  // No real monitor table exceeds the 600-entry cap; a reassembly that does
+  // is replayed/forged garbage. Keep the protocol invariant for consumers.
+  if (table.size() > kMonlistMaxEntries) table.resize(kMonlistMaxEntries);
   return table;
 }
 

@@ -1,5 +1,7 @@
 #include "scan/prober.h"
 
+#include <cstdlib>
+
 #include "net/packet.h"
 #include "ntp/mode6.h"
 #include "ntp/sysinfo.h"
@@ -10,11 +12,46 @@ namespace {
 
 constexpr std::uint16_t kProbeSourcePort = 57915;  // the port in Table 3a
 
+/// Parses an integer variable value without throwing — garbled replies can
+/// turn "stratum=3" into arbitrary bytes, which std::stoi would reject hard.
+int parse_int_or(const std::string& text, int fallback) noexcept {
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str()) return fallback;
+  if (v < -0x7fffffffL || v > 0x7fffffffL) return fallback;
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 Prober::Prober(sim::World& world, net::Ipv4Address source,
-               ntp::Implementation probe_impl)
-    : world_(world), source_(source), probe_impl_(probe_impl) {}
+               ntp::Implementation probe_impl,
+               const sim::ImpairmentConfig& impairment,
+               const ProbePolicy& policy)
+    : world_(world),
+      source_(source),
+      probe_impl_(probe_impl),
+      impairment_(impairment),
+      policy_(policy) {}
+
+void Prober::roll_window(int week) {
+  if (week == window_week_) return;
+  window_week_ = week;
+  responses_used_.clear();
+}
+
+bool Prober::consume_rate_budget(std::uint32_t server_index) {
+  if (!impairment_.enabled() ||
+      impairment_.config().rate_limit_per_window == 0) {
+    return false;
+  }
+  if (!impairment_.is_rate_limiter(server_index)) return false;
+  auto& used = responses_used_[server_index];
+  if (impairment_.rate_limited(server_index, used)) return true;
+  ++used;
+  return false;
+}
 
 util::SimTime Prober::sample_time(int week) noexcept {
   // Week 0 anchors at 2014-01-10 (sim day 70), probes land at noon UTC.
@@ -56,12 +93,18 @@ MonlistSampleSummary Prober::probe_indices(
     const std::vector<std::uint32_t>& server_indices, int week,
     util::SimTime now, const MonlistVisitor& visit) {
   apply_due_remediation(week);
+  roll_window(week);
   MonlistSampleSummary summary;
   summary.week = week;
   summary.date = util::date_from_sim_time(now);
 
   const auto request_wire = ntp::serialize(ntp::make_monlist_request(
       probe_impl_, /*authenticated=*/false));
+
+  // In a clean network every target gets exactly one packet (the original
+  // ONP methodology); retries exist only to ride out impairment.
+  const int max_attempts =
+      impairment_.enabled() ? policy_.max_retries + 1 : 1;
 
   AmplifierObservation obs;  // reused across visits
   for (const auto ai : server_indices) {
@@ -82,36 +125,119 @@ MonlistSampleSummary Prober::probe_indices(
     probe.dst = world_.address_at(ai, week);
     probe.src_port = kProbeSourcePort;
     probe.dst_port = net::kNtpPort;
-    probe.timestamp = now;
     probe.payload = request_wire;
 
-    const auto response = server->handle(probe, now);
-    if (response.total_packets == 0) continue;
+    bool was_rate_limited = false;
+    bool impairment_blocked = false;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) ++summary.retries;
+      const util::SimTime when = now + policy_.attempt_offset(attempt);
+      probe.timestamp = when;
 
-    // Reassemble the final table run from the materialized packets.
-    std::vector<ntp::Mode7Packet> parsed;
-    parsed.reserve(response.packets.size());
-    for (const auto& pkt : response.packets) {
-      if (auto p = ntp::parse_mode7_packet(pkt.payload)) {
-        parsed.push_back(std::move(*p));
+      const auto fate = impairment_.request_fate(ai, week, attempt);
+      if (fate == sim::ImpairmentLayer::Fate::kRequestLost ||
+          fate == sim::ImpairmentLayer::Fate::kUnreachable) {
+        impairment_blocked = true;  // server never saw it — retry
+        continue;
       }
-    }
-    auto table = ntp::reassemble_monlist(parsed);
-    if (!table || (parsed.size() == 1 &&
-                   parsed.front().error != ntp::Mode7Error::kOk)) {
-      ++summary.error_replies;
-      continue;  // impl mismatch or refusal: not an amplifier observation
-    }
 
-    obs.server_index = ai;
-    obs.address = probe.dst;
-    obs.response_packets = response.total_packets;
-    obs.response_udp_bytes = response.total_udp_payload_bytes;
-    obs.response_wire_bytes = response.total_on_wire_bytes;
-    obs.table = std::move(*table);
-    obs.probe_time = now;
-    ++summary.responders;
-    visit(obs);
+      const auto response = server->handle(probe, when);
+      if (response.total_packets == 0) {
+        impairment_blocked = false;
+        break;  // genuine restriction: deterministic, retrying is pointless
+      }
+      if (fate == sim::ImpairmentLayer::Fate::kSilent) {
+        impairment_blocked = true;  // whole reply lost on the return path
+        continue;
+      }
+      if (consume_rate_budget(ai)) {
+        was_rate_limited = true;
+        impairment_blocked = false;
+        // A KoD tells a well-behaved client to stop; silence invites
+        // retries that the limiter will keep eating.
+        if (impairment_.config().rate_limit_kod) break;
+        continue;
+      }
+
+      sim::ImpairmentLayer::Damage damage;
+      std::uint64_t delivered_packets = response.total_packets;
+      std::uint64_t delivered_udp = response.total_udp_payload_bytes;
+      std::uint64_t delivered_wire = response.total_on_wire_bytes;
+      std::vector<net::UdpPacket> packets = response.packets;
+      if (impairment_.enabled()) {
+        damage = impairment_.degrade_response(ai, week, attempt, packets);
+        // The materialized prefix was damaged exactly; the unmaterialized
+        // remainder of a mega reply is thinned in aggregate so totals stay
+        // deterministic without ever existing in memory.
+        std::uint64_t mat_udp = 0, mat_wire = 0;
+        for (const auto& pkt : response.packets) {
+          mat_udp += pkt.payload.size();
+          mat_wire += pkt.on_wire_bytes();
+        }
+        const std::uint64_t mat = response.packets.size();
+        const std::uint64_t rem = response.total_packets - mat;
+        const std::uint64_t rem_kept =
+            impairment_.delivered_responses(ai, week, rem);
+        const double rem_frac =
+            rem > 0 ? static_cast<double>(rem_kept) /
+                          static_cast<double>(rem)
+                    : 0.0;
+        delivered_packets =
+            (mat - damage.packets_dropped) + rem_kept;
+        delivered_udp = (mat_udp - damage.udp_bytes_lost) +
+                        static_cast<std::uint64_t>(
+                            static_cast<double>(
+                                response.total_udp_payload_bytes - mat_udp) *
+                            rem_frac);
+        delivered_wire = (mat_wire - damage.wire_bytes_lost) +
+                         static_cast<std::uint64_t>(
+                             static_cast<double>(
+                                 response.total_on_wire_bytes - mat_wire) *
+                             rem_frac);
+        if (delivered_packets == 0) {
+          impairment_blocked = true;  // everything died in transit — retry
+          continue;
+        }
+      }
+
+      // Reassemble the final table run from the surviving packets.
+      std::vector<ntp::Mode7Packet> parsed;
+      parsed.reserve(packets.size());
+      for (const auto& pkt : packets) {
+        if (auto p = ntp::parse_mode7_packet(pkt.payload)) {
+          parsed.push_back(std::move(*p));
+        }
+      }
+      auto table = ntp::reassemble_monlist(parsed);
+      if (!table || (parsed.size() == 1 &&
+                     parsed.front().error != ntp::Mode7Error::kOk)) {
+        if (damage.degraded() && parsed.empty()) {
+          impairment_blocked = true;  // damage ate the reply — retry
+          continue;
+        }
+        impairment_blocked = false;
+        ++summary.error_replies;
+        break;  // impl mismatch or refusal: not an amplifier observation
+      }
+
+      obs.server_index = ai;
+      obs.address = probe.dst;
+      obs.response_packets = delivered_packets;
+      obs.response_udp_bytes = delivered_udp;
+      obs.response_wire_bytes = delivered_wire;
+      obs.table = std::move(*table);
+      obs.probe_time = when;
+      obs.table_partial =
+          damage.packets_dropped + damage.packets_truncated > 0;
+      obs.attempts = attempt + 1;
+      if (obs.table_partial) ++summary.truncated_tables;
+      ++summary.responders;
+      impairment_blocked = false;
+      visit(obs);
+      break;
+    }
+    if (was_rate_limited) ++summary.rate_limited;
+    if (impairment_blocked) ++summary.probes_lost;
   }
   return summary;
 }
@@ -120,6 +246,7 @@ VersionSampleSummary Prober::run_version_sample(int vweek,
                                                 const VersionVisitor& visit) {
   const int week = vweek + 6;  // version passes began 2014-02-21
   apply_due_remediation(week);
+  roll_window(week);
   VersionSampleSummary summary;
   summary.week = vweek;
   summary.date = util::date_from_sim_time(sample_time(week));
@@ -127,6 +254,9 @@ VersionSampleSummary Prober::run_version_sample(int vweek,
 
   const auto request_wire =
       ntp::serialize(ntp::make_version_request(/*sequence=*/1));
+
+  const int max_attempts =
+      impairment_.enabled() ? policy_.max_retries + 1 : 1;
 
   VersionObservation obs;
   const auto& traits = world_.servers();
@@ -143,35 +273,86 @@ VersionSampleSummary Prober::run_version_sample(int vweek,
     probe.dst = world_.address_at(i, week);
     probe.src_port = kProbeSourcePort;
     probe.dst_port = net::kNtpPort;
-    probe.timestamp = now;
     probe.payload = request_wire;
 
-    const auto response = server->handle(probe, now);
-    if (response.total_packets == 0) {
-      --summary.responders_total;  // restricted after all
-      continue;
-    }
+    bool was_rate_limited = false;
+    bool impairment_blocked = false;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+      if (attempt > 0) ++summary.retries;
+      const util::SimTime when = now + policy_.attempt_offset(attempt);
+      probe.timestamp = when;
 
-    std::vector<ntp::ControlPacket> fragments;
-    for (const auto& pkt : response.packets) {
-      if (auto p = ntp::parse_control_packet(pkt.payload)) {
-        fragments.push_back(std::move(*p));
+      // Decorrelated from the monlist pass's attempts via the salt offset.
+      const auto fate = impairment_.request_fate(i, week, attempt + 0x100);
+      if (fate == sim::ImpairmentLayer::Fate::kRequestLost ||
+          fate == sim::ImpairmentLayer::Fate::kUnreachable) {
+        impairment_blocked = true;
+        continue;
       }
-    }
-    const auto text = ntp::reassemble_readvar(fragments);
-    if (!text) continue;
-    const auto vars = ntp::parse_variable_list(*text);
 
-    obs.server_index = i;
-    obs.address = probe.dst;
-    obs.response_packets = response.total_packets;
-    obs.response_wire_bytes = response.total_on_wire_bytes;
-    obs.system = vars.count("system") ? vars.at("system") : "";
-    obs.version = vars.count("version") ? vars.at("version") : "";
-    obs.stratum = vars.count("stratum") ? std::stoi(vars.at("stratum")) : 0;
-    obs.probe_time = now;
-    ++summary.responders_detailed;
-    visit(obs);
+      const auto response = server->handle(probe, when);
+      if (response.total_packets == 0) {
+        --summary.responders_total;  // restricted after all
+        impairment_blocked = false;
+        break;
+      }
+      if (fate == sim::ImpairmentLayer::Fate::kSilent) {
+        impairment_blocked = true;
+        continue;
+      }
+      if (consume_rate_budget(i)) {
+        was_rate_limited = true;
+        impairment_blocked = false;
+        if (impairment_.config().rate_limit_kod) break;
+        continue;
+      }
+
+      sim::ImpairmentLayer::Damage damage;
+      std::vector<net::UdpPacket> packets = response.packets;
+      if (impairment_.enabled()) {
+        damage =
+            impairment_.degrade_response(i, week, attempt + 0x100, packets);
+        if (packets.empty()) {
+          impairment_blocked = true;
+          continue;
+        }
+      }
+
+      std::vector<ntp::ControlPacket> fragments;
+      for (const auto& pkt : packets) {
+        if (auto p = ntp::parse_control_packet(pkt.payload)) {
+          fragments.push_back(std::move(*p));
+        }
+      }
+      const auto text = ntp::reassemble_readvar(fragments);
+      if (!text) {
+        if (damage.degraded()) {
+          impairment_blocked = true;  // damage broke the reply — retry
+          continue;
+        }
+        impairment_blocked = false;
+        break;
+      }
+      const auto vars = ntp::parse_variable_list(*text);
+
+      obs.server_index = i;
+      obs.address = probe.dst;
+      obs.response_packets = response.total_packets - damage.packets_dropped;
+      obs.response_wire_bytes =
+          response.total_on_wire_bytes - damage.wire_bytes_lost;
+      obs.system = vars.count("system") ? vars.at("system") : "";
+      obs.version = vars.count("version") ? vars.at("version") : "";
+      obs.stratum =
+          vars.count("stratum") ? parse_int_or(vars.at("stratum"), 0) : 0;
+      obs.probe_time = when;
+      if (damage.degraded()) ++summary.truncated_tables;
+      ++summary.responders_detailed;
+      impairment_blocked = false;
+      visit(obs);
+      break;
+    }
+    if (was_rate_limited) ++summary.rate_limited;
+    if (impairment_blocked) ++summary.probes_lost;
   }
   return summary;
 }

@@ -12,9 +12,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ntp/mode7.h"
+#include "sim/impairment.h"
 #include "sim/world.h"
 #include "util/time.h"
 
@@ -31,6 +33,11 @@ struct AmplifierObservation {
   std::vector<ntp::MonitorEntry> table;
   /// When the probe was answered (table timestamps are relative to this).
   util::SimTime probe_time = 0;
+  /// True when the reply arrived damaged — datagrams dropped or truncated —
+  /// so `table` is a partial view of the server's monitor table.
+  bool table_partial = false;
+  /// Probe attempts consumed for this observation (1 = answered first try).
+  int attempts = 1;
 };
 
 /// One responder's reply to the weekly version probe.
@@ -51,6 +58,14 @@ struct MonlistSampleSummary {
   std::uint64_t probes_sent = 0;
   std::uint64_t responders = 0;       ///< amplifiers (table replies)
   std::uint64_t error_replies = 0;    ///< tiny impl-mismatch replies
+  /// Targets that would have answered but were lost to impairment even
+  /// after every retry (distinct from offline/restricted non-responders).
+  std::uint64_t probes_lost = 0;
+  std::uint64_t retries = 0;          ///< extra attempts beyond the first
+  /// Responders whose reply arrived with datagrams missing or truncated.
+  std::uint64_t truncated_tables = 0;
+  /// Probes a rate-limiting server refused (silence or KoD) this window.
+  std::uint64_t rate_limited = 0;
 };
 
 struct VersionSampleSummary {
@@ -62,12 +77,42 @@ struct VersionSampleSummary {
   std::uint64_t responders_total = 0;
   /// Responders materialized and delivered to the visitor.
   std::uint64_t responders_detailed = 0;
+  std::uint64_t probes_lost = 0;    ///< lost to impairment after all retries
+  std::uint64_t retries = 0;
+  std::uint64_t truncated_tables = 0;  ///< degraded-but-parsed replies
+  std::uint64_t rate_limited = 0;
+};
+
+/// Retry/timeout/backoff policy for the resilient prober. Retries only ever
+/// fire on *impairment* failures — in a clean network every target is probed
+/// exactly once, matching the original one-packet-per-target methodology.
+struct ProbePolicy {
+  /// Seconds waited for a reply before an attempt is declared dead.
+  double timeout_s = 5.0;
+  /// Extra attempts after the first (total attempts = max_retries + 1).
+  int max_retries = 2;
+  /// Backoff before retry k is backoff_initial_s * backoff_factor^(k-1).
+  double backoff_initial_s = 2.0;
+  double backoff_factor = 2.0;
+
+  /// SimTime offset of attempt `k` (0-based) from the pass's probe time.
+  [[nodiscard]] util::SimTime attempt_offset(int k) const noexcept {
+    double off = 0.0;
+    double backoff = backoff_initial_s;
+    for (int j = 0; j < k; ++j) {
+      off += timeout_s + backoff;
+      backoff *= backoff_factor;
+    }
+    return static_cast<util::SimTime>(off);
+  }
 };
 
 class Prober {
  public:
   Prober(sim::World& world, net::Ipv4Address source,
-         ntp::Implementation probe_impl = ntp::Implementation::kXntpd);
+         ntp::Implementation probe_impl = ntp::Implementation::kXntpd,
+         const sim::ImpairmentConfig& impairment = {},
+         const ProbePolicy& policy = {});
 
   using MonlistVisitor = std::function<void(const AmplifierObservation&)>;
   using VersionVisitor = std::function<void(const VersionObservation&)>;
@@ -97,16 +142,33 @@ class Prober {
   /// SimTime at which week `week`'s monlist pass runs (Fridays, 12:00 UTC).
   [[nodiscard]] static util::SimTime sample_time(int week) noexcept;
 
+  [[nodiscard]] const sim::ImpairmentLayer& impairment() const noexcept {
+    return impairment_;
+  }
+  [[nodiscard]] const ProbePolicy& policy() const noexcept { return policy_; }
+
  private:
   void apply_due_remediation(int week);
   MonlistSampleSummary probe_indices(
       const std::vector<std::uint32_t>& server_indices, int week,
       util::SimTime now, const MonlistVisitor& visit);
+  /// Resets the rate-limit window when the pass moves to a new week.
+  void roll_window(int week);
+  /// True when the server's response budget for this window is spent;
+  /// consumes one unit otherwise (no-op unless the server rate limits).
+  bool consume_rate_budget(std::uint32_t server_index);
 
   sim::World& world_;
   net::Ipv4Address source_;
   ntp::Implementation probe_impl_;
+  sim::ImpairmentLayer impairment_;
+  ProbePolicy policy_;
   int remediation_applied_week_ = -1;
+  // Rate-limit window state: responses each limiting server has answered
+  // this window (a sample week). The prober tracks this client-side the way
+  // the real ONP would infer it — the oracle itself is stateless.
+  int window_week_ = -1 << 30;
+  std::unordered_map<std::uint32_t, std::uint32_t> responses_used_;
 };
 
 }  // namespace gorilla::scan

@@ -45,6 +45,7 @@ AttackEngine::AttackEngine(World& world, const AttackEngineConfig& config,
     : world_(world),
       config_(config),
       sinks_(std::move(sinks)),
+      impairment_(config.impairment),
       rng_(config.seed),
       booter_zipf_(1, 1.0),
       hosting_zipf_(1, 1.0),
@@ -304,18 +305,31 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
     std::uint64_t bytes = 0;
     std::uint64_t packets = 0;
     std::uint64_t payload = 0;
+    std::uint64_t delivered_triggers = 0;
     double rate_bps = 0.0;
   };
   std::vector<AmpEmission> emissions;
   emissions.reserve(rec.amplifiers.size());
+  const int week = week_of_day(day);
+  const double response_delivery = impairment_.response_delivery_fraction();
   double peak_bps = 0.0;
+  std::uint64_t total_delivered_triggers = 0;
   for (const auto amp_index : rec.amplifiers) {
+    // Spoofed triggers cross a lossy network too: only the delivered ones
+    // leave monitor-table evidence or elicit a response.
+    const std::uint64_t delivered_triggers =
+        impairment_.enabled()
+            ? impairment_.delivered_requests(amp_index, week,
+                                             rec.triggers_per_amplifier)
+            : rec.triggers_per_amplifier;
+    total_delivered_triggers += delivered_triggers;
+    if (delivered_triggers == 0) continue;
     auto* server = world_.detailed(amp_index);
     if (server == nullptr) continue;
     server->monitor().observe_many(
         rec.victim, rec.victim_port,
         static_cast<std::uint8_t>(ntp::Mode::kPrivate), ntp::kNtpVersion,
-        rec.triggers_per_amplifier, rec.start, rec.end);
+        delivered_triggers, rec.start, rec.end);
 
     const std::size_t entries =
         rec.primed ? ntp::kMonlistMaxEntries
@@ -334,7 +348,7 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
       const double budget_bytes = 500e6 / 8.0 * duration_s;
       const double per_loop_bytes =
           static_cast<double>(dump_wire) *
-          static_cast<double>(rec.triggers_per_amplifier);
+          static_cast<double>(delivered_triggers);
       loop = std::max<std::uint64_t>(
           1, std::min<std::uint64_t>(
                  loop, static_cast<std::uint64_t>(
@@ -362,7 +376,7 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
         config_.amplifier_uplink_bps / 8.0 * duration_s;
     const double offered_bytes =
         static_cast<double>(per_trigger_wire) *
-        static_cast<double>(rec.triggers_per_amplifier);
+        static_cast<double>(delivered_triggers);
     const double answered_bytes = offered_bytes * answered_fraction;
     const double uplink_fraction =
         answered_bytes > uplink_budget_bytes && answered_bytes > 0.0
@@ -370,19 +384,26 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
             : 1.0;
     const double emit_fraction = answered_fraction * uplink_fraction;
 
+    // Response packets cross the lossy network back to the victim; a 1.0
+    // delivery fraction multiplies exactly, so the clean path is unchanged.
     AmpEmission emission;
     emission.server = server;
-    emission.bytes = static_cast<std::uint64_t>(offered_bytes * emit_fraction);
+    emission.delivered_triggers = delivered_triggers;
+    emission.bytes = static_cast<std::uint64_t>(offered_bytes * emit_fraction *
+                                                response_delivery);
     emission.packets = static_cast<std::uint64_t>(
         static_cast<double>(per_trigger_packets) *
-        static_cast<double>(rec.triggers_per_amplifier) * emit_fraction);
+        static_cast<double>(delivered_triggers) * emit_fraction *
+        response_delivery);
     emission.payload = static_cast<std::uint64_t>(
         static_cast<double>(per_trigger_payload) *
-        static_cast<double>(rec.triggers_per_amplifier) * emit_fraction);
+        static_cast<double>(delivered_triggers) * emit_fraction *
+        response_delivery);
     emission.rate_bps =
         std::min(static_cast<double>(per_trigger_wire) * pps *
                      answered_fraction * 8.0,
-                 config_.amplifier_uplink_bps);
+                 config_.amplifier_uplink_bps) *
+        response_delivery;
     peak_bps += emission.rate_bps;
     emissions.push_back(emission);
   }
@@ -431,10 +452,10 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
       trigger.src_port = rec.victim_port;
       trigger.dst_port = net::kNtpPort;
       trigger.ttl = kAttackTtl;
-      trigger.packets = rec.triggers_per_amplifier;
-      trigger.bytes = kTriggerWireBytes * rec.triggers_per_amplifier;
+      trigger.packets = emission.delivered_triggers;
+      trigger.bytes = kTriggerWireBytes * emission.delivered_triggers;
       trigger.payload_bytes =
-          kTriggerPayloadBytes * rec.triggers_per_amplifier;
+          kTriggerPayloadBytes * emission.delivered_triggers;
       trigger.first = rec.start;
       trigger.last = rec.end;
 
@@ -448,8 +469,7 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
   if (sinks_.global != nullptr) {
     const double trigger_bytes =
         static_cast<double>(kTriggerWireBytes) *
-        static_cast<double>(rec.triggers_per_amplifier) *
-        static_cast<double>(rec.amplifiers.size());
+        static_cast<double>(total_delivered_triggers);
     sinks_.global->add_bytes(day, telemetry::ProtocolClass::kNtp,
                              static_cast<double>(rec.response_bytes) +
                                  trigger_bytes);

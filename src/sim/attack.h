@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/impairment.h"
 #include "sim/world.h"
 #include "telemetry/darknet.h"
 #include "telemetry/flow.h"
@@ -121,6 +122,12 @@ struct AttackEngineConfig {
   /// Background (non-NTP) DDoS volume for the Figure 2 denominator:
   /// ~300K/month globally, 90/10/1 small/medium/large.
   double background_attacks_per_day = 10000.0;
+
+  /// Network impairment on the spoofed-trigger and reflection paths: lost
+  /// triggers never reach an amplifier (no monitor evidence, no response);
+  /// lost response packets never reach the victim. All-zero = perfect
+  /// network, bit-identical to the pre-impairment engine.
+  ImpairmentConfig impairment;
 };
 
 /// A booter ("stresser") service or standalone botmaster — §5.2's attacker
@@ -190,6 +197,7 @@ class AttackEngine {
   World& world_;
   AttackEngineConfig config_;
   AttackSinks sinks_;
+  ImpairmentLayer impairment_;
   util::Rng rng_;
   std::uint64_t next_id_ = 0;
   Totals totals_;

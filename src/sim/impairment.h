@@ -1,0 +1,160 @@
+// Deterministic network-impairment layer.
+//
+// The real measurements survived a hostile data plane: UDP probes vanish,
+// monlist dumps arrive with missing 6-entry segments, replies come back
+// truncated or garbled, middleboxes return ICMP unreachable, and later ntpd
+// builds rate-limit mode 7 responses (silence or a KoD). The seed simulation
+// modelled none of this — every probe was answered instantly, completely and
+// losslessly — so the prober and the downstream analyses had never seen
+// partial data. This layer sits on the packet path between a sender and an
+// ntp::NtpServer and injects exactly those impairments.
+//
+// Every decision is a pure function of (seed, server, week, attempt[, packet])
+// via splitmix64-style hashing — no mutable state, no RNG stream to keep in
+// sync — so runs are bit-for-bit reproducible and any caller can replay any
+// week in isolation. An all-zero ImpairmentConfig (the default) makes the
+// layer provably inert: enabled() is false and every query short-circuits to
+// "delivered, undamaged", leaving seed behaviour byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace gorilla::sim {
+
+/// Knobs for the impairment layer. All-zero defaults are a provable no-op.
+struct ImpairmentConfig {
+  /// Mixed into every hash draw; keep 0 to inherit pure structural hashing.
+  std::uint64_t seed = 0;
+
+  /// Probability a request (probe or spoofed trigger) is lost in flight and
+  /// never reaches the server — no monitor-table evidence, no reply.
+  double request_loss = 0.0;
+  /// Probability an attempt dies to ICMP unreachable (filtered middlebox,
+  /// transient routing hole); like request loss, the server never sees it.
+  double icmp_unreachable_rate = 0.0;
+  /// Probability the server processes the request (monitor table updated)
+  /// but the entire reply is lost on the return path.
+  double transient_silence_rate = 0.0;
+
+  /// Per-response-datagram drop probability: monlist tables arrive with
+  /// missing 6-entry segments.
+  double response_packet_loss = 0.0;
+  /// Probability a response datagram is truncated mid-payload (its header
+  /// then lies about the item geometry — the parsers must reject it).
+  double response_truncate_rate = 0.0;
+  /// Probability a response datagram has bytes flipped in transit.
+  double response_garble_rate = 0.0;
+
+  /// Fraction of servers that deploy response rate limiting (later ntpd's
+  /// `limited` restriction, or Merit-style interim filters).
+  double rate_limiter_fraction = 0.0;
+  /// Responses such a server answers per window (a sample week on the probe
+  /// path, one campaign on the attack path) before going quiet. 0 disables.
+  std::uint32_t rate_limit_per_window = 0;
+  /// When limited, send a 48-byte Kiss-of-Death instead of pure silence
+  /// (ntpd's `limited kod`). Well-behaved clients stop retrying on KoD.
+  bool rate_limit_kod = false;
+
+  /// True when any knob is set — i.e. the layer can alter behaviour at all.
+  [[nodiscard]] bool any() const noexcept {
+    return request_loss > 0.0 || icmp_unreachable_rate > 0.0 ||
+           transient_silence_rate > 0.0 || response_packet_loss > 0.0 ||
+           response_truncate_rate > 0.0 || response_garble_rate > 0.0 ||
+           (rate_limiter_fraction > 0.0 && rate_limit_per_window > 0);
+  }
+};
+
+/// Stateless impairment oracle. Copyable, cheap, safe to share const.
+class ImpairmentLayer {
+ public:
+  /// Inert layer: everything is delivered undamaged.
+  ImpairmentLayer() = default;
+  explicit ImpairmentLayer(const ImpairmentConfig& config)
+      : config_(config), enabled_(config.any()) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  [[nodiscard]] const ImpairmentConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// What happened to one request on one attempt, before any server logic.
+  enum class Fate : std::uint8_t {
+    kDelivered,    ///< reached the server; reply subject to degrade_response
+    kRequestLost,  ///< vanished in flight — server never saw it
+    kUnreachable,  ///< ICMP unreachable — server never saw it
+    kSilent,       ///< server processed it but the whole reply was lost
+  };
+
+  [[nodiscard]] Fate request_fate(std::uint32_t server_index, int week,
+                                  int attempt) const noexcept;
+
+  /// True when this server deploys response rate limiting (per-server trait,
+  /// stable across weeks).
+  [[nodiscard]] bool is_rate_limiter(std::uint32_t server_index) const noexcept;
+
+  /// True when the server's window budget is exhausted: it has already
+  /// answered `responses_used` times this window and will drop (or KoD) the
+  /// next request. Callers track the per-window response count.
+  [[nodiscard]] bool rate_limited(std::uint32_t server_index,
+                                  std::uint32_t responses_used) const noexcept {
+    return enabled_ && config_.rate_limit_per_window > 0 &&
+           responses_used >= config_.rate_limit_per_window &&
+           is_rate_limiter(server_index);
+  }
+
+  /// What degrade_response did to a materialized reply.
+  struct Damage {
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t packets_truncated = 0;
+    std::uint64_t packets_garbled = 0;
+    /// Wire/UDP bytes removed by drops and truncation (exact, for accounting).
+    std::uint64_t udp_bytes_lost = 0;
+    std::uint64_t wire_bytes_lost = 0;
+
+    [[nodiscard]] bool degraded() const noexcept {
+      return packets_dropped + packets_truncated + packets_garbled > 0;
+    }
+  };
+
+  /// Applies per-datagram loss/truncation/garbling to a materialized reply
+  /// in place. Pure in (seed, server, week, attempt, packet index): replaying
+  /// the same attempt damages the same packets the same way.
+  Damage degrade_response(std::uint32_t server_index, int week, int attempt,
+                          std::vector<net::UdpPacket>& packets) const;
+
+  /// Aggregate channels (attack trigger streams, scan sweeps): deterministic
+  /// count of requests out of `offered` that reach server `key` in `week`.
+  /// Expected value is offered * (1 - request_loss - icmp_unreachable_rate);
+  /// the fractional remainder is resolved by one hash draw so totals stay
+  /// exact across reruns.
+  [[nodiscard]] std::uint64_t delivered_requests(
+      std::uint32_t key, int week, std::uint64_t offered) const noexcept;
+
+  /// Same for response packets flowing back (victim-bound reflection
+  /// traffic, telescope-bound scan backscatter).
+  [[nodiscard]] std::uint64_t delivered_responses(
+      std::uint32_t key, int week, std::uint64_t offered) const noexcept;
+
+  /// Fraction of response packets that survive the return path; aggregate
+  /// byte totals scale by this.
+  [[nodiscard]] double response_delivery_fraction() const noexcept {
+    return enabled_ ? 1.0 - config_.response_packet_loss : 1.0;
+  }
+
+ private:
+  /// Deterministic uniform in [0,1) from (seed, a, b, c, salt).
+  [[nodiscard]] double draw(std::uint64_t a, std::uint64_t b, std::uint64_t c,
+                            std::uint64_t salt) const noexcept;
+
+  [[nodiscard]] std::uint64_t thin(std::uint32_t key, int week,
+                                   std::uint64_t offered, double loss,
+                                   std::uint64_t salt) const noexcept;
+
+  ImpairmentConfig config_{};
+  bool enabled_ = false;
+};
+
+}  // namespace gorilla::sim

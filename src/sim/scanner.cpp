@@ -16,7 +16,10 @@ constexpr std::uint64_t kProbeWireBytes =
 }  // namespace
 
 ScanTraffic::ScanTraffic(World& world, const ScanTrafficConfig& config)
-    : world_(world), config_(config), rng_(config.seed) {
+    : world_(world),
+      config_(config),
+      impairment_(config.impairment),
+      rng_(config.seed) {
   const auto& registry = world_.registry();
   // Research scanners: stable, whole-space, weekly, from well-known hosts.
   for (int i = 0; i < config_.research_scanners; ++i) {
@@ -77,7 +80,13 @@ void ScanTraffic::run_day(
     if (!scans_today) continue;
 
     if (darknet != nullptr) {
-      const std::uint64_t pkts = darknet_packets_per_pass(actor, *darknet);
+      std::uint64_t pkts = darknet_packets_per_pass(actor, *darknet);
+      if (impairment_.enabled()) {
+        // Scan packets die in flight before the telescope like anywhere
+        // else; key on the scanner so each actor thins reproducibly.
+        pkts = impairment_.delivered_requests(actor.address.value(), day / 7,
+                                              pkts);
+      }
       if (pkts > 0) {
         darknet->observe_scan(actor.address, day, pkts, actor.benign);
       }
@@ -109,6 +118,11 @@ void ScanTraffic::run_day(
       // whole pass volume — scanning is a negligible share of NTP bytes at
       // a vantage either way.
       f.packets = actor.benign ? 2 : 1;
+      if (impairment_.enabled()) {
+        f.packets = impairment_.delivered_requests(
+            actor.address.value() ^ f.dst.value(), day / 7, f.packets);
+        if (f.packets == 0) continue;  // the whole slice died in flight
+      }
       f.bytes = f.packets * kProbeWireBytes;
       f.payload_bytes = f.packets * ntp::kMode7RequestBytes;
       f.first = day_start + static_cast<util::SimTime>(
@@ -139,9 +153,21 @@ void ScanTraffic::seed_monitor_tables(int week) {
   for (const auto ai : world_.amplifier_indices()) {
     auto* server = world_.detailed(ai);
     if (server == nullptr) continue;
+    int actor_index = 0;
     for (const auto& a : actors_) {
+      ++actor_index;
       if (!a.benign || day < a.first_day || day > a.last_day) continue;
       const bool mode6 = rng_.chance(a.mode6_share);
+      // Fates are hash draws, not RNG stream draws: checking them cannot
+      // shift the clean stream, and the burned draws below keep an enabled
+      // run's stream aligned whether or not this probe got through.
+      if (impairment_.enabled() &&
+          impairment_.request_fate(ai, week, 0x200 + actor_index) !=
+              ImpairmentLayer::Fate::kDelivered) {
+        (void)rng_.uniform_int(1024, 65535);
+        (void)rng_.uniform(3600);
+        continue;  // this scanner's probe never reached the server
+      }
       server->monitor().observe(
           a.address, static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
           static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
@@ -154,6 +180,13 @@ void ScanTraffic::seed_monitor_tables(int week) {
       const auto& a = actors_[rng_.uniform(actors_.size())];
       if (a.benign) continue;
       const bool mode6 = rng_.chance(a.mode6_share);
+      if (impairment_.enabled() &&
+          impairment_.request_fate(ai, week, 0x300 + static_cast<int>(h)) !=
+              ImpairmentLayer::Fate::kDelivered) {
+        (void)rng_.uniform_int(1024, 65535);
+        (void)rng_.uniform(3 * util::kSecondsPerDay);
+        continue;
+      }
       server->monitor().observe(
           a.address, static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
           static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/impairment.h"
 #include "sim/world.h"
 #include "telemetry/darknet.h"
 #include "telemetry/flow.h"
@@ -40,6 +41,11 @@ struct ScanTrafficConfig {
   /// Daily probability an active malicious scanner actually scans.
   double malicious_duty_cycle = 0.6;
   double malicious_coverage = 0.02;  ///< slice of IPv4 per malicious pass
+
+  /// Network impairment on the scan paths: darknet-bound packets, vantage
+  /// flows, and monitor-table probe entries all thin consistently with the
+  /// probe/attack channels. All-zero = the seed's lossless behaviour.
+  ImpairmentConfig impairment;
 };
 
 /// Drives all non-ONP scanning for a horizon: darknet packets, amplifier
@@ -67,6 +73,7 @@ class ScanTraffic {
 
   World& world_;
   ScanTrafficConfig config_;
+  ImpairmentLayer impairment_;
   util::Rng rng_;
   std::vector<ScanActor> actors_;  ///< research first, then malicious
 };

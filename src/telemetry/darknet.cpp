@@ -1,12 +1,46 @@
 #include "telemetry/darknet.h"
 
+#include <algorithm>
+
 namespace gorilla::telemetry {
+
+namespace {
+
+// splitmix64 finalizer — the same stateless-hash idiom the sim's impairment
+// layer uses, duplicated here because telemetry cannot link against sim.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic thinning of `offered` packets by `loss`: floor of the
+/// expectation, with the fractional remainder resolved by one hash draw.
+std::uint64_t thin_capture(std::uint64_t seed, std::uint32_t scanner, int day,
+                           std::uint64_t offered, double loss) noexcept {
+  if (loss <= 0.0 || offered == 0) return offered;
+  if (loss >= 1.0) return 0;
+  const double expected = static_cast<double>(offered) * (1.0 - loss);
+  const auto base = static_cast<std::uint64_t>(expected);
+  const double frac = expected - static_cast<double>(base);
+  const std::uint64_t h = mix64(
+      seed ^ mix64(scanner ^ mix64(static_cast<std::uint64_t>(day + 64))));
+  const double draw = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return std::min(offered, base + (draw < frac ? 1u : 0u));
+}
+
+}  // namespace
 
 DarknetTelescope::DarknetTelescope(const DarknetConfig& config)
     : config_(config) {}
 
 void DarknetTelescope::observe_scan(net::Ipv4Address scanner, int day,
                                     std::uint64_t packets, bool benign) {
+  if (config_.capture_loss > 0.0) {
+    packets = thin_capture(config_.loss_seed, scanner.value(), day, packets,
+                           config_.capture_loss);
+  }
   if (packets == 0) return;
   auto& entry = by_day_[day][scanner.value()];
   entry.first += packets;

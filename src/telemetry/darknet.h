@@ -24,6 +24,13 @@ namespace gorilla::telemetry {
 struct DarknetConfig {
   net::Prefix telescope;       ///< covering prefix (a /8 analogue)
   double effective_coverage = 0.75;  ///< fraction of /24s actually dark
+  /// Fraction of telescope-bound packets lost before capture (path loss +
+  /// collection drops). Thinned deterministically from (loss_seed, scanner,
+  /// day) so runs reproduce bit-for-bit; 0 = the seed's lossless capture.
+  /// (telemetry cannot link against sim, so the telescope carries its own
+  /// knob; harnesses set it from the same ImpairmentConfig.)
+  double capture_loss = 0.0;
+  std::uint64_t loss_seed = 0;
 };
 
 /// A scanning source as the telescope resolves it (reverse DNS analogue).
@@ -35,6 +42,13 @@ struct ScannerIdentity {
 class DarknetTelescope {
  public:
   explicit DarknetTelescope(const DarknetConfig& config);
+
+  /// Reconfigures capture loss after construction (harnesses build the
+  /// telescope before they know the study's impairment settings).
+  void set_capture_loss(double loss, std::uint64_t seed) noexcept {
+    config_.capture_loss = loss;
+    config_.loss_seed = seed;
+  }
 
   /// Records `packets` NTP-probe packets from one scanner on one day.
   /// (Scanning arrives as vast numbers of identical small probes; the sim

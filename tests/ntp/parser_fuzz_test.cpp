@@ -145,6 +145,112 @@ TEST(ParserFuzzTest, ReassembleMonlistSurvivesShuffledDuplicates) {
   }
 }
 
+TEST(ParserFuzzTest, Mode7RejectsOversizeDeclaredData) {
+  // A datagram that actually carries more than the protocol's 500-byte data
+  // area and declares it honestly must still be rejected — mode 7 data areas
+  // never exceed kMode7MaxDataBytes, so a bigger claim is an attack or
+  // corruption, not a big table.
+  Mode7Packet lying;
+  lying.response = true;
+  lying.item_count = 8;   // 8 * 72 = 576 > 500
+  lying.item_size = 72;
+  lying.data.assign(8 * 72, 0xab);
+  const auto wire = serialize(lying);
+  ASSERT_GT(wire.size(), kMode7HeaderBytes + kMode7MaxDataBytes);
+  EXPECT_FALSE(parse_mode7_packet(wire));
+}
+
+TEST(ParserFuzzTest, DecodersClampLyingItemCounts) {
+  // Packets can arrive truncated after parse (the impairment layer cuts
+  // payloads mid-item); decoders must bound themselves by the bytes that are
+  // actually present, never the header's claim.
+  Mode7Packet p;
+  p.response = true;
+  p.item_count = 100;
+  p.item_size = static_cast<std::uint16_t>(kMonitorItemBytes);
+  p.data.assign(2 * kMonitorItemBytes + 17, 0x5c);  // 2 whole items + a stub
+  EXPECT_EQ(decode_items(p).size(), 2u);
+
+  p.item_size = static_cast<std::uint16_t>(kLegacyMonitorItemBytes);
+  p.data.assign(3 * kLegacyMonitorItemBytes + 5, 0x5c);
+  EXPECT_EQ(decode_legacy_items(p).size(), 3u);
+
+  p.item_size = static_cast<std::uint16_t>(kPeerListItemBytes);
+  p.data.assign(kPeerListItemBytes - 1, 0x5c);  // not even one whole item
+  EXPECT_TRUE(decode_peer_items(p).empty());
+
+  p.item_count = 0;
+  p.data.assign(5 * kMonitorItemBytes, 0x5c);
+  p.item_size = static_cast<std::uint16_t>(kMonitorItemBytes);
+  EXPECT_TRUE(decode_items(p).empty());  // count bounds too, not just bytes
+}
+
+TEST(ParserFuzzTest, TruncatedResponseChainsReassembleSafely) {
+  // Impairment-style damage: cut each datagram of a response chain at every
+  // possible point, reparse what survives, and reassemble. Must never crash,
+  // and whatever comes back must respect the table cap.
+  std::vector<MonitorEntry> entries(20);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].address = net::Ipv4Address{static_cast<std::uint32_t>(i + 1)};
+  }
+  const auto packets = make_monlist_response(entries, Implementation::kXntpd);
+  util::Rng rng(0xf127);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Mode7Packet> surviving;
+    for (const auto& p : packets) {
+      auto wire = serialize(p);
+      wire.resize(rng.uniform(wire.size() + 1));  // truncate in flight
+      if (auto parsed = parse_mode7_packet(wire)) {
+        surviving.push_back(std::move(*parsed));
+      }
+    }
+    const auto table = reassemble_monlist(surviving);
+    if (table) {
+      EXPECT_LE(table->size(), entries.size());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, GarbledResponseChainsReassembleSafely) {
+  std::vector<MonitorEntry> entries(20);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].address = net::Ipv4Address{static_cast<std::uint32_t>(i + 1)};
+  }
+  const auto packets = make_monlist_response(entries, Implementation::kXntpd);
+  util::Rng rng(0xf128);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Mode7Packet> surviving;
+    for (const auto& p : packets) {
+      auto wire = serialize(p);
+      const int flips = static_cast<int>(rng.uniform_int(1, 6));
+      for (int f = 0; f < flips; ++f) {
+        wire[rng.uniform(wire.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.uniform(8));
+      }
+      if (auto parsed = parse_mode7_packet(wire)) {
+        surviving.push_back(std::move(*parsed));
+      }
+    }
+    const auto table = reassemble_monlist(surviving);  // must not crash
+    if (table) {
+      EXPECT_LE(table->size(), kMonlistMaxEntries);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, ReassembleClampsOversizeTables) {
+  // A malicious (or corrupt) chain claiming more than the 600-entry protocol
+  // cap is clamped, not trusted.
+  std::vector<MonitorEntry> entries(650);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    entries[i].address = net::Ipv4Address{static_cast<std::uint32_t>(i + 1)};
+  }
+  const auto packets = make_monlist_response(entries, Implementation::kXntpd);
+  const auto table = reassemble_monlist(packets);
+  ASSERT_TRUE(table);
+  EXPECT_EQ(table->size(), kMonlistMaxEntries);
+}
+
 TEST(ParserFuzzTest, NtpdcTextSurvivesMutations) {
   std::vector<MonitorEntry> entries(5);
   for (std::size_t i = 0; i < entries.size(); ++i) {

@@ -1,0 +1,211 @@
+#include "sim/impairment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace gorilla::sim {
+namespace {
+
+std::vector<net::UdpPacket> sample_packets(std::size_t n,
+                                           std::size_t payload_bytes) {
+  std::vector<net::UdpPacket> packets(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    packets[i].payload.assign(payload_bytes,
+                              static_cast<std::uint8_t>(i * 7 + 1));
+  }
+  return packets;
+}
+
+TEST(ImpairmentTest, DefaultConfigIsProvablyInert) {
+  const ImpairmentConfig cfg;
+  EXPECT_FALSE(cfg.any());
+  const ImpairmentLayer layer(cfg);
+  EXPECT_FALSE(layer.enabled());
+  for (std::uint32_t s = 0; s < 200; ++s) {
+    EXPECT_EQ(layer.request_fate(s, 0, 0), ImpairmentLayer::Fate::kDelivered);
+    EXPECT_FALSE(layer.is_rate_limiter(s));
+    EXPECT_FALSE(layer.rate_limited(s, 1'000'000));
+    EXPECT_EQ(layer.delivered_requests(s, 3, 12345), 12345u);
+    EXPECT_EQ(layer.delivered_responses(s, 3, 12345), 12345u);
+  }
+  EXPECT_EQ(layer.response_delivery_fraction(), 1.0);
+
+  auto packets = sample_packets(8, 440);
+  const auto before = packets;
+  const auto damage = layer.degrade_response(7, 2, 0, packets);
+  EXPECT_FALSE(damage.degraded());
+  ASSERT_EQ(packets.size(), before.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_EQ(packets[i].payload, before[i].payload);
+  }
+}
+
+TEST(ImpairmentTest, FatesAreDeterministicAndSeedSensitive) {
+  ImpairmentConfig cfg;
+  cfg.request_loss = 0.2;
+  cfg.transient_silence_rate = 0.1;
+  const ImpairmentLayer a(cfg);
+  const ImpairmentLayer b(cfg);
+  cfg.seed = 0xdecafULL;
+  const ImpairmentLayer other_seed(cfg);
+
+  int differs = 0;
+  for (std::uint32_t s = 0; s < 500; ++s) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(a.request_fate(s, 4, attempt), b.request_fate(s, 4, attempt));
+      if (a.request_fate(s, 4, attempt) !=
+          other_seed.request_fate(s, 4, attempt)) {
+        ++differs;
+      }
+    }
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(ImpairmentTest, FateRatesMatchConfiguredProbabilities) {
+  ImpairmentConfig cfg;
+  cfg.request_loss = 0.15;
+  cfg.icmp_unreachable_rate = 0.05;
+  cfg.transient_silence_rate = 0.10;
+  const ImpairmentLayer layer(cfg);
+  int lost = 0, unreachable = 0, silent = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    switch (layer.request_fate(static_cast<std::uint32_t>(t), t % 15, t % 3)) {
+      case ImpairmentLayer::Fate::kRequestLost: ++lost; break;
+      case ImpairmentLayer::Fate::kUnreachable: ++unreachable; break;
+      case ImpairmentLayer::Fate::kSilent: ++silent; break;
+      case ImpairmentLayer::Fate::kDelivered: break;
+    }
+  }
+  const double n = trials;
+  EXPECT_NEAR(lost / n, 0.15, 0.01);
+  // Later channels only see draws that survived the earlier ones.
+  EXPECT_NEAR(unreachable / n, 0.05 * 0.85, 0.01);
+  EXPECT_NEAR(silent / n, 0.10 * 0.85 * 0.95, 0.01);
+}
+
+TEST(ImpairmentTest, AttemptsDrawIndependentFates) {
+  ImpairmentConfig cfg;
+  cfg.request_loss = 0.5;
+  const ImpairmentLayer layer(cfg);
+  // A server whose first attempt is lost must (with overwhelming frequency
+  // across servers) recover on some later attempt — retries work.
+  int first_lost = 0, recovered = 0;
+  for (std::uint32_t s = 0; s < 2000; ++s) {
+    if (layer.request_fate(s, 0, 0) == ImpairmentLayer::Fate::kDelivered) {
+      continue;
+    }
+    ++first_lost;
+    for (int attempt = 1; attempt < 6; ++attempt) {
+      if (layer.request_fate(s, 0, attempt) ==
+          ImpairmentLayer::Fate::kDelivered) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(first_lost, 700);
+  EXPECT_GT(recovered, first_lost * 9 / 10);
+}
+
+TEST(ImpairmentTest, DegradeAccountsBytesExactly) {
+  ImpairmentConfig cfg;
+  cfg.response_packet_loss = 0.3;
+  cfg.response_truncate_rate = 0.2;
+  const ImpairmentLayer layer(cfg);
+
+  auto packets = sample_packets(40, 440);
+  std::uint64_t udp_before = 0, wire_before = 0;
+  for (const auto& p : packets) {
+    udp_before += p.payload.size();
+    wire_before += p.on_wire_bytes();
+  }
+  const auto damage = layer.degrade_response(11, 3, 0, packets);
+  EXPECT_TRUE(damage.degraded());
+  EXPECT_GT(damage.packets_dropped, 0u);
+  EXPECT_GT(damage.packets_truncated, 0u);
+  EXPECT_EQ(packets.size(), 40 - damage.packets_dropped);
+
+  std::uint64_t udp_after = 0, wire_after = 0;
+  for (const auto& p : packets) {
+    udp_after += p.payload.size();
+    wire_after += p.on_wire_bytes();
+  }
+  EXPECT_EQ(udp_after + damage.udp_bytes_lost, udp_before);
+  EXPECT_EQ(wire_after + damage.wire_bytes_lost, wire_before);
+}
+
+TEST(ImpairmentTest, DegradeIsReplayableAndGarbleKeepsLength) {
+  ImpairmentConfig cfg;
+  cfg.response_garble_rate = 0.5;
+  const ImpairmentLayer layer(cfg);
+
+  auto run = [&] {
+    auto packets = sample_packets(20, 80);
+    layer.degrade_response(5, 2, 1, packets);
+    return packets;
+  };
+  const auto first = run();
+  const auto second = run();
+  ASSERT_EQ(first.size(), 20u);  // garbling never removes packets
+  ASSERT_EQ(second.size(), 20u);
+  bool changed = false;
+  const auto pristine = sample_packets(20, 80);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].payload, second[i].payload);  // bit-for-bit replay
+    EXPECT_EQ(first[i].payload.size(), pristine[i].payload.size());
+    if (first[i].payload != pristine[i].payload) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(ImpairmentTest, RateLimiterTraitIsStableAndFractional) {
+  ImpairmentConfig cfg;
+  cfg.rate_limiter_fraction = 0.25;
+  cfg.rate_limit_per_window = 2;
+  EXPECT_TRUE(cfg.any());
+  const ImpairmentLayer layer(cfg);
+  int limiters = 0;
+  for (std::uint32_t s = 0; s < 8000; ++s) {
+    const bool is = layer.is_rate_limiter(s);
+    EXPECT_EQ(is, layer.is_rate_limiter(s));  // stable trait
+    if (is) {
+      ++limiters;
+      EXPECT_FALSE(layer.rate_limited(s, 0));
+      EXPECT_FALSE(layer.rate_limited(s, 1));
+      EXPECT_TRUE(layer.rate_limited(s, 2));
+      EXPECT_TRUE(layer.rate_limited(s, 99));
+    } else {
+      EXPECT_FALSE(layer.rate_limited(s, 99));
+    }
+  }
+  EXPECT_NEAR(limiters / 8000.0, 0.25, 0.02);
+}
+
+TEST(ImpairmentTest, AggregateThinningIsExactDeterministicAndBounded) {
+  ImpairmentConfig cfg;
+  cfg.request_loss = 0.1;
+  cfg.icmp_unreachable_rate = 0.1;
+  cfg.response_packet_loss = 0.25;
+  const ImpairmentLayer layer(cfg);
+
+  const std::uint64_t offered = 1'000'000;
+  const auto req = layer.delivered_requests(42, 7, offered);
+  EXPECT_EQ(req, layer.delivered_requests(42, 7, offered));
+  // Survival composes the two independent request-path losses.
+  EXPECT_NEAR(static_cast<double>(req), 0.9 * 0.9 * offered, 1.0);
+  const auto resp = layer.delivered_responses(42, 7, offered);
+  EXPECT_NEAR(static_cast<double>(resp), 0.75 * offered, 1.0);
+  EXPECT_NEAR(layer.response_delivery_fraction(), 0.75, 1e-12);
+
+  EXPECT_EQ(layer.delivered_requests(42, 7, 0), 0u);
+  for (std::uint64_t n = 1; n < 40; ++n) {
+    EXPECT_LE(layer.delivered_requests(42, 7, n), n);
+  }
+}
+
+}  // namespace
+}  // namespace gorilla::sim
