@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Pre-merge gate: everything a change must pass before it lands.
+#
+#   1. Release build with -Werror -Wconversion -Wshadow (GORILLA_STRICT),
+#      full test suite.
+#   2. gorilla_lint over src/ plus its self-test fixtures (the lint.* ctest
+#      label, run from the release tree).
+#   3. ASan+UBSan build, full test suite again under instrumentation.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast   skip the sanitizer pass (release build + tests + lint only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+fi
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== [1/3] Release build (strict warnings) + tests =="
+cmake --preset release >/dev/null
+cmake --build --preset release -j "$jobs"
+ctest --preset release -j "$jobs"
+
+echo "== [2/3] gorilla_lint (tree + self-test) =="
+ctest --test-dir build/release -L lint --output-on-failure
+
+if [[ "$fast" -eq 1 ]]; then
+  echo "== [3/3] skipped (--fast) =="
+  echo "check.sh: OK (fast)"
+  exit 0
+fi
+
+echo "== [3/3] ASan+UBSan build + tests =="
+cmake --preset asan-ubsan >/dev/null
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs"
+
+echo "check.sh: OK"

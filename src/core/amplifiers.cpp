@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ntp/sysinfo.h"
+#include "util/det.h"
 
 namespace gorilla::core {
 
@@ -80,7 +81,8 @@ void AmplifierCensus::end_sample() {
 double AmplifierCensus::first_sample_fraction() const {
   if (per_ip_.empty()) return 0.0;
   std::uint64_t first = 0;
-  for (const auto& [_, info] : per_ip_) {
+  // Order-independent count over the roster.
+  for (const auto& [_, info] : per_ip_) {  // NOLINT(unordered-iter)
     if (info.seen_first_sample) ++first;
   }
   return static_cast<double>(first) / static_cast<double>(per_ip_.size());
@@ -89,7 +91,8 @@ double AmplifierCensus::first_sample_fraction() const {
 double AmplifierCensus::seen_once_fraction() const {
   if (per_ip_.empty()) return 0.0;
   std::uint64_t once = 0;
-  for (const auto& [_, info] : per_ip_) {
+  // Order-independent count over the roster.
+  for (const auto& [_, info] : per_ip_) {  // NOLINT(unordered-iter)
     if (info.samples_seen == 1) ++once;
   }
   return static_cast<double>(once) / static_cast<double>(per_ip_.size());
@@ -98,7 +101,9 @@ double AmplifierCensus::seen_once_fraction() const {
 std::vector<double> AmplifierCensus::bytes_rank_curve() const {
   std::vector<double> curve;
   curve.reserve(per_ip_.size());
-  for (const auto& [_, info] : per_ip_) {
+  // The sort below erases the visit order (equal doubles are
+  // indistinguishable), so the hash-order walk cannot reach the output.
+  for (const auto& [_, info] : per_ip_) {  // NOLINT(unordered-iter)
     curve.push_back(static_cast<double>(info.total_bytes) /
                     static_cast<double>(info.samples_seen));
   }
@@ -108,14 +113,17 @@ std::vector<double> AmplifierCensus::bytes_rank_curve() const {
 
 std::vector<std::pair<net::Ipv4Address, std::uint64_t>>
 AmplifierCensus::mega_roster() const {
+  // Address-sorted items + stable_sort = rank by peak response size with
+  // the address as deterministic tie-break.
   std::vector<std::pair<net::Ipv4Address, std::uint64_t>> roster;
-  for (const auto& [addr, info] : per_ip_) {
+  for (const auto& [addr, info] : util::sorted_items(per_ip_)) {
     if (info.max_bytes > kMegaThresholdBytes) {
       roster.emplace_back(net::Ipv4Address{addr}, info.max_bytes);
     }
   }
-  std::sort(roster.begin(), roster.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  std::stable_sort(
+      roster.begin(), roster.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
   return roster;
 }
 

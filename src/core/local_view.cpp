@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/packet.h"
+#include "util/det.h"
 
 namespace gorilla::core {
 
@@ -70,7 +71,8 @@ LocalForensics::LocalForensics(const telemetry::FlowCollector& collector,
     }
   }
   // Pass 2: qualify victims per footnote 3 and capture TTL histograms.
-  for (const auto& [key, pair] : pairs_) {
+  // Order-independent flag assignment per pair.
+  for (const auto& [key, pair] : pairs_) {  // NOLINT(unordered-iter)
     const double ratio =
         pair.trigger_payload > 0
             ? static_cast<double>(pair.response_payload) /
@@ -100,8 +102,10 @@ LocalForensics::LocalForensics(const telemetry::FlowCollector& collector,
 }
 
 std::vector<LocalAmplifier> LocalForensics::amplifiers() const {
+  // Address order in, stable rank-sort out: equal-BAF amplifiers keep a
+  // deterministic (address) order in the report.
   std::vector<LocalAmplifier> out;
-  for (const auto& [addr_value, stats] : amp_stats_) {
+  for (const auto& [addr_value, stats] : util::sorted_items(amp_stats_)) {
     if (stats.sent_bytes < kLocalAmplifierMinBytes) continue;
     const double wire_ratio =
         stats.received_bytes > 0
@@ -116,7 +120,8 @@ std::vector<LocalAmplifier> LocalForensics::amplifiers() const {
                         static_cast<double>(stats.received_payload)
                   : 0.0;
     amp.bytes_sent = stats.sent_bytes;
-    for (const auto& [key, pair] : pairs_) {
+    // Order-independent count of this amplifier's responding pairs.
+    for (const auto& [key, pair] : pairs_) {  // NOLINT(unordered-iter)
       if (static_cast<std::uint32_t>(key >> 32) == addr_value &&
           pair.response_bytes > 0) {
         ++amp.unique_victims;
@@ -124,7 +129,7 @@ std::vector<LocalAmplifier> LocalForensics::amplifiers() const {
     }
     out.push_back(amp);
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.baf > b.baf;
   });
   return out;
@@ -135,7 +140,9 @@ std::vector<LocalVictim> LocalForensics::victims() const {
   std::unordered_map<std::uint32_t, std::pair<util::SimTime, util::SimTime>>
       spans;
   std::unordered_map<std::uint32_t, std::uint64_t> trig_payload;
-  for (const auto& [key, pair] : pairs_) {
+  // Order-independent accumulation: sums are exact (integer-valued) and the
+  // span merge is min/max, so the hash walk cannot affect the result.
+  for (const auto& [key, pair] : pairs_) {  // NOLINT(unordered-iter)
     const auto victim_value = static_cast<std::uint32_t>(key);
     if (!victims_.count(victim_value)) continue;
     // Only pairs that actually delivered response traffic count as an
@@ -161,7 +168,10 @@ std::vector<LocalVictim> LocalForensics::victims() const {
   }
   std::vector<LocalVictim> out;
   out.reserve(by_victim.size());
-  for (auto& [value, v] : by_victim) {
+  // Address order in, stable rank-sort out: equal-volume victims keep a
+  // deterministic order in the report.
+  for (const std::uint32_t value : util::sorted_keys(by_victim)) {
+    auto& v = by_victim.at(value);
     const auto& span = spans[value];
     v.duration_hours = span.second > span.first
                            ? static_cast<double>(span.second - span.first) /
@@ -171,7 +181,7 @@ std::vector<LocalVictim> LocalForensics::victims() const {
     v.baf = tp > 0 ? v.baf / static_cast<double>(tp) : 0.0;
     out.push_back(std::move(v));
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+  std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
     return a.bytes > b.bytes;
   });
   return out;
@@ -179,7 +189,8 @@ std::vector<LocalVictim> LocalForensics::victims() const {
 
 std::vector<net::Ipv4Address> LocalForensics::scanners() const {
   std::vector<net::Ipv4Address> out;
-  for (const auto& [addr, span] : external_probe_sources_) {
+  // The full ascending sort below erases the visit order.
+  for (const auto& [addr, span] : external_probe_sources_) {  // NOLINT(unordered-iter)
     // Scanners (a) hit local hosts that do not speak NTP — only a sweep
     // does that — and (b) probe persistently (research sweeps recur
     // weekly); one-shot or speaker-only sources are spoof artifacts.
@@ -209,7 +220,8 @@ telemetry::VolumeSeries LocalForensics::victim_volume(
 std::vector<net::Ipv4Address> LocalForensics::common_victims(
     const LocalForensics& a, const LocalForensics& b) {
   std::vector<net::Ipv4Address> out;
-  for (const auto& [addr, _] : a.victims_) {
+  // The full ascending sort below erases the visit order.
+  for (const auto& [addr, _] : a.victims_) {  // NOLINT(unordered-iter)
     if (b.victims_.count(addr)) out.push_back(net::Ipv4Address{addr});
   }
   std::sort(out.begin(), out.end());

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/det.h"
+
 namespace gorilla::core {
 
 VictimAnalysis::VictimAnalysis(const net::Registry& registry,
@@ -67,15 +69,19 @@ void VictimAnalysis::add(const scan::AmplifierObservation& obs) {
 void VictimAnalysis::end_sample() {
   if (!sample_open_) throw std::logic_error("VictimAnalysis: no open sample");
 
-  std::unordered_set<std::uint32_t> blocks;
-  std::unordered_set<net::Asn> asns;
+  std::unordered_set<std::uint32_t> victim_blocks;
+  std::unordered_set<net::Asn> victim_asns;
   SampleAccumulator packets;
   double amp_sum = 0.0;
-  for (const auto& [ip_value, v] : cur_victims_) {
+  // Visit victims in address order: the per-victim folds below are
+  // order-independent, but the row is serialized output, so the walk order
+  // must not be left to the hash table.
+  for (const std::uint32_t ip_value : util::sorted_keys(cur_victims_)) {
+    const auto& v = cur_victims_.at(ip_value);
     const net::Ipv4Address ip{ip_value};
     ++current_.ips;
-    if (const auto b = registry_.block_index_of(ip)) blocks.insert(*b);
-    if (const auto a = registry_.asn_of(ip)) asns.insert(*a);
+    if (const auto b = registry_.block_index_of(ip)) victim_blocks.insert(*b);
+    if (const auto a = registry_.asn_of(ip)) victim_asns.insert(*a);
     if (pbl_.is_end_host(ip)) ++current_.end_hosts;
     packets.add(static_cast<double>(v.packets));
     amp_sum += static_cast<double>(v.amplifiers);
@@ -89,8 +95,8 @@ void VictimAnalysis::end_sample() {
     const std::int64_t hour = start / util::kSecondsPerHour;
     ++attacks_per_hour_[hour];
   }
-  current_.routed_blocks = blocks.size();
-  current_.asns = asns.size();
+  current_.routed_blocks = victim_blocks.size();
+  current_.asns = victim_asns.size();
   current_.end_host_pct =
       current_.ips ? 100.0 * static_cast<double>(current_.end_hosts) /
                          static_cast<double>(current_.ips)
@@ -122,10 +128,12 @@ void VictimAnalysis::end_sample() {
 
 std::vector<std::pair<std::uint16_t, double>> VictimAnalysis::top_ports(
     std::size_t n) const {
-  std::vector<std::pair<std::uint16_t, std::uint64_t>> counted(
-      port_pairs_.begin(), port_pairs_.end());
-  std::sort(counted.begin(), counted.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  // Key-sorted items + stable_sort = rank by count with the port number as
+  // deterministic tie-break.
+  auto counted = util::sorted_items(port_pairs_);
+  std::stable_sort(
+      counted.begin(), counted.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
   std::vector<std::pair<std::uint16_t, double>> out;
   const double total = static_cast<double>(std::max<std::uint64_t>(
       1, port_pairs_total_));
@@ -139,7 +147,7 @@ std::vector<std::pair<std::uint16_t, double>> VictimAnalysis::top_ports(
 std::vector<double> VictimAnalysis::victim_as_packets() const {
   std::vector<double> out;
   out.reserve(packets_by_victim_as_.size());
-  for (const auto& [_, p] : packets_by_victim_as_) {
+  for (const auto& [_, p] : util::sorted_items(packets_by_victim_as_)) {
     out.push_back(static_cast<double>(p));
   }
   return out;
@@ -148,7 +156,7 @@ std::vector<double> VictimAnalysis::victim_as_packets() const {
 std::vector<double> VictimAnalysis::amplifier_as_packets() const {
   std::vector<double> out;
   out.reserve(packets_by_amplifier_as_.size());
-  for (const auto& [_, p] : packets_by_amplifier_as_) {
+  for (const auto& [_, p] : util::sorted_items(packets_by_amplifier_as_)) {
     out.push_back(static_cast<double>(p));
   }
   return out;
@@ -156,15 +164,15 @@ std::vector<double> VictimAnalysis::amplifier_as_packets() const {
 
 std::vector<std::pair<net::Asn, std::uint64_t>>
 VictimAnalysis::amplifier_as_breakdown() const {
-  return {packets_by_amplifier_as_.begin(), packets_by_amplifier_as_.end()};
+  return util::sorted_items(packets_by_amplifier_as_);
 }
 
 std::vector<std::pair<net::Asn, std::uint64_t>> VictimAnalysis::top_victim_ases(
     std::size_t n) const {
-  std::vector<std::pair<net::Asn, std::uint64_t>> ranked(
-      packets_by_victim_as_.begin(), packets_by_victim_as_.end());
-  std::sort(ranked.begin(), ranked.end(),
-            [](const auto& a, const auto& b) { return a.second > b.second; });
+  auto ranked = util::sorted_items(packets_by_victim_as_);
+  std::stable_sort(
+      ranked.begin(), ranked.end(),
+      [](const auto& a, const auto& b) { return a.second > b.second; });
   if (ranked.size() > n) ranked.resize(n);
   return ranked;
 }

@@ -81,13 +81,11 @@ std::optional<Ipv6Address> parse_ipv6(const std::string& s) {
 
   std::array<std::uint8_t, 16> bytes{};
   for (std::size_t i = 0; i < head.size(); ++i) {
-    bytes[i * 2] = static_cast<std::uint8_t>(head[i] >> 8);
-    bytes[i * 2 + 1] = static_cast<std::uint8_t>(head[i]);
+    util::store_u16be(bytes, i * 2, head[i]);
   }
   for (std::size_t i = 0; i < tail.size(); ++i) {
     const std::size_t g = 8 - tail.size() + i;
-    bytes[g * 2] = static_cast<std::uint8_t>(tail[i] >> 8);
-    bytes[g * 2 + 1] = static_cast<std::uint8_t>(tail[i]);
+    util::store_u16be(bytes, g * 2, tail[i]);
   }
   return Ipv6Address{bytes};
 }

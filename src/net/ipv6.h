@@ -8,6 +8,8 @@
 #include <optional>
 #include <string>
 
+#include "util/bytes.h"
+
 namespace gorilla::net {
 
 /// A 128-bit IPv6 address (big-endian byte array; value type).
@@ -25,9 +27,8 @@ class Ipv6Address {
 
   /// The i-th 16-bit group (0..7), host order.
   [[nodiscard]] constexpr std::uint16_t group(int i) const noexcept {
-    return static_cast<std::uint16_t>(
-        (bytes_[static_cast<std::size_t>(i) * 2] << 8) |
-        bytes_[static_cast<std::size_t>(i) * 2 + 1]);
+    return util::load_u16be(bytes_, static_cast<std::size_t>(i) * 2)
+        .value_or(0);
   }
 
   friend constexpr auto operator<=>(const Ipv6Address&,

@@ -1,44 +1,16 @@
 #include "net/packet.h"
 
-#include <stdexcept>
+#include "util/bytes.h"
 
 namespace gorilla::net {
 
 std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  util::ByteReader r(data);
   std::uint64_t sum = 0;
-  std::size_t i = 0;
-  for (; i + 1 < data.size(); i += 2) {
-    sum += (std::uint16_t{data[i]} << 8) | data[i + 1];
-  }
-  if (i < data.size()) sum += std::uint16_t{data[i]} << 8;
+  while (r.remaining() >= 2) sum += r.u16be();
+  if (r.remaining() == 1) sum += std::uint32_t{r.u8()} << 8;
   while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
   return static_cast<std::uint16_t>(~sum);
-}
-
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t offset) {
-  if (offset + 2 > in.size())
-    throw std::out_of_range("get_u16: truncated buffer");
-  return static_cast<std::uint16_t>((std::uint16_t{in[offset]} << 8) |
-                                    in[offset + 1]);
-}
-
-std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t offset) {
-  if (offset + 4 > in.size())
-    throw std::out_of_range("get_u32: truncated buffer");
-  return (std::uint32_t{in[offset]} << 24) | (std::uint32_t{in[offset + 1]} << 16) |
-         (std::uint32_t{in[offset + 2]} << 8) | in[offset + 3];
 }
 
 }  // namespace gorilla::net

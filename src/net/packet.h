@@ -39,15 +39,11 @@ struct UdpPacket {
 
 /// RFC 1071 Internet checksum over a byte span (used by the wire-format
 /// serializers; pads odd lengths with a zero byte).
+///
+/// Byte-level decoding lives in util/bytes.h (ByteReader/ByteWriter); the
+/// ad-hoc get_u16/put_u32 helpers this header used to export are gone —
+/// every parser now goes through the checked cursor API.
 [[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data)
     noexcept;
-
-/// Big-endian readers/writers shared by the NTP wire formats.
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
-[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> in,
-                                    std::size_t offset);
-[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> in,
-                                    std::size_t offset);
 
 }  // namespace gorilla::net

@@ -1,45 +1,21 @@
 #include "net/pcap.h"
 
 #include <array>
-#include <cstring>
+
+#include "util/bytes.h"
 
 namespace gorilla::net {
 
 namespace {
 
-// Little-endian writers for the pcap file/record headers (the capture
-// machine's byte order; kPcapMagic identifies it to readers).
-void put_le16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-}
-
-void put_le32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  out.push_back(static_cast<std::uint8_t>(v));
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v >> 16));
-  out.push_back(static_cast<std::uint8_t>(v >> 24));
-}
-
-std::uint16_t get_le16(const std::uint8_t* p) {
-  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-}
-
-std::uint32_t get_le32(const std::uint8_t* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
 /// Locally-administered MAC derived from an IPv4 address.
-void put_mac_for(std::vector<std::uint8_t>& out, Ipv4Address a) {
-  out.push_back(0x02);  // locally administered, unicast
-  out.push_back(0x00);
-  out.push_back(a.octet(0));
-  out.push_back(a.octet(1));
-  out.push_back(a.octet(2));
-  out.push_back(a.octet(3));
+void put_mac_for(util::ByteWriter& w, Ipv4Address a) {
+  w.u8(0x02);  // locally administered, unicast
+  w.u8(0x00);
+  w.u8(a.octet(0));
+  w.u8(a.octet(1));
+  w.u8(a.octet(2));
+  w.u8(a.octet(3));
 }
 
 }  // namespace
@@ -49,37 +25,35 @@ std::vector<std::uint8_t> to_ethernet_frame(const UdpPacket& packet) {
   const std::size_t udp_len = kUdpHeaderBytes + packet.payload.size();
   const std::size_t ip_len = kIpv4HeaderBytes + udp_len;
   frame.reserve(kEthernetHeaderBytes + ip_len);
+  util::ByteWriter w(frame);
 
   // Ethernet header.
-  put_mac_for(frame, packet.dst);
-  put_mac_for(frame, packet.src);
-  frame.push_back(0x08);  // EtherType IPv4
-  frame.push_back(0x00);
+  put_mac_for(w, packet.dst);
+  put_mac_for(w, packet.src);
+  w.u16be(0x0800);  // EtherType IPv4
 
   // IPv4 header (20 bytes, no options).
-  const std::size_t ip_start = frame.size();
-  frame.push_back(0x45);  // version 4, IHL 5
-  frame.push_back(0x00);  // DSCP/ECN
-  put_u16(frame, static_cast<std::uint16_t>(ip_len));
-  put_u16(frame, 0x0000);  // identification
-  put_u16(frame, 0x4000);  // don't fragment
-  frame.push_back(packet.ttl);
-  frame.push_back(17);  // protocol UDP
-  put_u16(frame, 0);    // checksum placeholder
-  put_u32(frame, packet.src.value());
-  put_u32(frame, packet.dst.value());
-  const std::uint16_t ip_checksum = internet_checksum(
-      std::span<const std::uint8_t>(frame).subspan(ip_start,
-                                                   kIpv4HeaderBytes));
-  frame[ip_start + 10] = static_cast<std::uint8_t>(ip_checksum >> 8);
-  frame[ip_start + 11] = static_cast<std::uint8_t>(ip_checksum);
+  const std::size_t ip_start = w.size();
+  w.u8(0x45);  // version 4, IHL 5
+  w.u8(0x00);  // DSCP/ECN
+  w.u16be(static_cast<std::uint16_t>(ip_len));
+  w.u16be(0x0000);  // identification
+  w.u16be(0x4000);  // don't fragment
+  w.u8(packet.ttl);
+  w.u8(17);    // protocol UDP
+  w.u16be(0);  // checksum placeholder
+  w.u32be(packet.src.value());
+  w.u32be(packet.dst.value());
+  const std::uint16_t ip_checksum =
+      internet_checksum(w.written().subspan(ip_start, kIpv4HeaderBytes));
+  w.patch_u16be(ip_start + 10, ip_checksum);
 
   // UDP header (checksum 0 = not computed, legal for IPv4).
-  put_u16(frame, packet.src_port);
-  put_u16(frame, packet.dst_port);
-  put_u16(frame, static_cast<std::uint16_t>(udp_len));
-  put_u16(frame, 0);
-  frame.insert(frame.end(), packet.payload.begin(), packet.payload.end());
+  w.u16be(packet.src_port);
+  w.u16be(packet.dst_port);
+  w.u16be(static_cast<std::uint16_t>(udp_len));
+  w.u16be(0);
+  w.bytes(packet.payload);
   return frame;
 }
 
@@ -89,87 +63,104 @@ std::optional<UdpPacket> from_ethernet_frame(
                          kUdpHeaderBytes) {
     return std::nullopt;
   }
-  // EtherType must be IPv4.
-  if (frame[12] != 0x08 || frame[13] != 0x00) return std::nullopt;
+  util::ByteReader eth(frame);
+  eth.skip(12);  // destination + source MAC
+  if (eth.u16be() != 0x0800) return std::nullopt;  // EtherType must be IPv4
+
   const auto ip = frame.subspan(kEthernetHeaderBytes);
-  if ((ip[0] >> 4) != 4) return std::nullopt;
-  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0f) * 4;
+  util::ByteReader r(ip);
+  const std::uint8_t ver_ihl = r.u8();
+  if ((ver_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
   if (ihl < kIpv4HeaderBytes || ip.size() < ihl + kUdpHeaderBytes) {
     return std::nullopt;
   }
-  if (ip[9] != 17) return std::nullopt;  // not UDP
-  const std::uint16_t total_len = get_u16(ip, 2);
+  r.skip(1);  // DSCP/ECN
+  const std::uint16_t total_len = r.u16be();
   if (total_len < ihl + kUdpHeaderBytes || total_len > ip.size()) {
     return std::nullopt;
   }
+  r.skip(4);  // identification + flags/fragment offset
   UdpPacket packet;
-  packet.ttl = ip[8];
-  packet.src = Ipv4Address{get_u32(ip, 12)};
-  packet.dst = Ipv4Address{get_u32(ip, 16)};
-  const auto udp = ip.subspan(ihl);
-  packet.src_port = get_u16(udp, 0);
-  packet.dst_port = get_u16(udp, 2);
-  const std::uint16_t udp_len = get_u16(udp, 4);
-  if (udp_len < kUdpHeaderBytes || udp_len > udp.size()) return std::nullopt;
-  packet.payload.assign(udp.begin() + kUdpHeaderBytes,
-                        udp.begin() + udp_len);
+  packet.ttl = r.u8();
+  if (r.u8() != 17) return std::nullopt;  // not UDP
+  r.skip(2);                              // header checksum (unverified)
+  packet.src = Ipv4Address{r.u32be()};
+  packet.dst = Ipv4Address{r.u32be()};
+  r.skip(ihl - kIpv4HeaderBytes);  // IP options
+
+  packet.src_port = r.u16be();
+  packet.dst_port = r.u16be();
+  const std::uint16_t udp_len = r.u16be();
+  if (udp_len < kUdpHeaderBytes || udp_len > ip.size() - ihl) {
+    return std::nullopt;
+  }
+  r.skip(2);  // UDP checksum (0 = not computed)
+  const auto payload = r.take(udp_len - kUdpHeaderBytes);
+  if (!r.ok()) return std::nullopt;
+  packet.payload.assign(payload.begin(), payload.end());
   return packet;
 }
 
 PcapWriter::PcapWriter(std::ostream& out) : out_(out) {
   std::vector<std::uint8_t> header;
-  put_le32(header, kPcapMagic);
-  put_le16(header, kPcapVersionMajor);
-  put_le16(header, kPcapVersionMinor);
-  put_le32(header, 0);          // thiszone
-  put_le32(header, 0);          // sigfigs
-  put_le32(header, 65535);      // snaplen
-  put_le32(header, kLinkTypeEthernet);
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
+  header.reserve(kPcapFileHeaderBytes);
+  util::ByteWriter w(header);
+  w.u32le(kPcapMagic);
+  w.u16le(kPcapVersionMajor);
+  w.u16le(kPcapVersionMinor);
+  w.u32le(0);      // thiszone
+  w.u32le(0);      // sigfigs
+  w.u32le(65535);  // snaplen
+  w.u32le(kLinkTypeEthernet);
+  util::write_all(out_, header);
 }
 
 std::size_t PcapWriter::write(const UdpPacket& packet) {
   const auto frame = to_ethernet_frame(packet);
   std::vector<std::uint8_t> record;
-  record.reserve(16 + frame.size());
-  put_le32(record, static_cast<std::uint32_t>(packet.timestamp));  // ts_sec
-  put_le32(record, 0);                                             // ts_usec
-  put_le32(record, static_cast<std::uint32_t>(frame.size()));      // incl_len
-  put_le32(record, static_cast<std::uint32_t>(frame.size()));      // orig_len
-  record.insert(record.end(), frame.begin(), frame.end());
-  out_.write(reinterpret_cast<const char*>(record.data()),
-             static_cast<std::streamsize>(record.size()));
+  record.reserve(kPcapRecordHeaderBytes + frame.size());
+  util::ByteWriter w(record);
+  w.u32le(static_cast<std::uint32_t>(packet.timestamp));  // ts_sec
+  w.u32le(0);                                             // ts_usec
+  w.u32le(static_cast<std::uint32_t>(frame.size()));      // incl_len
+  w.u32le(static_cast<std::uint32_t>(frame.size()));      // orig_len
+  w.bytes(frame);
+  util::write_all(out_, record);
   ++packets_;
   return record.size();
 }
 
 PcapReader::PcapReader(std::istream& in) : in_(in) {
-  std::array<std::uint8_t, 24> header{};
-  in_.read(reinterpret_cast<char*>(header.data()), header.size());
-  valid_ = in_.gcount() == static_cast<std::streamsize>(header.size()) &&
-           get_le32(header.data()) == kPcapMagic &&
-           get_le32(header.data() + 20) == kLinkTypeEthernet;
+  std::array<std::uint8_t, kPcapFileHeaderBytes> header{};
+  valid_ = util::read_exact(in_, header);
+  if (valid_) {
+    util::ByteReader r(header);
+    const std::uint32_t magic = r.u32le();
+    r.skip(16);  // version, thiszone, sigfigs, snaplen
+    const std::uint32_t linktype = r.u32le();
+    valid_ = r.ok() && magic == kPcapMagic && linktype == kLinkTypeEthernet;
+  }
 }
 
 std::optional<UdpPacket> PcapReader::next() {
   if (!valid_) return std::nullopt;
   for (;;) {
-    std::array<std::uint8_t, 16> rec{};
-    in_.read(reinterpret_cast<char*>(rec.data()), rec.size());
-    if (in_.gcount() != static_cast<std::streamsize>(rec.size())) {
+    std::array<std::uint8_t, kPcapRecordHeaderBytes> rec{};
+    if (!util::read_exact(in_, rec)) {
       return std::nullopt;  // clean end of stream
     }
-    const std::uint32_t ts_sec = get_le32(rec.data());
-    const std::uint32_t incl_len = get_le32(rec.data() + 8);
+    util::ByteReader r(rec);
+    const std::uint32_t ts_sec = r.u32le();
+    r.skip(4);  // ts_usec
+    const std::uint32_t incl_len = r.u32le();
     if (incl_len > 256 * 1024) {  // implausible: corrupt record
       valid_ = false;
       return std::nullopt;
     }
     std::vector<std::uint8_t> frame(incl_len);
-    in_.read(reinterpret_cast<char*>(frame.data()), incl_len);
-    if (in_.gcount() != static_cast<std::streamsize>(incl_len)) {
-      valid_ = false;
+    if (!util::read_exact(in_, frame)) {
+      valid_ = false;  // record shorter than its declared incl_len
       return std::nullopt;
     }
     if (auto packet = from_ethernet_frame(frame)) {

@@ -24,6 +24,10 @@ inline constexpr std::uint16_t kPcapVersionMajor = 2;
 inline constexpr std::uint16_t kPcapVersionMinor = 4;
 inline constexpr std::uint32_t kLinkTypeEthernet = 1;
 
+/// Fixed sizes of the classic pcap file header and per-record header.
+inline constexpr std::size_t kPcapFileHeaderBytes = 24;
+inline constexpr std::size_t kPcapRecordHeaderBytes = 16;
+
 /// Streams UDP packets into a pcap byte stream. The stream must outlive
 /// the writer. Each UdpPacket is wrapped in synthetic Ethernet + IPv4 + UDP
 /// headers (checksums computed, locally-administered MAC addresses derived

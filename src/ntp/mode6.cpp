@@ -4,51 +4,53 @@
 #include <cstdio>
 #include <map>
 
-#include "net/packet.h"
+#include "util/bytes.h"
 
 namespace gorilla::ntp {
-
-using net::get_u16;
-using net::put_u16;
 
 std::vector<std::uint8_t> serialize(const ControlPacket& p) {
   std::vector<std::uint8_t> out;
   out.reserve(p.total_bytes());
-  out.push_back(make_li_vn_mode(0, p.version, Mode::kControl));
+  util::ByteWriter w(out);
+  w.u8(make_li_vn_mode(0, p.version, Mode::kControl));
   std::uint8_t rem = static_cast<std::uint8_t>(p.opcode) & 0x1f;
   if (p.response) rem |= 0x80;
   if (p.error) rem |= 0x40;
   if (p.more) rem |= 0x20;
-  out.push_back(rem);
-  put_u16(out, p.sequence);
-  put_u16(out, p.status);
-  put_u16(out, p.association_id);
-  put_u16(out, p.offset);
-  put_u16(out, static_cast<std::uint16_t>(p.data.size()));
-  out.insert(out.end(), p.data.begin(), p.data.end());
-  while (out.size() % 4 != 0) out.push_back(0);
+  w.u8(rem);
+  w.u16be(p.sequence);
+  w.u16be(p.status);
+  w.u16be(p.association_id);
+  w.u16be(p.offset);
+  w.u16be(static_cast<std::uint16_t>(p.data.size()));
+  w.bytes(p.data);
+  w.pad_to(4);
   return out;
 }
 
 std::optional<ControlPacket> parse_control_packet(
     std::span<const std::uint8_t> raw) {
-  if (raw.size() < kControlHeaderBytes) return std::nullopt;
-  if ((raw[0] & 0x7) != static_cast<std::uint8_t>(Mode::kControl))
+  util::ByteReader r(raw);
+  const std::uint8_t b0 = r.u8();
+  if (r.truncated() ||
+      (b0 & 0x7) != static_cast<std::uint8_t>(Mode::kControl)) {
     return std::nullopt;
+  }
   ControlPacket p;
-  p.version = (raw[0] >> 3) & 0x7;
-  p.response = raw[1] & 0x80;
-  p.error = raw[1] & 0x40;
-  p.more = raw[1] & 0x20;
-  p.opcode = static_cast<ControlOp>(raw[1] & 0x1f);
-  p.sequence = get_u16(raw, 2);
-  p.status = get_u16(raw, 4);
-  p.association_id = get_u16(raw, 6);
-  p.offset = get_u16(raw, 8);
-  const std::uint16_t count = get_u16(raw, 10);
-  if (kControlHeaderBytes + count > raw.size()) return std::nullopt;
-  p.data.assign(raw.begin() + kControlHeaderBytes,
-                raw.begin() + kControlHeaderBytes + count);
+  p.version = (b0 >> 3) & 0x7;
+  const std::uint8_t rem = r.u8();
+  p.response = rem & 0x80;
+  p.error = rem & 0x40;
+  p.more = rem & 0x20;
+  p.opcode = static_cast<ControlOp>(rem & 0x1f);
+  p.sequence = r.u16be();
+  p.status = r.u16be();
+  p.association_id = r.u16be();
+  p.offset = r.u16be();
+  const std::uint16_t count = r.u16be();
+  const auto data = r.take(count);
+  if (!r.ok()) return std::nullopt;  // short header or declared count > body
+  p.data.assign(data.begin(), data.end());
   return p;
 }
 

@@ -78,7 +78,9 @@ struct SystemVariables {
 
 /// Parses a rendered variable list back into key/value pairs (tolerant of
 /// quoting and whitespace, as ntpq is).
-[[nodiscard]] std::map<std::string, std::string> parse_variable_list(
+// Text-level splitter over an already-validated payload: garbage yields an
+// empty map, there is no failure to signal.
+[[nodiscard]] std::map<std::string, std::string> parse_variable_list(  // NOLINT(parse-optional)
     const std::string& text);
 
 /// Splits a rendered variable list into response fragments (M bit/offset

@@ -2,62 +2,60 @@
 
 #include <algorithm>
 
-#include "net/packet.h"
+#include "net/ethernet.h"
+#include "util/bytes.h"
 
 namespace gorilla::ntp {
-
-using net::get_u16;
-using net::get_u32;
-using net::put_u16;
-using net::put_u32;
 
 std::vector<std::uint8_t> serialize(const Mode7Packet& p) {
   std::vector<std::uint8_t> out;
   out.reserve(kMode7HeaderBytes + p.data.size());
-  std::uint8_t b0 = make_li_vn_mode(0, kNtpVersion, Mode::kPrivate);
+  util::ByteWriter w(out);
   // In mode 7 the top two bits are repurposed: R (response) and M (more).
-  b0 = static_cast<std::uint8_t>((p.response ? 0x80 : 0) |
+  w.u8(static_cast<std::uint8_t>((p.response ? 0x80 : 0) |
                                  (p.more ? 0x40 : 0) |
                                  (kNtpVersion << 3) |
-                                 static_cast<std::uint8_t>(Mode::kPrivate));
-  out.push_back(b0);
-  out.push_back(static_cast<std::uint8_t>((p.auth ? 0x80 : 0) |
-                                          (p.sequence & 0x7f)));
-  out.push_back(static_cast<std::uint8_t>(p.implementation));
-  out.push_back(static_cast<std::uint8_t>(p.request));
-  put_u16(out, static_cast<std::uint16_t>(
-                   (static_cast<std::uint16_t>(p.error) << 12) |
-                   (p.item_count & 0x0fff)));
-  put_u16(out, static_cast<std::uint16_t>(p.item_size & 0x0fff));
-  out.insert(out.end(), p.data.begin(), p.data.end());
+                                 static_cast<std::uint8_t>(Mode::kPrivate)));
+  w.u8(static_cast<std::uint8_t>((p.auth ? 0x80 : 0) | (p.sequence & 0x7f)));
+  w.u8(static_cast<std::uint8_t>(p.implementation));
+  w.u8(static_cast<std::uint8_t>(p.request));
+  w.u16be(static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(p.error) << 12) | (p.item_count & 0x0fff)));
+  w.u16be(static_cast<std::uint16_t>(p.item_size & 0x0fff));
+  w.bytes(p.data);
   return out;
 }
 
 std::optional<Mode7Packet> parse_mode7_packet(
     std::span<const std::uint8_t> raw) {
-  if (raw.size() < kMode7HeaderBytes) return std::nullopt;
-  if ((raw[0] & 0x7) != static_cast<std::uint8_t>(Mode::kPrivate))
+  util::ByteReader r(raw);
+  const std::uint8_t b0 = r.u8();
+  if (r.truncated() ||
+      (b0 & 0x7) != static_cast<std::uint8_t>(Mode::kPrivate)) {
     return std::nullopt;
+  }
   Mode7Packet p;
-  p.response = raw[0] & 0x80;
-  p.more = raw[0] & 0x40;
-  p.auth = raw[1] & 0x80;
-  p.sequence = raw[1] & 0x7f;
-  p.implementation = static_cast<Implementation>(raw[2]);
-  p.request = static_cast<RequestCode>(raw[3]);
-  const std::uint16_t err_nitems = get_u16(raw, 4);
+  p.response = b0 & 0x80;
+  p.more = b0 & 0x40;
+  const std::uint8_t b1 = r.u8();
+  p.auth = b1 & 0x80;
+  p.sequence = b1 & 0x7f;
+  p.implementation = static_cast<Implementation>(r.u8());
+  p.request = static_cast<RequestCode>(r.u8());
+  const std::uint16_t err_nitems = r.u16be();
   p.error = static_cast<Mode7Error>(err_nitems >> 12);
   p.item_count = err_nitems & 0x0fff;
-  p.item_size = get_u16(raw, 6) & 0x0fff;
+  p.item_size = r.u16be() & 0x0fff;
+  if (!r.ok()) return std::nullopt;  // shorter than the 8-byte header
   const std::size_t declared =
       static_cast<std::size_t>(p.item_count) * p.item_size;
   // A header may lie in either direction: declare more data than the
   // datagram carries (truncated in flight, or a crafted over-read) or more
   // than the protocol's 500-byte data area allows. Reject both.
   if (declared > kMode7MaxDataBytes) return std::nullopt;
-  if (kMode7HeaderBytes + declared > raw.size()) return std::nullopt;
-  p.data.assign(raw.begin() + kMode7HeaderBytes,
-                raw.begin() + kMode7HeaderBytes + declared);
+  const auto data = r.take(declared);
+  if (!r.ok()) return std::nullopt;
+  p.data.assign(data.begin(), data.end());
   return p;
 }
 
@@ -84,32 +82,35 @@ Mode7Packet make_monlist_request(Implementation impl, bool authenticated) {
 namespace {
 
 void encode_item(std::vector<std::uint8_t>& out, const MonitorEntry& e) {
-  put_u32(out, e.avg_interval);
-  put_u32(out, e.last_seen);
-  put_u32(out, e.restr);
-  put_u32(out, e.count);
-  put_u32(out, e.address.value());
-  put_u32(out, e.local_address.value());
-  put_u32(out, 0);  // flags
-  put_u16(out, e.port);
-  out.push_back(e.mode);
-  out.push_back(e.version);
-  put_u32(out, 0);  // v6_flag
-  put_u32(out, 0);  // unused1 (alignment)
-  out.insert(out.end(), 32, 0);  // addr6 + daddr6
+  util::ByteWriter w(out);
+  w.u32be(e.avg_interval);
+  w.u32be(e.last_seen);
+  w.u32be(e.restr);
+  w.u32be(e.count);
+  w.u32be(e.address.value());
+  w.u32be(e.local_address.value());
+  w.u32be(0);  // flags
+  w.u16be(e.port);
+  w.u8(e.mode);
+  w.u8(e.version);
+  w.u32be(0);     // v6_flag
+  w.u32be(0);     // unused1 (alignment)
+  w.fill(32, 0);  // addr6 + daddr6
 }
 
 MonitorEntry decode_item(std::span<const std::uint8_t> item) {
+  util::ByteReader r(item);
   MonitorEntry e;
-  e.avg_interval = get_u32(item, 0);
-  e.last_seen = get_u32(item, 4);
-  e.restr = get_u32(item, 8);
-  e.count = get_u32(item, 12);
-  e.address = net::Ipv4Address{get_u32(item, 16)};
-  e.local_address = net::Ipv4Address{get_u32(item, 20)};
-  e.port = get_u16(item, 28);
-  e.mode = item[30];
-  e.version = item[31];
+  e.avg_interval = r.u32be();
+  e.last_seen = r.u32be();
+  e.restr = r.u32be();
+  e.count = r.u32be();
+  e.address = net::Ipv4Address{r.u32be()};
+  e.local_address = net::Ipv4Address{r.u32be()};
+  r.skip(4);  // flags
+  e.port = r.u16be();
+  e.mode = r.u8();
+  e.version = r.u8();
   return e;
 }
 
@@ -150,16 +151,17 @@ void encode_legacy_item(std::vector<std::uint8_t>& out,
                         const MonitorEntry& e) {
   // struct info_monitor (pre-_1): lasttime, firsttime, restr, count, addr,
   // mode+version packed, filler — 32 bytes.
-  put_u32(out, e.avg_interval);
-  put_u32(out, e.last_seen);
-  put_u32(out, e.restr);
-  put_u32(out, e.count);
-  put_u32(out, e.address.value());
-  out.push_back(e.mode);
-  out.push_back(e.version);
-  put_u16(out, 0);               // filler
-  put_u32(out, 0);               // v6_flag
-  put_u32(out, 0);               // unused
+  util::ByteWriter w(out);
+  w.u32be(e.avg_interval);
+  w.u32be(e.last_seen);
+  w.u32be(e.restr);
+  w.u32be(e.count);
+  w.u32be(e.address.value());
+  w.u8(e.mode);
+  w.u8(e.version);
+  w.u16be(0);  // filler
+  w.u32be(0);  // v6_flag
+  w.u32be(0);  // unused
 }
 
 }  // namespace
@@ -203,14 +205,15 @@ std::vector<MonitorEntry> decode_legacy_items(const Mode7Packet& p) {
   for (std::size_t i = 0; i < n; ++i) {
     const auto item = std::span<const std::uint8_t>(p.data).subspan(
         i * kLegacyMonitorItemBytes, kLegacyMonitorItemBytes);
+    util::ByteReader r(item);
     MonitorEntry e;
-    e.avg_interval = get_u32(item, 0);
-    e.last_seen = get_u32(item, 4);
-    e.restr = get_u32(item, 8);
-    e.count = get_u32(item, 12);
-    e.address = net::Ipv4Address{get_u32(item, 16)};
-    e.mode = item[20];
-    e.version = item[21];
+    e.avg_interval = r.u32be();
+    e.last_seen = r.u32be();
+    e.restr = r.u32be();
+    e.count = r.u32be();
+    e.address = net::Ipv4Address{r.u32be()};
+    e.mode = r.u8();
+    e.version = r.u8();
     entries.push_back(e);
   }
   return entries;
@@ -278,13 +281,14 @@ namespace {
 
 void encode_peer_item(std::vector<std::uint8_t>& out,
                       const PeerListEntry& e) {
-  put_u32(out, e.address.value());
-  put_u16(out, e.port);
-  out.push_back(e.hmode);
-  out.push_back(e.flags);
-  put_u32(out, 0);               // v6_flag
-  put_u32(out, 0);               // unused1
-  out.insert(out.end(), 16, 0);  // addr6
+  util::ByteWriter w(out);
+  w.u32be(e.address.value());
+  w.u16be(e.port);
+  w.u8(e.hmode);
+  w.u8(e.flags);
+  w.u32be(0);     // v6_flag
+  w.u32be(0);     // unused1
+  w.fill(16, 0);  // addr6
 }
 
 }  // namespace
@@ -327,11 +331,12 @@ std::vector<PeerListEntry> decode_peer_items(const Mode7Packet& p) {
   for (std::size_t i = 0; i < n; ++i) {
     const auto item = std::span<const std::uint8_t>(p.data).subspan(
         i * kPeerListItemBytes, kPeerListItemBytes);
+    util::ByteReader r(item);
     PeerListEntry e;
-    e.address = net::Ipv4Address{get_u32(item, 0)};
-    e.port = get_u16(item, 4);
-    e.hmode = item[6];
-    e.flags = item[7];
+    e.address = net::Ipv4Address{r.u32be()};
+    e.port = r.u16be();
+    e.hmode = r.u8();
+    e.flags = r.u8();
     peers.push_back(e);
   }
   return peers;

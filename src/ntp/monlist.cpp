@@ -46,7 +46,8 @@ std::vector<MonitorEntry> MonitorTable::dump(util::SimTime now,
                                              net::Ipv4Address local) const {
   std::vector<const MonitorSlot*> ordered;
   ordered.reserve(slots_.size());
-  for (const auto& [_, slot] : slots_) ordered.push_back(&slot);
+  // The tie-broken sort below erases the visit order.
+  for (const auto& [_, slot] : slots_) ordered.push_back(&slot);  // NOLINT(unordered-iter)
   std::sort(ordered.begin(), ordered.end(),
             [](const MonitorSlot* a, const MonitorSlot* b) {
               if (a->last_seen != b->last_seen) return a->last_seen > b->last_seen;

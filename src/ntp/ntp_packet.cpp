@@ -1,71 +1,62 @@
 #include "ntp/ntp_packet.h"
 
-#include "net/packet.h"
+#include "util/bytes.h"
 
 namespace gorilla::ntp {
 
-using net::get_u32;
-using net::put_u32;
-
 std::optional<Mode> peek_mode(std::span<const std::uint8_t> pkt) noexcept {
-  if (pkt.empty()) return std::nullopt;
-  return static_cast<Mode>(pkt[0] & 0x7);
+  const auto b0 = util::ByteReader(pkt).peek_u8();
+  if (!b0) return std::nullopt;
+  return static_cast<Mode>(*b0 & 0x7);
 }
 
 std::optional<std::uint8_t> peek_version(
     std::span<const std::uint8_t> pkt) noexcept {
-  if (pkt.empty()) return std::nullopt;
-  return static_cast<std::uint8_t>((pkt[0] >> 3) & 0x7);
+  const auto b0 = util::ByteReader(pkt).peek_u8();
+  if (!b0) return std::nullopt;
+  return static_cast<std::uint8_t>((*b0 >> 3) & 0x7);
 }
-
-namespace {
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v >> 32));
-  put_u32(out, static_cast<std::uint32_t>(v));
-}
-
-std::uint64_t get_u64(std::span<const std::uint8_t> in, std::size_t offset) {
-  return (std::uint64_t{get_u32(in, offset)} << 32) | get_u32(in, offset + 4);
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> serialize(const TimePacket& p) {
   std::vector<std::uint8_t> out;
   out.reserve(kTimePacketBytes);
-  out.push_back(make_li_vn_mode(p.leap, p.version, p.mode));
-  out.push_back(p.stratum);
-  out.push_back(static_cast<std::uint8_t>(p.poll));
-  out.push_back(static_cast<std::uint8_t>(p.precision));
-  put_u32(out, p.root_delay);
-  put_u32(out, p.root_dispersion);
-  put_u32(out, p.reference_id);
-  put_u64(out, p.reference_ts);
-  put_u64(out, p.origin_ts);
-  put_u64(out, p.receive_ts);
-  put_u64(out, p.transmit_ts);
+  util::ByteWriter w(out);
+  w.u8(make_li_vn_mode(p.leap, p.version, p.mode));
+  w.u8(p.stratum);
+  w.u8(static_cast<std::uint8_t>(p.poll));
+  w.u8(static_cast<std::uint8_t>(p.precision));
+  w.u32be(p.root_delay);
+  w.u32be(p.root_dispersion);
+  w.u32be(p.reference_id);
+  w.u64be(p.reference_ts);
+  w.u64be(p.origin_ts);
+  w.u64be(p.receive_ts);
+  w.u64be(p.transmit_ts);
   return out;
 }
 
 std::optional<TimePacket> parse_time_packet(std::span<const std::uint8_t> data) {
-  if (data.size() < kTimePacketBytes) return std::nullopt;
-  const auto mode = static_cast<Mode>(data[0] & 0x7);
-  if (mode == Mode::kControl || mode == Mode::kPrivate) return std::nullopt;
+  util::ByteReader r(data);
+  const std::uint8_t b0 = r.u8();
+  const auto mode = static_cast<Mode>(b0 & 0x7);
+  if (r.truncated() || mode == Mode::kControl || mode == Mode::kPrivate) {
+    return std::nullopt;
+  }
   TimePacket p;
-  p.leap = (data[0] >> 6) & 0x3;
-  p.version = (data[0] >> 3) & 0x7;
+  p.leap = (b0 >> 6) & 0x3;
+  p.version = (b0 >> 3) & 0x7;
   p.mode = mode;
-  p.stratum = data[1];
-  p.poll = static_cast<std::int8_t>(data[2]);
-  p.precision = static_cast<std::int8_t>(data[3]);
-  p.root_delay = get_u32(data, 4);
-  p.root_dispersion = get_u32(data, 8);
-  p.reference_id = get_u32(data, 12);
-  p.reference_ts = get_u64(data, 16);
-  p.origin_ts = get_u64(data, 24);
-  p.receive_ts = get_u64(data, 32);
-  p.transmit_ts = get_u64(data, 40);
+  p.stratum = r.u8();
+  p.poll = static_cast<std::int8_t>(r.u8());
+  p.precision = static_cast<std::int8_t>(r.u8());
+  p.root_delay = r.u32be();
+  p.root_dispersion = r.u32be();
+  p.reference_id = r.u32be();
+  p.reference_ts = r.u64be();
+  p.origin_ts = r.u64be();
+  p.receive_ts = r.u64be();
+  p.transmit_ts = r.u64be();
+  if (!r.ok()) return std::nullopt;  // shorter than the 48-byte layout
   return p;
 }
 

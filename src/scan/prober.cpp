@@ -14,7 +14,9 @@ constexpr std::uint16_t kProbeSourcePort = 57915;  // the port in Table 3a
 
 /// Parses an integer variable value without throwing — garbled replies can
 /// turn "stratum=3" into arbitrary bytes, which std::stoi would reject hard.
-int parse_int_or(const std::string& text, int fallback) noexcept {
+/// Failure is signaled through the caller-chosen fallback, so the function
+/// is total by design rather than optional-returning.
+int parse_int_or(const std::string& text, int fallback) noexcept {  // NOLINT(parse-optional)
   if (text.empty()) return fallback;
   char* end = nullptr;
   const long v = std::strtol(text.c_str(), &end, 10);

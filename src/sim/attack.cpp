@@ -291,7 +291,8 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
                                  config_.trigger_pps_alpha));
   // Long campaigns run at lower sustained rates (booters time-slice their
   // capacity); this keeps multi-hour attacks from dwarfing the daily total.
-  if (duration > 1200.0 && min_duration_s == 0.0) {
+  // min_duration_s == 0.0 is the config's literal "no floor" sentinel.
+  if (duration > 1200.0 && min_duration_s == 0.0) {  // NOLINT(float-eq)
     pps *= std::sqrt(1200.0 / duration);
   }
   rec.triggers_per_amplifier =

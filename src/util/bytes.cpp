@@ -1,0 +1,18 @@
+#include "util/bytes.h"
+
+namespace gorilla::util {
+
+bool read_exact(std::istream& in, std::span<std::uint8_t> buf) {
+  // The single sanctioned byte<->char bridge (see gorilla_lint raw-decode
+  // rule); everything around it deals in std::uint8_t spans.
+  in.read(reinterpret_cast<char*>(buf.data()),
+          static_cast<std::streamsize>(buf.size()));
+  return in.gcount() == static_cast<std::streamsize>(buf.size());
+}
+
+void write_all(std::ostream& out, std::span<const std::uint8_t> buf) {
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+}
+
+}  // namespace gorilla::util

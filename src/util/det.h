@@ -1,0 +1,52 @@
+// Deterministic-iteration helpers — the only sanctioned way to walk an
+// unordered associative container when the visit order can reach ranked,
+// serialized, CSV, or bench output.
+//
+// libstdc++ iteration order over unordered_map/unordered_set is stable for
+// an identical insertion sequence, which makes order bugs invisible in
+// same-binary reruns — and then a refactor reorders insertions and every
+// "byte-identical" artifact silently shifts. `tools/gorilla_lint` therefore
+// rejects range-for over unordered containers outside util/; code that
+// needs an order must take it through these helpers (or prove the fold is
+// order-independent and carry a NOLINT(unordered-iter) waiver).
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace gorilla::util {
+
+/// Keys of an associative container, sorted ascending.
+template <typename Map>
+[[nodiscard]] std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Key/value pairs of an associative container, sorted ascending by key.
+/// Feed the result to std::stable_sort for rank-by-value orderings and the
+/// key order becomes the deterministic tie-break for free.
+template <typename Map>
+[[nodiscard]] std::vector<
+    std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items(m.begin(), m.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+/// Elements of a set-like container, sorted ascending.
+template <typename Set>
+[[nodiscard]] std::vector<typename Set::key_type> sorted_values(const Set& s) {
+  std::vector<typename Set::key_type> values(s.begin(), s.end());
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+}  // namespace gorilla::util

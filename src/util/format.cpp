@@ -82,7 +82,8 @@ std::string fixed(double v, int precision) {
 std::string compact(double v) {
   const double a = std::fabs(v);
   char buf[32];
-  if (a != 0.0 && (a < 1e-3 || a >= 1e7)) {
+  // Exact zero test on purpose: 0.0 prints as "0", not "0.00e+00".
+  if (a != 0.0 && (a < 1e-3 || a >= 1e7)) {  // NOLINT(float-eq)
     std::snprintf(buf, sizeof buf, "%.3g", v);
   } else if (a >= 100.0 || v == std::floor(v)) {
     std::snprintf(buf, sizeof buf, "%.0f", v);
@@ -100,10 +101,11 @@ std::string render_sparkline(const std::vector<double>& series, bool log_scale) 
   if (series.empty()) return "";
   std::vector<double> vals = series;
   if (log_scale) {
+    // 0.0 is a literal "unset" sentinel here, never a computed value.
     double min_pos = 0.0;
     for (double v : vals)
-      if (v > 0.0 && (min_pos == 0.0 || v < min_pos)) min_pos = v;
-    if (min_pos == 0.0) min_pos = 1.0;
+      if (v > 0.0 && (min_pos == 0.0 || v < min_pos)) min_pos = v;  // NOLINT(float-eq)
+    if (min_pos == 0.0) min_pos = 1.0;  // NOLINT(float-eq)
     for (auto& v : vals) v = std::log10(std::max(v, min_pos / 10.0));
   }
   const auto [mn_it, mx_it] = std::minmax_element(vals.begin(), vals.end());

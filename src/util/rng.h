@@ -37,7 +37,8 @@ class Rng {
 
   [[nodiscard]] std::uint64_t next() noexcept {
     const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-    const std::uint64_t t = state_[1] << 17;
+    // xoshiro256** state mixing, not wire-format decoding.
+    const std::uint64_t t = state_[1] << 17;  // NOLINT(raw-decode)
     state_[2] ^= state_[0];
     state_[3] ^= state_[1];
     state_[1] ^= state_[2];

@@ -1,7 +1,6 @@
 #include "util/time.h"
 
 #include <cstdio>
-#include <stdexcept>
 
 namespace gorilla::util {
 
@@ -17,11 +16,11 @@ std::string to_short_string(const Date& d) {
   return buf;
 }
 
-Date parse_date(const std::string& s) {
+std::optional<Date> parse_date(const std::string& s) {
   int y = 0, m = 0, dd = 0;
   if (std::sscanf(s.c_str(), "%d-%d-%d", &y, &m, &dd) != 3 || m < 1 || m > 12 ||
       dd < 1 || dd > 31) {
-    throw std::invalid_argument("malformed date: " + s);
+    return std::nullopt;
   }
   return Date{y, m, dd};
 }

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace gorilla::util {
@@ -82,8 +83,8 @@ inline constexpr std::int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
 /// "MM-DD" (the style used on the paper's figure axes).
 [[nodiscard]] std::string to_short_string(const Date& d);
 
-/// Parse "YYYY-MM-DD"; throws std::invalid_argument on malformed input.
-[[nodiscard]] Date parse_date(const std::string& s);
+/// Parse "YYYY-MM-DD"; nullopt on malformed input.
+[[nodiscard]] std::optional<Date> parse_date(const std::string& s);
 
 /// The fifteen weekly ONP monlist sample dates, 2014-01-10 .. 2014-04-18.
 [[nodiscard]] const std::array<Date, 15>& onp_sample_dates() noexcept;

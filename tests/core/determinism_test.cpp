@@ -1,0 +1,143 @@
+// Determinism regression: the ranked / serialized views of the analysis
+// layer must not depend on the order observations arrive in (which is the
+// only thing a hash-table walk order can leak). Two analyses fed the same
+// observations in opposite orders must render byte-identical output.
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/amplifiers.h"
+#include "core/victims.h"
+
+namespace gorilla::core {
+namespace {
+
+net::RegistryConfig small_registry() {
+  net::RegistryConfig cfg;
+  cfg.num_ases = 300;
+  return cfg;
+}
+
+ntp::MonitorEntry victim_entry(net::Ipv4Address victim, std::uint16_t port,
+                               std::uint32_t count) {
+  ntp::MonitorEntry e;
+  e.address = victim;
+  e.port = port;
+  e.mode = 7;
+  e.count = count;
+  e.avg_interval = 1;
+  e.last_seen = 10;
+  return e;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  DeterminismTest() : registry_(small_registry()), pbl_(registry_, net::PblConfig{}) {}
+
+  net::Ipv4Address block_addr(std::size_t block, std::uint64_t i) const {
+    const auto& p = registry_.blocks()[block].prefix;
+    return p.at(i % p.size());
+  }
+
+  /// A spread of observations: many amplifiers across blocks, several
+  /// victims (some shared across amplifiers, with count ties to stress
+  /// tie-breaking), one mega responder.
+  std::vector<scan::AmplifierObservation> observations() const {
+    std::vector<scan::AmplifierObservation> obs;
+    for (std::uint64_t a = 0; a < 40; ++a) {
+      scan::AmplifierObservation o;
+      o.address = block_addr(a % 7, 3 + a);
+      o.response_packets = 1;
+      o.response_udp_bytes = 400 + 10 * a;
+      o.response_wire_bytes = a == 13 ? 200'000 : 500 + 10 * a;
+      o.probe_time = 100000 + 60 * a;
+      for (std::uint64_t v = 0; v < 4; ++v) {
+        // Identical counts across many victims → rank ties everywhere.
+        o.table.push_back(victim_entry(block_addr((a + v) % 11, 7 + v),
+                                       static_cast<std::uint16_t>(80 + v % 2),
+                                       5000));
+      }
+      obs.push_back(std::move(o));
+    }
+    return obs;
+  }
+
+  /// Every ranked / serialized view of the two analyses, rendered to text.
+  static std::string render(const VictimAnalysis& va,
+                            const AmplifierCensus& ac) {
+    std::ostringstream out;
+    for (const auto& r : va.rows()) {
+      out << r.week << ',' << r.ips << ',' << r.routed_blocks << ',' << r.asns
+          << ',' << r.end_hosts << ',' << r.end_host_pct << ','
+          << r.ips_per_block << ',' << r.packets_mean << ','
+          << r.packets_median << ',' << r.packets_p95 << ','
+          << r.amplifiers_per_victim << '\n';
+    }
+    for (const auto& [port, share] : va.top_ports(10)) {
+      out << port << '=' << share << '\n';
+    }
+    for (const auto& [asn, packets] : va.top_victim_ases(10)) {
+      out << asn << ':' << packets << '\n';
+    }
+    for (const auto& [asn, packets] : va.amplifier_as_breakdown()) {
+      out << asn << '~' << packets << '\n';
+    }
+    for (const double p : va.victim_as_packets()) out << p << ';';
+    for (const double p : va.amplifier_as_packets()) out << p << ';';
+    out << '\n';
+    for (const auto& [addr, bytes] : ac.mega_roster()) {
+      out << net::to_string(addr) << '@' << bytes << '\n';
+    }
+    for (const double b : ac.bytes_rank_curve()) out << b << ';';
+    out << '\n'
+        << ac.first_sample_fraction() << ',' << ac.seen_once_fraction();
+    return out.str();
+  }
+
+  std::string run(bool reversed) const {
+    VictimAnalysis va(registry_, pbl_);
+    AmplifierCensus ac(registry_, pbl_);
+    auto obs = observations();
+    if (reversed) std::reverse(obs.begin(), obs.end());
+    // Two samples so per-sample and cumulative state both get exercised.
+    const std::size_t half = obs.size() / 2;
+    va.begin_sample(0, util::Date{2014, 1, 10});
+    ac.begin_sample(0, util::Date{2014, 1, 10});
+    for (std::size_t i = 0; i < half; ++i) {
+      va.add(obs[i]);
+      ac.add(obs[i]);
+    }
+    va.end_sample();
+    ac.end_sample();
+    va.begin_sample(1, util::Date{2014, 1, 17});
+    ac.begin_sample(1, util::Date{2014, 1, 17});
+    for (std::size_t i = half; i < obs.size(); ++i) {
+      va.add(obs[i]);
+      ac.add(obs[i]);
+    }
+    va.end_sample();
+    ac.end_sample();
+    return render(va, ac);
+  }
+
+  net::Registry registry_;
+  net::PolicyBlockList pbl_;
+};
+
+TEST_F(DeterminismTest, RankedOutputIndependentOfInsertionOrder) {
+  const std::string forward = run(false);
+  const std::string reverse = run(true);
+  EXPECT_FALSE(forward.empty());
+  EXPECT_EQ(forward, reverse);  // byte-identical
+}
+
+TEST_F(DeterminismTest, RepeatedRunsAreByteIdentical) {
+  EXPECT_EQ(run(false), run(false));
+}
+
+}  // namespace
+}  // namespace gorilla::core

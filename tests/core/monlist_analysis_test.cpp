@@ -20,10 +20,10 @@ ntp::MonitorEntry entry(std::uint8_t mode, std::uint32_t count,
 
 TEST(ClassifyClientTest, NormalModesAreNonVictims) {
   // §4.2: modes < 6 provide no amplification, so they are never victims.
-  for (std::uint8_t mode : {0, 1, 2, 3, 4, 5}) {
-    EXPECT_EQ(classify_client(entry(mode, 1000000, 1)),
+  for (int mode : {0, 1, 2, 3, 4, 5}) {
+    EXPECT_EQ(classify_client(entry(static_cast<std::uint8_t>(mode), 1000000, 1)),
               ClientClass::kNonVictim)
-        << static_cast<int>(mode);
+        << mode;
   }
 }
 

@@ -51,7 +51,9 @@ TEST(ResolverPoolTest, CpeFractionRoughlyConfigured) {
   for (const auto& r : pool.resolvers()) {
     if (r.cpe) ++cpe;
   }
-  EXPECT_NEAR(static_cast<double>(cpe) / pool.resolvers().size(), 0.85, 0.02);
+  EXPECT_NEAR(static_cast<double>(cpe) /
+                  static_cast<double>(pool.resolvers().size()),
+              0.85, 0.02);
 }
 
 TEST(ResolverPoolTest, CpeResolversLiveInResidentialSpace) {
@@ -66,7 +68,8 @@ TEST(ResolverPoolTest, CpeResolversLiveInResidentialSpace) {
     if (checked >= 2000) break;
   }
   ASSERT_GT(checked, 0u);
-  EXPECT_GT(static_cast<double>(residential) / checked, 0.95);
+  EXPECT_GT(static_cast<double>(residential) / static_cast<double>(checked),
+            0.95);
 }
 
 TEST(ResolverPoolTest, IsOpenConsistentWithCounts) {

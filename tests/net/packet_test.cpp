@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/bytes.h"
+
 namespace gorilla::net {
 namespace {
 
@@ -41,27 +43,29 @@ TEST(ChecksumTest, OddLengthPadsWithZero) {
   EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
 }
 
-TEST(ByteOrderTest, PutGetU16RoundTrip) {
+TEST(ByteOrderTest, WriterReaderU16RoundTrip) {
   std::vector<std::uint8_t> buf;
-  put_u16(buf, 0xbeef);
+  util::ByteWriter w(buf);
+  w.u16be(0xbeef);
   ASSERT_EQ(buf.size(), 2u);
   EXPECT_EQ(buf[0], 0xbe);  // big-endian on the wire
-  EXPECT_EQ(get_u16(buf, 0), 0xbeef);
+  EXPECT_EQ(util::load_u16be(buf, 0), 0xbeef);
 }
 
-TEST(ByteOrderTest, PutGetU32RoundTrip) {
+TEST(ByteOrderTest, WriterReaderU32RoundTrip) {
   std::vector<std::uint8_t> buf;
-  put_u32(buf, 0xdeadbeef);
+  util::ByteWriter w(buf);
+  w.u32be(0xdeadbeef);
   ASSERT_EQ(buf.size(), 4u);
   EXPECT_EQ(buf[0], 0xde);
-  EXPECT_EQ(get_u32(buf, 0), 0xdeadbeefu);
+  EXPECT_EQ(util::load_u32be(buf, 0), 0xdeadbeefu);
 }
 
-TEST(ByteOrderTest, GetThrowsOnTruncation) {
+TEST(ByteOrderTest, LoadsRefuseTruncation) {
   const std::vector<std::uint8_t> buf = {1, 2, 3};
-  EXPECT_THROW(get_u32(buf, 0), std::out_of_range);
-  EXPECT_THROW(get_u16(buf, 2), std::out_of_range);
-  EXPECT_NO_THROW(get_u16(buf, 1));
+  EXPECT_EQ(util::load_u32be(buf, 0), std::nullopt);
+  EXPECT_EQ(util::load_u16be(buf, 2), std::nullopt);
+  EXPECT_EQ(util::load_u16be(buf, 1), 0x0203);
 }
 
 TEST(WellKnownPortsTest, Values) {

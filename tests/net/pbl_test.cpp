@@ -40,8 +40,11 @@ TEST(PblTest, NoiseRatesApproximatelyHold) {
   }
   ASSERT_GT(res_total, 0u);
   ASSERT_GT(infra_total, 0u);
-  EXPECT_GT(static_cast<double>(res_listed) / res_total, 0.85);
-  EXPECT_LT(static_cast<double>(infra_listed) / infra_total, 0.05);
+  EXPECT_GT(static_cast<double>(res_listed) / static_cast<double>(res_total),
+            0.85);
+  EXPECT_LT(
+      static_cast<double>(infra_listed) / static_cast<double>(infra_total),
+      0.05);
 }
 
 TEST(PblTest, UnallocatedSpaceNotListed) {

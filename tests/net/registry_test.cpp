@@ -96,8 +96,9 @@ TEST_F(RegistryTest, ContinentLookup) {
 }
 
 TEST_F(RegistryTest, AsInfoRejectsUnknownAsn) {
-  EXPECT_THROW(registry_.as_info(0), std::out_of_range);
-  EXPECT_THROW(registry_.as_info(999999), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(registry_.as_info(0)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(registry_.as_info(999999)),
+               std::out_of_range);
 }
 
 TEST_F(RegistryTest, RandomAddressIsAllocated) {

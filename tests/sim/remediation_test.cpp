@@ -90,8 +90,12 @@ TEST(SampleFixWeekTest, HigherHazardFixesFaster) {
     if (fast < 0) ++fast_alive;
     if (slow < 0) ++slow_alive;
     // Coupled draws: a higher hazard can never fix *later*.
-    if (fast >= 0 && slow >= 0) EXPECT_LE(fast, slow);
-    if (slow >= 0) EXPECT_GE(fast, 0);
+    if (fast >= 0 && slow >= 0) {
+      EXPECT_LE(fast, slow);
+    }
+    if (slow >= 0) {
+      EXPECT_GE(fast, 0);
+    }
   }
   EXPECT_LT(fast_alive, slow_alive);
 }

@@ -71,9 +71,11 @@ TEST(BillingIncreaseTest, BriefSpikeIsFree) {
 TEST(BillingIncreaseTest, RejectsMisalignedSeries) {
   const auto base = series_of(std::vector<double>(100, 1.0));
   const auto overlay = series_of(std::vector<double>(99, 1.0));
-  EXPECT_THROW(billing_increase(base, overlay), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(billing_increase(base, overlay)),
+               std::invalid_argument);
   const auto other_bucket = series_of(std::vector<double>(100, 1.0), 600);
-  EXPECT_THROW(billing_increase(base, other_bucket), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(billing_increase(base, other_bucket)),
+               std::invalid_argument);
 }
 
 }  // namespace

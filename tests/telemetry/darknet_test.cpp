@@ -92,8 +92,12 @@ TEST(DarknetTest, ScannersCollectIdentity) {
   ASSERT_EQ(scanners.size(), 2u);
   // Benign sticks once seen.
   for (const auto& s : scanners) {
-    if (s.address == net::Ipv4Address(1, 1, 1, 1)) EXPECT_TRUE(s.benign);
-    if (s.address == net::Ipv4Address(2, 2, 2, 2)) EXPECT_FALSE(s.benign);
+    if (s.address == net::Ipv4Address(1, 1, 1, 1)) {
+      EXPECT_TRUE(s.benign);
+    }
+    if (s.address == net::Ipv4Address(2, 2, 2, 2)) {
+      EXPECT_FALSE(s.benign);
+    }
   }
 }
 

@@ -1,0 +1,4 @@
+// gorilla_lint self-test fixture: must trip exactly [float-eq].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+bool is_unset(double v) { return v == 0.0; }
+bool is_unit(double v) { return 1.0 == v; }

@@ -1,0 +1,7 @@
+// gorilla_lint self-test fixture: must trip exactly [parse-optional].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+#include <string>
+
+int parse_flags(const std::string& s);
+
+int parse_flags(const std::string& s) { return s.empty() ? 0 : 1; }

@@ -1,0 +1,12 @@
+// gorilla_lint self-test fixture: must trip exactly [raw-decode].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+#include <cstdint>
+#include <cstring>
+
+std::uint16_t sneaky_decode(const std::uint8_t* buf) {
+  std::uint16_t v = 0;
+  std::memcpy(&v, buf, sizeof v);
+  v = static_cast<std::uint16_t>((buf[0] << 8) | buf[1]);
+  v = *reinterpret_cast<const std::uint16_t*>(buf);
+  return v;
+}

@@ -1,0 +1,10 @@
+// gorilla_lint self-test fixture: must trip exactly [unordered-iter].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+#include <cstdio>
+#include <unordered_map>
+
+void dump_counts(const std::unordered_map<int, int>& histogram) {
+  for (const auto& [key, value] : histogram) {
+    std::printf("%d,%d\n", key, value);
+  }
+}

@@ -1,0 +1,12 @@
+// gorilla_lint self-test fixture: must trip exactly [wall-clock].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+long ambient_entropy() {
+  const auto t =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  std::random_device rd;
+  return static_cast<long>(t) + std::rand() + static_cast<long>(rd());
+}
