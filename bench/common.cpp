@@ -1,10 +1,30 @@
 #include "common.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 namespace gorilla::bench {
+
+namespace {
+
+// Engine diagnostics go to stderr on purpose: stdout is the reproducible
+// figure/table artifact and must stay byte-comparable across --jobs values
+// and record/replay round-trips. (bench/ sits outside the gorilla_lint
+// tree, so steady_clock here needs no wall-clock lint pragma.)
+using EngineClock = std::chrono::steady_clock;
+
+double seconds_between(EngineClock::time_point from,
+                       EngineClock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+void print_phase(const char* phase, double seconds) {
+  std::fprintf(stderr, "[engine] phase %-12s %8.3fs\n", phase, seconds);
+}
+
+}  // namespace
 
 Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
   Options opt;
@@ -28,10 +48,20 @@ Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
       opt.quick = true;
     } else if (arg == "--csv") {
       opt.csv_dir = value("--csv");
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<int>(std::strtol(value("--jobs"), nullptr, 10));
+      if (opt.jobs <= 0) opt.jobs = util::ThreadPool::default_threads();
+    } else if (arg == "--record") {
+      opt.record = value("--record");
+    } else if (arg == "--replay") {
+      opt.replay = value("--replay");
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through untouched.
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--scale N] [--seed N] [--quick]\n", argv[0]);
+      std::printf(
+          "usage: %s [--scale N] [--seed N] [--quick] [--jobs N]\n"
+          "          [--record PATH] [--replay PATH] [--csv DIR]\n",
+          argv[0]);
       std::exit(0);
     }
   }
@@ -61,6 +91,7 @@ void print_header(const std::string& figure, const Options& opt) {
 StudyPipeline::StudyPipeline(const Options& opt, bool with_vantages,
                              bool with_darknet)
     : opt_(opt), with_vantages_(with_vantages), with_darknet_(with_darknet) {
+  const auto t0 = EngineClock::now();
   world_config.scale = opt.scale;
   world_config.seed = opt.seed;
   world = std::make_unique<sim::World>(world_config);
@@ -87,19 +118,79 @@ StudyPipeline::StudyPipeline(const Options& opt, bool with_vantages,
     cfg.telescope = world->registry().named().darknet;
     darknet = std::make_unique<telemetry::DarknetTelescope>(cfg);
   }
+  if (opt.jobs > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(opt.jobs);
+    executor_ = std::make_unique<sim::ShardedExecutor>(pool_.get());
+  }
+  print_phase("build-world", seconds_between(t0, EngineClock::now()));
+}
+
+StudyPipeline::~StudyPipeline() {
+  // Everything between run() returning and the pipeline dying is the
+  // bench's own analysis/printing — the third provenance phase.
+  if (ran_) print_phase("analyze", seconds_between(run_done_,
+                                                   EngineClock::now()));
+}
+
+study::StudyHeader StudyPipeline::make_header() const {
+  study::StudyHeader header;
+  header.kind = 0;
+  header.scale = opt_.scale;
+  header.seed = opt_.seed;
+  header.quick = opt_.quick;
+  header.with_vantages = with_vantages_;
+  header.with_darknet = with_darknet_;
+  header.param_a = opt_.quick ? 8 : 15;  // horizon weeks
+  return header;
 }
 
 void StudyPipeline::run() {
-  sim::AttackSinks sinks;
-  sinks.global = global.get();
-  sinks.labels = labels.get();
+  const auto t0 = EngineClock::now();
+  study::CollectorSink collectors;
+  collectors.global = global.get();
+  collectors.labels = labels.get();
+  collectors.darknet = darknet.get();
+  std::vector<telemetry::FlowCollector*> vantages;
   if (with_vantages_) {
-    sinks.vantages = {merit.get(), frgp.get(), csu.get()};
+    vantages = {merit.get(), frgp.get(), csu.get()};
+    collectors.vantages = vantages;
   }
+  study::AnalysisSink analyses;
+  analyses.census = census.get();
+  analyses.victims = victims.get();
+  analyses.summaries = &summaries;
+  analyses.extra = extra_visitor;
+
+  study::EventBus bus;
+  bus.subscribe(&collectors);
+  bus.subscribe(&analyses);
+
+  if (darknet && impairment.any()) {
+    darknet->set_capture_loss(impairment.request_loss, impairment.seed);
+  }
+
+  if (!opt_.replay.empty()) {
+    run_replayed(bus);
+  } else {
+    run_simulated(bus, vantages);
+  }
+  run_done_ = EngineClock::now();
+  ran_ = true;
+  print_phase(opt_.replay.empty() ? "run-study" : "replay-study",
+              seconds_between(t0, run_done_));
+}
+
+void StudyPipeline::run_simulated(
+    study::EventBus& bus,
+    const std::vector<telemetry::FlowCollector*>& vantages) {
+  study::Recorder recorder(make_header());
+  const bool recording = !opt_.record.empty();
+  if (recording) bus.subscribe(&recorder);
+
   sim::AttackEngineConfig attack_cfg;
   attack_cfg.seed = opt_.seed ^ 0xa77acdULL;
   attack_cfg.impairment = impairment;
-  sim::AttackEngine attacks(*world, attack_cfg, sinks);
+  sim::AttackEngine attacks(*world, attack_cfg, bus);
   sim::ScanTrafficConfig scan_cfg;
   scan_cfg.seed = opt_.seed ^ 0x5ca7ULL;
   scan_cfg.impairment = impairment;
@@ -107,9 +198,7 @@ void StudyPipeline::run() {
   scan::Prober prober(*world, net::Ipv4Address(198, 51, 100, 7),
                       ntp::Implementation::kXntpd, impairment,
                       probe_policy);
-  if (darknet && impairment.any()) {
-    darknet->set_capture_loss(impairment.request_loss, impairment.seed);
-  }
+  prober.set_executor(executor_.get());
 
   const int horizon_weeks = opt_.quick ? 8 : 15;
   int day = 0;
@@ -118,27 +207,45 @@ void StudyPipeline::run() {
     for (; day <= sample_day; ++day) {
       attacks.run_day(day);
       if (with_darknet_ || with_vantages_) {
-        std::vector<telemetry::FlowCollector*> vantages;
-        if (with_vantages_) vantages = {merit.get(), frgp.get(), csu.get()};
-        scans.run_day(day, darknet.get(), vantages);
+        scans.run_day(day, bus, darknet.get(), vantages);
       }
     }
-    scans.seed_monitor_tables(week);
-    const auto date = util::onp_sample_dates()[static_cast<std::size_t>(week)];
-    census->begin_sample(week, date);
-    victims->begin_sample(week, date);
-    summaries.push_back(prober.run_monlist_sample(
-        week, [&](const scan::AmplifierObservation& obs) {
-          census->add(obs);
-          victims->add(obs);
-          if (extra_visitor) extra_visitor(week, obs);
-        }));
-    census->end_sample();
-    victims->end_sample();
+    scans.seed_monitor_tables(week, executor_.get());
+    (void)prober.run_monlist_sample(week, bus);  // AnalysisSink keeps summary
+  }
+
+  if (recording) {
+    const bool ok = recorder.save(opt_.record);
+    std::fprintf(stderr, "[engine] %s study recording: %s\n",
+                 ok ? "wrote" : "FAILED to write", opt_.record.c_str());
+    if (!ok) std::exit(2);
   }
 }
 
-RegionalRun::RegionalRun(const Options& opt, bool with_darknet) : opt_(opt) {
+void StudyPipeline::run_replayed(study::EventBus& bus) {
+  study::Replayer replayer;
+  if (!replayer.load(opt_.replay)) {
+    std::fprintf(stderr, "failed to load study recording: %s\n",
+                 opt_.replay.c_str());
+    std::exit(2);
+  }
+  if (!(replayer.header() == make_header())) {
+    std::fprintf(stderr,
+                 "study recording %s was made by a different harness shape "
+                 "(kind/scale/seed/horizon mismatch); refusing to replay\n",
+                 opt_.replay.c_str());
+    std::exit(2);
+  }
+  if (!replayer.replay(bus)) {
+    std::fprintf(stderr, "study recording %s is truncated or corrupt\n",
+                 opt_.replay.c_str());
+    std::exit(2);
+  }
+}
+
+RegionalRun::RegionalRun(const Options& opt, bool with_darknet)
+    : opt_(opt), with_darknet_(with_darknet) {
+  const auto t0 = EngineClock::now();
   sim::WorldConfig cfg;
   cfg.scale = opt.scale;
   cfg.seed = opt.seed;
@@ -158,23 +265,80 @@ RegionalRun::RegionalRun(const Options& opt, bool with_darknet) : opt_(opt) {
     dcfg.telescope = named.darknet;
     darknet = std::make_unique<telemetry::DarknetTelescope>(dcfg);
   }
+  print_phase("build-world", seconds_between(t0, EngineClock::now()));
+}
+
+RegionalRun::~RegionalRun() {
+  if (ran_) print_phase("analyze", seconds_between(run_done_,
+                                                   EngineClock::now()));
 }
 
 void RegionalRun::run(int from_day, int to_day) {
-  sim::AttackSinks sinks;
-  sinks.global = global.get();
-  sinks.labels = labels.get();
-  sinks.vantages = {merit.get(), frgp.get(), csu.get()};
-  sim::AttackEngineConfig attack_cfg;
-  attack_cfg.seed = opt_.seed ^ 0xa77acdULL;
-  sim::AttackEngine attacks(*world, attack_cfg, sinks);
-  sim::ScanTrafficConfig scan_cfg;
-  scan_cfg.seed = opt_.seed ^ 0x5ca7ULL;
-  sim::ScanTraffic scans(*world, scan_cfg);
-  for (int day = from_day; day < to_day; ++day) {
-    attacks.run_day(day);
-    scans.run_day(day, darknet.get(), sinks.vantages);
+  const auto t0 = EngineClock::now();
+  study::CollectorSink collectors;
+  collectors.global = global.get();
+  collectors.labels = labels.get();
+  collectors.darknet = darknet.get();
+  const std::vector<telemetry::FlowCollector*> vantages = {
+      merit.get(), frgp.get(), csu.get()};
+  collectors.vantages = vantages;
+  study::EventBus bus;
+  bus.subscribe(&collectors);
+
+  study::StudyHeader header;
+  header.kind = 1;
+  header.scale = opt_.scale;
+  header.seed = opt_.seed;
+  header.with_vantages = true;
+  header.with_darknet = with_darknet_;
+  header.param_a = from_day;
+  header.param_b = to_day;
+
+  if (!opt_.replay.empty()) {
+    study::Replayer replayer;
+    if (!replayer.load(opt_.replay)) {
+      std::fprintf(stderr, "failed to load study recording: %s\n",
+                   opt_.replay.c_str());
+      std::exit(2);
+    }
+    if (!(replayer.header() == header)) {
+      std::fprintf(stderr,
+                   "study recording %s was made by a different harness shape "
+                   "(kind/scale/seed/window mismatch); refusing to replay\n",
+                   opt_.replay.c_str());
+      std::exit(2);
+    }
+    if (!replayer.replay(bus)) {
+      std::fprintf(stderr, "study recording %s is truncated or corrupt\n",
+                   opt_.replay.c_str());
+      std::exit(2);
+    }
+  } else {
+    study::Recorder recorder(header);
+    const bool recording = !opt_.record.empty();
+    if (recording) bus.subscribe(&recorder);
+
+    sim::AttackEngineConfig attack_cfg;
+    attack_cfg.seed = opt_.seed ^ 0xa77acdULL;
+    sim::AttackEngine attacks(*world, attack_cfg, bus);
+    sim::ScanTrafficConfig scan_cfg;
+    scan_cfg.seed = opt_.seed ^ 0x5ca7ULL;
+    sim::ScanTraffic scans(*world, scan_cfg);
+    for (int day = from_day; day < to_day; ++day) {
+      attacks.run_day(day);
+      scans.run_day(day, bus, darknet.get(), vantages);
+    }
+    if (recording) {
+      const bool ok = recorder.save(opt_.record);
+      std::fprintf(stderr, "[engine] %s study recording: %s\n",
+                   ok ? "wrote" : "FAILED to write", opt_.record.c_str());
+      if (!ok) std::exit(2);
+    }
   }
+  run_done_ = EngineClock::now();
+  ran_ = true;
+  print_phase(opt_.replay.empty() ? "run-study" : "replay-study",
+              seconds_between(t0, run_done_));
 }
 
 void print_volume_series(const std::string& label,

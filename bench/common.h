@@ -3,9 +3,12 @@
 // Every bench binary regenerates one of the paper's tables or figures from
 // a fresh simulated study. Common knobs: --scale N (population divisor,
 // default 40 for full-pipeline benches), --seed N. Output is deterministic
-// for a given (scale, seed).
+// for a given (scale, seed) — and invariant under --jobs N and under
+// --record/--replay round-trips; all engine diagnostics (phase wall times,
+// record/replay notes) go to stderr so stdout stays byte-comparable.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -17,12 +20,18 @@
 #include "scan/prober.h"
 #include "sim/attack.h"
 #include "sim/scanner.h"
+#include "sim/sharded_executor.h"
 #include "sim/world.h"
+#include "study/analysis_sink.h"
+#include "study/bus.h"
+#include "study/collector_sink.h"
+#include "study/recorder.h"
 #include "telemetry/darknet.h"
 #include "telemetry/flow.h"
 #include "telemetry/traffic.h"
 #include "util/csv.h"
 #include "util/format.h"
+#include "util/thread_pool.h"
 
 namespace gorilla::bench {
 
@@ -31,6 +40,12 @@ struct Options {
   std::uint64_t seed = util::Rng::kDefaultSeed;
   bool quick = false;  ///< --quick halves the horizon for smoke runs
   std::string csv_dir;  ///< --csv DIR: also drop machine-readable series
+  /// --jobs N: worker threads for the sharded study engine (1 = the
+  /// sequential engine; 0 = hardware concurrency). Output is bit-identical
+  /// for every value.
+  int jobs = 1;
+  std::string record;  ///< --record PATH: save the study's event stream
+  std::string replay;  ///< --replay PATH: skip simulation, replay a stream
 };
 
 /// Writes a CSV artifact into opt.csv_dir when set (no-op otherwise);
@@ -49,9 +64,18 @@ void print_header(const std::string& figure, const Options& opt);
 /// The full measurement pipeline most §3/§4/§6 benches share: a world that
 /// lives through the study — attacks, scanning, fifteen weekly ONP monlist
 /// probes — with the census and victim analyses attached.
+///
+/// All producers emit through a study::EventBus; run() subscribes the
+/// collector and analysis sinks (plus a Recorder under --record). Under
+/// --replay the simulation is skipped entirely and the recorded stream is
+/// replayed into the same sinks — byte-identical output, since the artifact
+/// preserves the event stream's total order. Under --jobs N the monitor
+/// seeding and probe loops run on the sharded executor, also
+/// byte-identically.
 struct StudyPipeline {
   explicit StudyPipeline(const Options& opt, bool with_vantages = false,
                          bool with_darknet = false);
+  ~StudyPipeline();
 
   /// Network-impairment settings threaded through the whole study (attack
   /// trigger delivery, scan traffic, prober, darknet capture). Defaults to
@@ -78,13 +102,23 @@ struct StudyPipeline {
   std::function<void(int week, const scan::AmplifierObservation&)>
       extra_visitor;
 
-  /// Runs attacks+scans day-by-day and probes weekly (15 samples).
+  /// Runs attacks+scans day-by-day and probes weekly (15 samples) — or
+  /// replays a recorded stream when the options carry --replay.
   void run();
 
  private:
+  void run_simulated(study::EventBus& bus,
+                     const std::vector<telemetry::FlowCollector*>& vantages);
+  void run_replayed(study::EventBus& bus);
+  [[nodiscard]] study::StudyHeader make_header() const;
+
   Options opt_;
   bool with_vantages_;
   bool with_darknet_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<sim::ShardedExecutor> executor_;
+  std::chrono::steady_clock::time_point run_done_{};
+  bool ran_ = false;
 };
 
 /// Lighter harness for the §7 regional benches: attacks and scanning with
@@ -92,9 +126,11 @@ struct StudyPipeline {
 /// prober. Days default to Dec 1 - Mar 1 (the window Figures 11-15 plot).
 struct RegionalRun {
   explicit RegionalRun(const Options& opt, bool with_darknet = false);
+  ~RegionalRun();
 
   /// Runs [from_day, to_day); day 0 = 2013-11-01, Figure 11's window is
-  /// roughly [30, 121).
+  /// roughly [30, 121). Honors --record/--replay like StudyPipeline (the
+  /// recorded day window must match on replay).
   void run(int from_day = 30, int to_day = 121);
 
   std::unique_ptr<sim::World> world;
@@ -107,6 +143,9 @@ struct RegionalRun {
 
  private:
   Options opt_;
+  bool with_darknet_;
+  std::chrono::steady_clock::time_point run_done_{};
+  bool ran_ = false;
 };
 
 /// Renders a per-day byte-volume series as date rows + log sparkline.

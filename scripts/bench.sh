@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Engine perf trajectory: times representative full-pipeline benches under
+# the sharded study engine and writes BENCH_engine.json at the repo root.
+#
+# For each bench (fig03, fig07, tab05) this measures, at default scale/seed:
+#   - sequential wall time        (--jobs 1)
+#   - parallel wall time          (--jobs $(nproc), override with JOBS=N)
+#   - record wall time            (--jobs 1 --record study.bin)
+#   - replay wall time            (--replay study.bin)
+# and asserts stdout is byte-identical across all four runs — the engine's
+# determinism contract (DESIGN.md §3d) makes every mode a pure speedup.
+#
+# The replay column is the simulate-once/analyze-many headline: every
+# analysis after the first skips world build + simulation entirely.
+#
+# Usage: scripts/bench.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+bench_dir="$build_dir/bench"
+if [[ ! -d "$bench_dir" ]]; then
+  echo "bench.sh: $bench_dir not found — configure and build first" >&2
+  exit 2
+fi
+
+cores="$(nproc 2>/dev/null || echo 1)"
+jobs="${JOBS:-$cores}"
+benches=(fig03_amplifier_counts fig07_attack_timeseries tab05_top_amplifiers)
+
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# Wall time of a command in seconds (millisecond resolution), stdout to $1.
+time_to() {
+  local out="$1"
+  shift
+  local t0 t1
+  t0=$(date +%s%N)
+  "$@" >"$out" 2>>"$work/stderr.log"
+  t1=$(date +%s%N)
+  awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
+}
+
+entries=""
+for bench in "${benches[@]}"; do
+  bin="$bench_dir/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "bench.sh: missing $bin" >&2
+    exit 2
+  fi
+  echo "== $bench =="
+
+  seq_s=$(time_to "$work/$bench.jobs1.txt" "$bin" --jobs 1)
+  echo "   --jobs 1        ${seq_s}s"
+  par_s=$(time_to "$work/$bench.jobsN.txt" "$bin" --jobs "$jobs")
+  echo "   --jobs $jobs        ${par_s}s"
+  rec_s=$(time_to "$work/$bench.record.txt" "$bin" --jobs 1 --record "$work/$bench.study")
+  echo "   --record        ${rec_s}s"
+  rep_s=$(time_to "$work/$bench.replay.txt" "$bin" --replay "$work/$bench.study")
+  echo "   --replay        ${rep_s}s"
+
+  for mode in jobsN record replay; do
+    if ! cmp -s "$work/$bench.jobs1.txt" "$work/$bench.$mode.txt"; then
+      echo "bench.sh: FAIL — $bench $mode output differs from --jobs 1" >&2
+      exit 1
+    fi
+  done
+  echo "   stdout byte-identical across jobs/record/replay"
+
+  jobs_speedup=$(awk -v a="$seq_s" -v b="$par_s" 'BEGIN { printf "%.2f", a / b }')
+  replay_speedup=$(awk -v a="$seq_s" -v b="$rep_s" 'BEGIN { printf "%.2f", a / b }')
+  artifact_bytes=$(wc -c <"$work/$bench.study")
+
+  [[ -n "$entries" ]] && entries+=","
+  entries+="
+    { \"bench\": \"$bench\",
+      \"seq_s\": $seq_s, \"par_s\": $par_s, \"jobs\": $jobs,
+      \"jobs_speedup\": $jobs_speedup,
+      \"record_s\": $rec_s, \"replay_s\": $rep_s,
+      \"replay_speedup\": $replay_speedup,
+      \"artifact_bytes\": $artifact_bytes,
+      \"identical_stdout\": true }"
+done
+
+cat >BENCH_engine.json <<EOF
+{
+  "name": "sharded-study-engine",
+  "generated_by": "scripts/bench.sh",
+  "host_cores": $cores,
+  "jobs": $jobs,
+  "note": "seq_s = full simulate+analyze at --jobs 1; par_s = same at --jobs N (thread speedup requires >1 core — on a 1-core host par_s ~= seq_s and the honest speedup is the replay column); replay_s = analyze-only from a recorded event stream, the simulate-once/analyze-many path every per-figure bench can use.",
+  "entries": [$entries
+  ]
+}
+EOF
+echo "wrote BENCH_engine.json"

@@ -6,9 +6,12 @@
 #   2. gorilla_lint over src/ plus its self-test fixtures (the lint.* ctest
 #      label, run from the release tree).
 #   3. ASan+UBSan build, full test suite again under instrumentation.
+#   4. TSan build of the engine/thread-pool tests; the sharded executor's
+#      worker-thread discipline (DESIGN.md §3d) is vetted under
+#      ThreadSanitizer even on hosts where thread speedup is impossible.
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast   skip the sanitizer pass (release build + tests + lint only)
+#   --fast   skip the sanitizer passes (release build + tests + lint only)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,23 +23,29 @@ fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/3] Release build (strict warnings) + tests =="
+echo "== [1/4] Release build (strict warnings) + tests =="
 cmake --preset release >/dev/null
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
-echo "== [2/3] gorilla_lint (tree + self-test) =="
+echo "== [2/4] gorilla_lint (tree + self-test) =="
 ctest --test-dir build/release -L lint --output-on-failure
 
 if [[ "$fast" -eq 1 ]]; then
-  echo "== [3/3] skipped (--fast) =="
+  echo "== [3/4] skipped (--fast) =="
+  echo "== [4/4] skipped (--fast) =="
   echo "check.sh: OK (fast)"
   exit 0
 fi
 
-echo "== [3/3] ASan+UBSan build + tests =="
+echo "== [3/4] ASan+UBSan build + tests =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
+
+echo "== [4/4] TSan build + engine/thread-pool tests =="
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs"
+ctest --preset tsan -j "$jobs"
 
 echo "check.sh: OK"

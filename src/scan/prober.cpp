@@ -85,10 +85,162 @@ MonlistSampleSummary Prober::run_monlist_sample(int week,
                        visit);
 }
 
+MonlistSampleSummary Prober::run_monlist_sample(int week,
+                                                study::EventSink& sink) {
+  sink.on_sample_begin(week, util::date_from_sim_time(sample_time(week)));
+  const auto summary = probe_indices(
+      world_.amplifier_indices(), week, sample_time(week),
+      [week, &sink](const AmplifierObservation& obs) {
+        sink.on_probe_observation(week, obs);
+      });
+  sink.on_monlist_summary(summary);
+  sink.on_sample_end(week);
+  return summary;
+}
+
 MonlistSampleSummary Prober::probe_targets(
     const std::vector<std::uint32_t>& server_indices, int week,
     util::SimTime now, const MonlistVisitor& visit) {
   return probe_indices(server_indices, week, now, visit);
+}
+
+bool Prober::probe_one(std::uint32_t server_index, int week, util::SimTime now,
+                       const std::vector<std::uint8_t>& request_wire,
+                       int max_attempts, MonlistSampleSummary& summary,
+                       AmplifierObservation& obs) {
+  const auto ai = server_index;
+  ++summary.probes_sent;
+  // Offline / churned-away targets never see the probe.
+  if (!world_.servers()[ai].ever_amplifier) return false;
+  if (!world_.reachable(ai, week)) return false;
+
+  auto* server = world_.detailed(ai);
+  if (server == nullptr) return false;
+
+  // Apply any ntpd restart since the last sample: the monitor table only
+  // remembers clients since the restart (§4.2's observation window).
+  server->monitor().expire_before(world_.last_restart_before(ai, week, now));
+
+  net::UdpPacket probe;
+  probe.src = source_;
+  probe.dst = world_.address_at(ai, week);
+  probe.src_port = kProbeSourcePort;
+  probe.dst_port = net::kNtpPort;
+  probe.payload = request_wire;
+
+  bool observed = false;
+  bool was_rate_limited = false;
+  bool impairment_blocked = false;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) ++summary.retries;
+    const util::SimTime when = now + policy_.attempt_offset(attempt);
+    probe.timestamp = when;
+
+    const auto fate = impairment_.request_fate(ai, week, attempt);
+    if (fate == sim::ImpairmentLayer::Fate::kRequestLost ||
+        fate == sim::ImpairmentLayer::Fate::kUnreachable) {
+      impairment_blocked = true;  // server never saw it — retry
+      continue;
+    }
+
+    const auto response = server->handle(probe, when);
+    if (response.total_packets == 0) {
+      impairment_blocked = false;
+      break;  // genuine restriction: deterministic, retrying is pointless
+    }
+    if (fate == sim::ImpairmentLayer::Fate::kSilent) {
+      impairment_blocked = true;  // whole reply lost on the return path
+      continue;
+    }
+    if (consume_rate_budget(ai)) {
+      was_rate_limited = true;
+      impairment_blocked = false;
+      // A KoD tells a well-behaved client to stop; silence invites
+      // retries that the limiter will keep eating.
+      if (impairment_.config().rate_limit_kod) break;
+      continue;
+    }
+
+    sim::ImpairmentLayer::Damage damage;
+    std::uint64_t delivered_packets = response.total_packets;
+    std::uint64_t delivered_udp = response.total_udp_payload_bytes;
+    std::uint64_t delivered_wire = response.total_on_wire_bytes;
+    std::vector<net::UdpPacket> packets = response.packets;
+    if (impairment_.enabled()) {
+      damage = impairment_.degrade_response(ai, week, attempt, packets);
+      // The materialized prefix was damaged exactly; the unmaterialized
+      // remainder of a mega reply is thinned in aggregate so totals stay
+      // deterministic without ever existing in memory.
+      std::uint64_t mat_udp = 0, mat_wire = 0;
+      for (const auto& pkt : response.packets) {
+        mat_udp += pkt.payload.size();
+        mat_wire += pkt.on_wire_bytes();
+      }
+      const std::uint64_t mat = response.packets.size();
+      const std::uint64_t rem = response.total_packets - mat;
+      const std::uint64_t rem_kept =
+          impairment_.delivered_responses(ai, week, rem);
+      const double rem_frac =
+          rem > 0 ? static_cast<double>(rem_kept) /
+                        static_cast<double>(rem)
+                  : 0.0;
+      delivered_packets =
+          (mat - damage.packets_dropped) + rem_kept;
+      delivered_udp = (mat_udp - damage.udp_bytes_lost) +
+                      static_cast<std::uint64_t>(
+                          static_cast<double>(
+                              response.total_udp_payload_bytes - mat_udp) *
+                          rem_frac);
+      delivered_wire = (mat_wire - damage.wire_bytes_lost) +
+                       static_cast<std::uint64_t>(
+                           static_cast<double>(
+                               response.total_on_wire_bytes - mat_wire) *
+                           rem_frac);
+      if (delivered_packets == 0) {
+        impairment_blocked = true;  // everything died in transit — retry
+        continue;
+      }
+    }
+
+    // Reassemble the final table run from the surviving packets.
+    std::vector<ntp::Mode7Packet> parsed;
+    parsed.reserve(packets.size());
+    for (const auto& pkt : packets) {
+      if (auto p = ntp::parse_mode7_packet(pkt.payload)) {
+        parsed.push_back(std::move(*p));
+      }
+    }
+    auto table = ntp::reassemble_monlist(parsed);
+    if (!table || (parsed.size() == 1 &&
+                   parsed.front().error != ntp::Mode7Error::kOk)) {
+      if (damage.degraded() && parsed.empty()) {
+        impairment_blocked = true;  // damage ate the reply — retry
+        continue;
+      }
+      impairment_blocked = false;
+      ++summary.error_replies;
+      break;  // impl mismatch or refusal: not an amplifier observation
+    }
+
+    obs.server_index = ai;
+    obs.address = probe.dst;
+    obs.response_packets = delivered_packets;
+    obs.response_udp_bytes = delivered_udp;
+    obs.response_wire_bytes = delivered_wire;
+    obs.table = std::move(*table);
+    obs.probe_time = when;
+    obs.table_partial =
+        damage.packets_dropped + damage.packets_truncated > 0;
+    obs.attempts = attempt + 1;
+    if (obs.table_partial) ++summary.truncated_tables;
+    ++summary.responders;
+    impairment_blocked = false;
+    observed = true;
+    break;
+  }
+  if (was_rate_limited) ++summary.rate_limited;
+  if (impairment_blocked) ++summary.probes_lost;
+  return observed;
 }
 
 MonlistSampleSummary Prober::probe_indices(
@@ -108,138 +260,52 @@ MonlistSampleSummary Prober::probe_indices(
   const int max_attempts =
       impairment_.enabled() ? policy_.max_retries + 1 : 1;
 
+  // The rate-limit window is the one piece of shared mutable state in a
+  // pass (responses_used_); those passes stay on the sequential loop.
+  const bool shared_window =
+      impairment_.enabled() && impairment_.config().rate_limit_per_window != 0;
+  if (executor_ != nullptr && executor_->jobs() > 1 && !shared_window) {
+    // Chunks are a fixed size regardless of job count, each target touches
+    // only its own server, and chunk results are consumed on this thread in
+    // ascending order — so visit order, summary, and every server's monitor
+    // table come out bit-identical to the sequential loop.
+    struct ChunkResult {
+      MonlistSampleSummary partial;
+      std::vector<AmplifierObservation> observations;
+    };
+    constexpr std::size_t kProbeChunk = 512;
+    executor_->run_ordered(
+        server_indices.size(), kProbeChunk,
+        [this, &server_indices, week, now, &request_wire, max_attempts](
+            std::size_t begin, std::size_t end) {
+          ChunkResult r;
+          AmplifierObservation obs;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (probe_one(server_indices[i], week, now, request_wire,
+                          max_attempts, r.partial, obs)) {
+              r.observations.push_back(std::move(obs));
+            }
+          }
+          return r;
+        },
+        [&summary, &visit](ChunkResult r) {
+          summary.probes_sent += r.partial.probes_sent;
+          summary.responders += r.partial.responders;
+          summary.error_replies += r.partial.error_replies;
+          summary.probes_lost += r.partial.probes_lost;
+          summary.retries += r.partial.retries;
+          summary.truncated_tables += r.partial.truncated_tables;
+          summary.rate_limited += r.partial.rate_limited;
+          for (const auto& obs : r.observations) visit(obs);
+        });
+    return summary;
+  }
+
   AmplifierObservation obs;  // reused across visits
   for (const auto ai : server_indices) {
-    ++summary.probes_sent;
-    // Offline / churned-away targets never see the probe.
-    if (!world_.servers()[ai].ever_amplifier) continue;
-    if (!world_.reachable(ai, week)) continue;
-
-    auto* server = world_.detailed(ai);
-    if (server == nullptr) continue;
-
-    // Apply any ntpd restart since the last sample: the monitor table only
-    // remembers clients since the restart (§4.2's observation window).
-    server->monitor().expire_before(world_.last_restart_before(ai, week, now));
-
-    net::UdpPacket probe;
-    probe.src = source_;
-    probe.dst = world_.address_at(ai, week);
-    probe.src_port = kProbeSourcePort;
-    probe.dst_port = net::kNtpPort;
-    probe.payload = request_wire;
-
-    bool was_rate_limited = false;
-    bool impairment_blocked = false;
-    for (int attempt = 0; attempt < max_attempts; ++attempt) {
-      if (attempt > 0) ++summary.retries;
-      const util::SimTime when = now + policy_.attempt_offset(attempt);
-      probe.timestamp = when;
-
-      const auto fate = impairment_.request_fate(ai, week, attempt);
-      if (fate == sim::ImpairmentLayer::Fate::kRequestLost ||
-          fate == sim::ImpairmentLayer::Fate::kUnreachable) {
-        impairment_blocked = true;  // server never saw it — retry
-        continue;
-      }
-
-      const auto response = server->handle(probe, when);
-      if (response.total_packets == 0) {
-        impairment_blocked = false;
-        break;  // genuine restriction: deterministic, retrying is pointless
-      }
-      if (fate == sim::ImpairmentLayer::Fate::kSilent) {
-        impairment_blocked = true;  // whole reply lost on the return path
-        continue;
-      }
-      if (consume_rate_budget(ai)) {
-        was_rate_limited = true;
-        impairment_blocked = false;
-        // A KoD tells a well-behaved client to stop; silence invites
-        // retries that the limiter will keep eating.
-        if (impairment_.config().rate_limit_kod) break;
-        continue;
-      }
-
-      sim::ImpairmentLayer::Damage damage;
-      std::uint64_t delivered_packets = response.total_packets;
-      std::uint64_t delivered_udp = response.total_udp_payload_bytes;
-      std::uint64_t delivered_wire = response.total_on_wire_bytes;
-      std::vector<net::UdpPacket> packets = response.packets;
-      if (impairment_.enabled()) {
-        damage = impairment_.degrade_response(ai, week, attempt, packets);
-        // The materialized prefix was damaged exactly; the unmaterialized
-        // remainder of a mega reply is thinned in aggregate so totals stay
-        // deterministic without ever existing in memory.
-        std::uint64_t mat_udp = 0, mat_wire = 0;
-        for (const auto& pkt : response.packets) {
-          mat_udp += pkt.payload.size();
-          mat_wire += pkt.on_wire_bytes();
-        }
-        const std::uint64_t mat = response.packets.size();
-        const std::uint64_t rem = response.total_packets - mat;
-        const std::uint64_t rem_kept =
-            impairment_.delivered_responses(ai, week, rem);
-        const double rem_frac =
-            rem > 0 ? static_cast<double>(rem_kept) /
-                          static_cast<double>(rem)
-                    : 0.0;
-        delivered_packets =
-            (mat - damage.packets_dropped) + rem_kept;
-        delivered_udp = (mat_udp - damage.udp_bytes_lost) +
-                        static_cast<std::uint64_t>(
-                            static_cast<double>(
-                                response.total_udp_payload_bytes - mat_udp) *
-                            rem_frac);
-        delivered_wire = (mat_wire - damage.wire_bytes_lost) +
-                         static_cast<std::uint64_t>(
-                             static_cast<double>(
-                                 response.total_on_wire_bytes - mat_wire) *
-                             rem_frac);
-        if (delivered_packets == 0) {
-          impairment_blocked = true;  // everything died in transit — retry
-          continue;
-        }
-      }
-
-      // Reassemble the final table run from the surviving packets.
-      std::vector<ntp::Mode7Packet> parsed;
-      parsed.reserve(packets.size());
-      for (const auto& pkt : packets) {
-        if (auto p = ntp::parse_mode7_packet(pkt.payload)) {
-          parsed.push_back(std::move(*p));
-        }
-      }
-      auto table = ntp::reassemble_monlist(parsed);
-      if (!table || (parsed.size() == 1 &&
-                     parsed.front().error != ntp::Mode7Error::kOk)) {
-        if (damage.degraded() && parsed.empty()) {
-          impairment_blocked = true;  // damage ate the reply — retry
-          continue;
-        }
-        impairment_blocked = false;
-        ++summary.error_replies;
-        break;  // impl mismatch or refusal: not an amplifier observation
-      }
-
-      obs.server_index = ai;
-      obs.address = probe.dst;
-      obs.response_packets = delivered_packets;
-      obs.response_udp_bytes = delivered_udp;
-      obs.response_wire_bytes = delivered_wire;
-      obs.table = std::move(*table);
-      obs.probe_time = when;
-      obs.table_partial =
-          damage.packets_dropped + damage.packets_truncated > 0;
-      obs.attempts = attempt + 1;
-      if (obs.table_partial) ++summary.truncated_tables;
-      ++summary.responders;
-      impairment_blocked = false;
+    if (probe_one(ai, week, now, request_wire, max_attempts, summary, obs)) {
       visit(obs);
-      break;
     }
-    if (was_rate_limited) ++summary.rate_limited;
-    if (impairment_blocked) ++summary.probes_lost;
   }
   return summary;
 }

@@ -17,7 +17,9 @@
 
 #include "ntp/mode7.h"
 #include "sim/impairment.h"
+#include "sim/sharded_executor.h"
 #include "sim/world.h"
+#include "study/events.h"
 #include "util/time.h"
 
 namespace gorilla::scan {
@@ -123,6 +125,12 @@ class Prober {
   MonlistSampleSummary run_monlist_sample(int week,
                                           const MonlistVisitor& visit);
 
+  /// Event-stream form: brackets the pass in on_sample_begin/on_sample_end,
+  /// emits each responder as on_probe_observation and the final summary as
+  /// on_monlist_summary. Observation order and the returned summary are
+  /// identical to the visitor form.
+  MonlistSampleSummary run_monlist_sample(int week, study::EventSink& sink);
+
   /// Runs the weekly version pass for *version* sample week `vweek`
   /// (0 = 2014-02-21, i.e. monlist week 6).
   VersionSampleSummary run_version_sample(int vweek,
@@ -139,6 +147,20 @@ class Prober {
 
   [[nodiscard]] net::Ipv4Address source() const noexcept { return source_; }
 
+  /// Optional parallel engine for the per-target monlist loop. Each target
+  /// only mutates its own server's state (monitor-table bookkeeping), so
+  /// fixed-size target chunks probe independently on workers while the
+  /// visitor runs on the calling thread in ascending target order — output
+  /// is bit-identical for any job count. Passes that need the shared
+  /// rate-limit window (impairment with rate_limit_per_window > 0) fall
+  /// back to the sequential loop automatically. Null clears the executor.
+  void set_executor(sim::ShardedExecutor* executor) noexcept {
+    executor_ = executor;
+  }
+  [[nodiscard]] sim::ShardedExecutor* executor() const noexcept {
+    return executor_;
+  }
+
   /// SimTime at which week `week`'s monlist pass runs (Fridays, 12:00 UTC).
   [[nodiscard]] static util::SimTime sample_time(int week) noexcept;
 
@@ -152,6 +174,14 @@ class Prober {
   MonlistSampleSummary probe_indices(
       const std::vector<std::uint32_t>& server_indices, int week,
       util::SimTime now, const MonlistVisitor& visit);
+  /// Probes one target; fills `obs` and returns true when it responded with
+  /// a table. Counter side effects land in `summary`; server-state side
+  /// effects touch only this target's server, which is what makes chunked
+  /// parallel probing safe.
+  bool probe_one(std::uint32_t server_index, int week, util::SimTime now,
+                 const std::vector<std::uint8_t>& request_wire,
+                 int max_attempts, MonlistSampleSummary& summary,
+                 AmplifierObservation& obs);
   /// Resets the rate-limit window when the pass moves to a new week.
   void roll_window(int week);
   /// True when the server's response budget for this window is spent;
@@ -163,6 +193,7 @@ class Prober {
   ntp::Implementation probe_impl_;
   sim::ImpairmentLayer impairment_;
   ProbePolicy policy_;
+  sim::ShardedExecutor* executor_ = nullptr;
   int remediation_applied_week_ = -1;
   // Rate-limit window state: responses each limiting server has answered
   // this window (a sample week). The prober tracks this client-side the way

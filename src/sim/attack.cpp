@@ -41,10 +41,20 @@ const std::vector<std::pair<std::uint16_t, double>>& attacked_port_mix() {
 }
 
 AttackEngine::AttackEngine(World& world, const AttackEngineConfig& config,
+                           study::EventSink& sink)
+    : AttackEngine(world, config, &sink, SinkPtr{}) {}
+
+AttackEngine::AttackEngine(World& world, const AttackEngineConfig& config,
                            AttackSinks sinks)
+    : AttackEngine(world, config, nullptr, SinkPtr{}) {
+  legacy_sinks_ = std::move(sinks);
+}
+
+AttackEngine::AttackEngine(World& world, const AttackEngineConfig& config,
+                           study::EventSink* sink, SinkPtr)
     : world_(world),
       config_(config),
-      sinks_(std::move(sinks)),
+      sink_(sink != nullptr ? sink : &legacy_sinks_),
       impairment_(config.impairment),
       rng_(config.seed),
       booter_zipf_(1, 1.0),
@@ -430,7 +440,7 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
     rec.response_packets += amp_packets;
 
     // Flows at any vantage that can see them (collectors drop transit).
-    if (!sinks_.vantages.empty()) {
+    if (sink_->wants_flows()) {
       const auto amp_addr = emission.server->config().address;
       telemetry::FlowRecord response;
       response.src = amp_addr;
@@ -460,22 +470,20 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
       trigger.first = rec.start;
       trigger.last = rec.end;
 
-      for (auto* vantage : sinks_.vantages) {
-        vantage->add(response);
-        vantage->add(trigger);
-      }
+      sink_->on_flow(response, study::kAllVantages);
+      sink_->on_flow(trigger, study::kAllVantages);
     }
   }
 
-  if (sinks_.global != nullptr) {
+  {
     const double trigger_bytes =
         static_cast<double>(kTriggerWireBytes) *
         static_cast<double>(total_delivered_triggers);
-    sinks_.global->add_bytes(day, telemetry::ProtocolClass::kNtp,
-                             static_cast<double>(rec.response_bytes) +
-                                 trigger_bytes);
+    sink_->on_global_bytes(day, telemetry::ProtocolClass::kNtp,
+                           static_cast<double>(rec.response_bytes) +
+                               trigger_bytes);
   }
-  if (sinks_.labels != nullptr && rec.peak_bps > 0.0) {
+  if (sink_->wants_labels() && rec.peak_bps > 0.0) {
     // Arbor-analogue visibility: the vendor feed catches a size-dependent
     // fraction of attack events (small ones are easy to miss, §2.2).
     double visibility = config_.arbor_visibility_small;
@@ -490,14 +498,16 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
         break;
     }
     if (rng_.chance(visibility)) {
-      sinks_.labels->add(telemetry::LabeledAttack{
+      sink_->on_attack_label(telemetry::LabeledAttack{
           rec.start, telemetry::AttackVector::kNtp, rec.peak_bps});
     }
   }
 }
 
 void AttackEngine::emit_background_labels(int day) {
-  if (sinks_.labels == nullptr) return;
+  // Skipping an unwatched label stream also skips its RNG draws — exactly
+  // the pre-bus null-pointer behavior, so RNG streams stay aligned.
+  if (!sink_->wants_labels()) return;
   const std::uint64_t scale = std::max<std::uint32_t>(1, world_.config().scale);
   const std::uint64_t n =
       rng_.poisson(config_.background_attacks_per_day /
@@ -524,7 +534,7 @@ void AttackEngine::emit_background_labels(int day) {
       a.peak_bps = rng_.pareto(20e9, 2.0);
       a.peak_bps = std::min(a.peak_bps, 120e9);
     }
-    sinks_.labels->add(a);
+    sink_->on_attack_label(a);
   }
 }
 

@@ -17,6 +17,8 @@
 
 #include "sim/impairment.h"
 #include "sim/world.h"
+#include "study/collector_sink.h"
+#include "study/events.h"
 #include "telemetry/darknet.h"
 #include "telemetry/flow.h"
 #include "telemetry/traffic.h"
@@ -42,11 +44,9 @@ struct AttackRecord {
 };
 
 /// Where attack traffic is reported. Null members are simply skipped.
-struct AttackSinks {
-  telemetry::GlobalTrafficCollector* global = nullptr;
-  telemetry::AttackLabelStore* labels = nullptr;
-  std::vector<telemetry::FlowCollector*> vantages;
-};
+/// Kept as an alias of the study-layer collector sink so existing call
+/// sites keep compiling; the engine itself now speaks study::EventSink.
+using AttackSinks = study::CollectorSink;
 
 struct AttackEngineConfig {
   std::uint64_t seed = util::Rng::kDefaultSeed ^ 0xa77acdULL;
@@ -142,6 +142,14 @@ struct BooterProfile {
 
 class AttackEngine {
  public:
+  /// Primary form: all attack evidence is emitted as typed events into
+  /// `sink` (which must outlive the engine).
+  AttackEngine(World& world, const AttackEngineConfig& config,
+               study::EventSink& sink);
+
+  /// Legacy form: wraps the collector pointers in an owned CollectorSink.
+  /// Event-for-event (and RNG-draw-for-draw) identical to passing the same
+  /// collectors through the primary constructor.
   AttackEngine(World& world, const AttackEngineConfig& config,
                AttackSinks sinks);
 
@@ -184,6 +192,13 @@ class AttackEngine {
   }
 
  private:
+  /// Shared constructor body; `sink == nullptr` selects the owned
+  /// legacy_sinks_ member (filled in by the legacy public constructor).
+  /// The tag keeps `{}` at call sites resolving to the AttackSinks form.
+  struct SinkPtr {};
+  AttackEngine(World& world, const AttackEngineConfig& config,
+               study::EventSink* sink, SinkPtr);
+
   std::uint32_t pick_booter();
   net::Ipv4Address pick_victim(int day, BooterProfile& booter,
                                bool& end_host, bool& common_pool);
@@ -196,7 +211,8 @@ class AttackEngine {
 
   World& world_;
   AttackEngineConfig config_;
-  AttackSinks sinks_;
+  AttackSinks legacy_sinks_;     ///< owned sink backing the legacy ctor
+  study::EventSink* sink_;       ///< never null after construction
   ImpairmentLayer impairment_;
   util::Rng rng_;
   std::uint64_t next_id_ = 0;

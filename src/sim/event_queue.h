@@ -5,12 +5,18 @@
 // local-ISP forensics need sub-second event ordering: probes, responses,
 // and attack bursts interleaving at a vantage point. Events at equal times
 // fire in insertion order, which keeps runs deterministic.
+//
+// The heap is managed directly over a vector (std::push_heap/pop_heap)
+// rather than through std::priority_queue: priority_queue::top() only
+// offers a const reference, which forced a full copy of every event —
+// including its std::function action and any captured state — on each pop.
+// pop_heap moves the minimum to the back, where it can be moved out.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <limits>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "util/time.h"
@@ -23,7 +29,8 @@ class EventQueue {
 
   /// Schedules an action at an absolute time (>= now()).
   void schedule_at(util::SimTime when, Action action) {
-    heap_.push(Event{when, next_sequence_++, std::move(action)});
+    heap_.push_back(Event{when, next_sequence_++, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
   /// Schedules an action `delay` seconds from now().
@@ -35,10 +42,8 @@ class EventQueue {
   /// number of events executed. now() advances monotonically.
   std::size_t run_until(util::SimTime until) {
     std::size_t executed = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
-      // Move the action out before popping so the event may schedule more.
-      Event ev = heap_.top();
-      heap_.pop();
+    while (!heap_.empty() && heap_.front().when <= until) {
+      Event ev = pop_min();
       now_ = ev.when;
       ev.action();
       ++executed;
@@ -51,8 +56,7 @@ class EventQueue {
   std::size_t run() {
     std::size_t executed = 0;
     while (!heap_.empty()) {
-      Event ev = heap_.top();
-      heap_.pop();
+      Event ev = pop_min();
       now_ = ev.when;
       ev.action();
       ++executed;
@@ -76,7 +80,16 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  /// Moves the earliest event out of the heap (no copy of the action —
+  /// the event may freely schedule more from inside its own run).
+  Event pop_min() {
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    Event ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+  std::vector<Event> heap_;
   util::SimTime now_ = 0;
   std::uint64_t next_sequence_ = 0;
 };

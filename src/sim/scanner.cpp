@@ -5,6 +5,7 @@
 
 #include "net/ethernet.h"
 #include "ntp/mode7.h"
+#include "study/collector_sink.h"
 
 namespace gorilla::sim {
 
@@ -68,6 +69,16 @@ std::uint64_t ScanTraffic::darknet_packets_per_pass(
 void ScanTraffic::run_day(
     int day, telemetry::DarknetTelescope* darknet,
     const std::vector<telemetry::FlowCollector*>& vantages) {
+  study::CollectorSink sink;
+  sink.darknet = darknet;
+  sink.vantages = vantages;
+  run_day(day, sink, darknet, vantages);
+}
+
+void ScanTraffic::run_day(
+    int day, study::EventSink& sink,
+    const telemetry::DarknetTelescope* darknet_geometry,
+    const std::vector<telemetry::FlowCollector*>& vantage_geometry) {
   const util::SimTime day_start =
       static_cast<util::SimTime>(day) * util::kSecondsPerDay;
   for (const auto& actor : actors_) {
@@ -79,8 +90,8 @@ void ScanTraffic::run_day(
                         rng_.chance(std::min(1.0, passes_today * 4)));
     if (!scans_today) continue;
 
-    if (darknet != nullptr) {
-      std::uint64_t pkts = darknet_packets_per_pass(actor, *darknet);
+    if (darknet_geometry != nullptr) {
+      std::uint64_t pkts = darknet_packets_per_pass(actor, *darknet_geometry);
       if (impairment_.enabled()) {
         // Scan packets die in flight before the telescope like anywhere
         // else; key on the scanner so each actor thins reproducibly.
@@ -88,15 +99,19 @@ void ScanTraffic::run_day(
                                               pkts);
       }
       if (pkts > 0) {
-        darknet->observe_scan(actor.address, day, pkts, actor.benign);
+        sink.on_darknet_scan(actor.address, day, pkts, actor.benign);
       }
     }
     // Flows at regional vantages: malicious scanners sweep contiguous
     // slices, so a pass covering fraction c of IPv4 only intersects a
     // given regional prefix with probability ~c — which is why two distinct
     // sites almost never see the same malicious scanner (§7.2, Fig 16).
-    // Research sweeps cover everything and are seen everywhere.
-    for (auto* vantage : vantages) {
+    // Research sweeps cover everything and are seen everywhere. The flow is
+    // emitted *targeted* at this vantage's index: each vantage gets its own
+    // destination draw, and broadcasting would let one vantage's slice leak
+    // into another's space.
+    for (std::size_t vi = 0; vi < vantage_geometry.size(); ++vi) {
+      const auto* vantage = vantage_geometry[vi];
       if (!actor.benign &&
           !rng_.chance(std::min(1.0, actor.ipv4_coverage * 0.5))) {
         continue;
@@ -128,12 +143,14 @@ void ScanTraffic::run_day(
       f.first = day_start + static_cast<util::SimTime>(
                                 rng_.uniform(util::kSecondsPerDay / 2));
       f.last = f.first + 3600;
-      vantage->add(f);
+      sink.on_flow(f, static_cast<int>(vi));
     }
   }
 }
 
-void ScanTraffic::seed_monitor_tables(int week) {
+template <typename BeginServer, typename Emit>
+void ScanTraffic::plan_seed_observations(int week, BeginServer&& begin_server,
+                                         Emit&& emit) {
   // Research scanners sweep everything weekly: every responding server's
   // monitor table gains (or refreshes) one probe entry per active scanner.
   // Malicious scanners cover random slices: approximated per server as a
@@ -151,6 +168,7 @@ void ScanTraffic::seed_monitor_tables(int week) {
   }();
 
   for (const auto ai : world_.amplifier_indices()) {
+    begin_server();
     auto* server = world_.detailed(ai);
     if (server == nullptr) continue;
     int actor_index = 0;
@@ -168,12 +186,11 @@ void ScanTraffic::seed_monitor_tables(int week) {
         (void)rng_.uniform(3600);
         continue;  // this scanner's probe never reached the server
       }
-      server->monitor().observe(
-          a.address, static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
-          static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
-                                          : ntp::Mode::kPrivate),
-          ntp::kNtpVersion,
-          when - static_cast<util::SimTime>(rng_.uniform(3600)));
+      emit(server, a.address,
+           static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
+           static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
+                                           : ntp::Mode::kPrivate),
+           when - static_cast<util::SimTime>(rng_.uniform(3600)));
     }
     const std::uint64_t hits = rng_.poisson(malicious_rate_per_server);
     for (std::uint64_t h = 0; h < hits && h < 16; ++h) {
@@ -187,15 +204,62 @@ void ScanTraffic::seed_monitor_tables(int week) {
         (void)rng_.uniform(3 * util::kSecondsPerDay);
         continue;
       }
-      server->monitor().observe(
-          a.address, static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
-          static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
-                                          : ntp::Mode::kPrivate),
-          ntp::kNtpVersion,
-          when - static_cast<util::SimTime>(
-                     rng_.uniform(3 * util::kSecondsPerDay)));
+      emit(server, a.address,
+           static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
+           static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
+                                           : ntp::Mode::kPrivate),
+           when - static_cast<util::SimTime>(
+                      rng_.uniform(3 * util::kSecondsPerDay)));
     }
   }
+}
+
+void ScanTraffic::seed_monitor_tables(int week, ShardedExecutor* executor) {
+  if (executor == nullptr || executor->jobs() <= 1) {
+    plan_seed_observations(
+        week, [] {},
+        [](ntp::NtpServer* server, net::Ipv4Address address,
+           std::uint16_t port, std::uint8_t mode, util::SimTime when) {
+          server->monitor().observe(address, port, mode, ntp::kNtpVersion,
+                                    when);
+        });
+    return;
+  }
+
+  // Plan/apply split: the RNG plan is drawn sequentially above (identical
+  // draw order to the inline path); only the monitor-table writes fan out.
+  // Each server's entries live in one contiguous slice and each chunk owns
+  // whole servers, so no two workers ever touch the same monitor table and
+  // the per-server observe order matches the sequential engine exactly.
+  struct Planned {
+    ntp::NtpServer* server = nullptr;
+    net::Ipv4Address address;
+    std::uint16_t port = 0;
+    std::uint8_t mode = 0;
+    util::SimTime when = 0;
+  };
+  std::vector<Planned> plan;
+  std::vector<std::size_t> offsets;
+  offsets.reserve(world_.amplifier_indices().size() + 1);
+  plan_seed_observations(
+      week, [&plan, &offsets] { offsets.push_back(plan.size()); },
+      [&plan](ntp::NtpServer* server, net::Ipv4Address address,
+              std::uint16_t port, std::uint8_t mode, util::SimTime when) {
+        plan.push_back(Planned{server, address, port, mode, when});
+      });
+  offsets.push_back(plan.size());
+
+  executor->parallel_for(
+      offsets.size() - 1, /*chunk_size=*/256,
+      [&plan, &offsets](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+            const auto& p = plan[j];
+            p.server->monitor().observe(p.address, p.port, p.mode,
+                                        ntp::kNtpVersion, p.when);
+          }
+        }
+      });
 }
 
 }  // namespace gorilla::sim

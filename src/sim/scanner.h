@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "sim/impairment.h"
+#include "sim/sharded_executor.h"
 #include "sim/world.h"
+#include "study/events.h"
 #include "telemetry/darknet.h"
 #include "telemetry/flow.h"
 #include "util/rng.h"
@@ -58,10 +60,24 @@ class ScanTraffic {
   void run_day(int day, telemetry::DarknetTelescope* darknet,
                const std::vector<telemetry::FlowCollector*>& vantages);
 
+  /// Event-stream form: darknet packets become on_darknet_scan() events and
+  /// vantage flows become on_flow(flow, vantage_index) events. The darknet
+  /// and vantage collectors are consulted for *geometry only* (dark-space
+  /// size, local prefixes); all observations flow through `sink`. Draws the
+  /// exact RNG stream of the direct form above.
+  void run_day(int day, study::EventSink& sink,
+               const telemetry::DarknetTelescope* darknet_geometry,
+               const std::vector<telemetry::FlowCollector*>& vantage_geometry);
+
   /// Injects this week's research-scanner probe entries into the detailed
   /// servers' monitor tables (called once per sample week by the harness,
   /// cheaper than per-day per-server observation).
-  void seed_monitor_tables(int week);
+  ///
+  /// With a (multi-job) executor, the RNG plan is drawn sequentially —
+  /// burning exactly the draws of the inline path — and only the per-server
+  /// monitor-table writes fan out, each server owned by one chunk; the
+  /// result is bit-identical for any job count.
+  void seed_monitor_tables(int week, ShardedExecutor* executor = nullptr);
 
   [[nodiscard]] const std::vector<ScanActor>& actors() const noexcept {
     return actors_;
@@ -70,6 +86,15 @@ class ScanTraffic {
  private:
   [[nodiscard]] std::uint64_t darknet_packets_per_pass(
       const ScanActor& actor, const telemetry::DarknetTelescope& t) const;
+
+  /// The single source of the seed_monitor_tables() RNG stream: walks every
+  /// amplifier slot, calling `begin_server()` once per slot (before any
+  /// draws) and `emit(server, address, port, mode, when)` per planned
+  /// monitor-table observation. Both the inline and the plan/apply paths
+  /// run through here, so their draw order cannot diverge.
+  template <typename BeginServer, typename Emit>
+  void plan_seed_observations(int week, BeginServer&& begin_server,
+                              Emit&& emit);
 
   World& world_;
   ScanTrafficConfig config_;

@@ -1,0 +1,41 @@
+#include "sim/sharded_executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+
+namespace gorilla::sim {
+
+void ShardedExecutor::parallel_for(
+    std::size_t n, std::size_t chunk_size,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t chunk = chunk_size == 0 ? 1 : chunk_size;
+  if (jobs() <= 1) {
+    for (std::size_t b = 0; b < n; b += chunk) fn(b, std::min(n, b + chunk));
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t remaining = (n + chunk - 1) / chunk;
+  if (remaining == 0) return;
+  std::exception_ptr first_error;
+  for (std::size_t b = 0; b < n; b += chunk) {
+    const std::size_t e = std::min(n, b + chunk);
+    pool_->submit([&fn, &mu, &cv, &remaining, &first_error, b, e] {
+      try {
+        fn(b, e);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      const std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gorilla::sim

@@ -1,0 +1,97 @@
+// Deterministic sharded execution for the study engine.
+//
+// The executor partitions an index range into FIXED-SIZE shards (chunks)
+// and walks them on a worker pool. The determinism-merge contract
+// (DESIGN.md §3d) is what makes the parallel engine bit-for-bit identical
+// to the sequential one for any worker count:
+//
+//   1. the shard boundaries depend only on (n, chunk_size) — never on the
+//      number of workers — so every K produces the same shard set;
+//   2. produce() must be a pure function of its [begin, end) range: it may
+//      read shared immutable state (the World's trait tables, hash-based
+//      weekly draws) and mutate only state owned by servers inside the
+//      range (their monitor tables);
+//   3. results are consumed on the CALLING thread in ascending shard order
+//      — the canonical sorted reduction. Order-sensitive reductions
+//      (visitor streams, float accumulation) therefore see exactly the
+//      sequential order.
+//
+// With jobs() <= 1 everything runs inline on the calling thread, which IS
+// the sequential engine — K=1 reproduces the seed by construction, and the
+// shard-invariance tests pin K>1 to that same byte stream.
+//
+// gorilla_lint's `worker-capture` rule rejects `[&]` capture on the worker
+// lambda handed to run_ordered()/parallel_for(): captures must be spelled
+// out so a reviewer can check rule 2 at the call site.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace gorilla::sim {
+
+class ShardedExecutor {
+ public:
+  /// A null pool (or a 1-thread pool) selects the inline sequential path.
+  explicit ShardedExecutor(util::ThreadPool* pool) noexcept : pool_(pool) {}
+
+  [[nodiscard]] int jobs() const noexcept {
+    return pool_ == nullptr ? 1 : pool_->size();
+  }
+
+  /// Ordered map/reduce over [0, n): produce(begin, end) runs on workers,
+  /// consume(result) runs on the calling thread in ascending shard order.
+  /// Exceptions thrown by produce() re-throw here, in shard order.
+  template <typename Produce, typename Consume>
+  void run_ordered(std::size_t n, std::size_t chunk_size, Produce produce,
+                   Consume consume) {
+    using Result = std::invoke_result_t<Produce&, std::size_t, std::size_t>;
+    const std::size_t chunk = chunk_size == 0 ? 1 : chunk_size;
+    if (jobs() <= 1) {
+      for (std::size_t b = 0; b < n; b += chunk) {
+        consume(produce(b, std::min(n, b + chunk)));
+      }
+      return;
+    }
+    // Bounded in-flight window: keeps every worker busy while capping the
+    // buffered results the ordered merge may have to hold.
+    const auto window = static_cast<std::size_t>(jobs()) * 3;
+    std::deque<std::future<Result>> inflight;
+    std::size_t next = 0;
+    const auto submit_one = [&] {
+      const std::size_t b = next;
+      const std::size_t e = std::min(n, b + chunk);
+      next = e;
+      auto task = std::make_shared<std::packaged_task<Result()>>(
+          [&produce, b, e] { return produce(b, e); });
+      inflight.push_back(task->get_future());
+      pool_->submit([task] { (*task)(); });
+    };
+    while (next < n && inflight.size() < window) submit_one();
+    while (!inflight.empty()) {
+      Result result = inflight.front().get();
+      inflight.pop_front();
+      if (next < n) submit_one();  // refill before the (serial) consume
+      consume(std::move(result));
+    }
+  }
+
+  /// Unordered parallel apply over [0, n): fn(begin, end) per shard, no
+  /// result. The caller guarantees shards mutate disjoint state (contract
+  /// rule 2); use run_ordered() when anything order-sensitive is reduced.
+  /// Blocks until every shard ran; the first exception re-throws here.
+  void parallel_for(std::size_t n, std::size_t chunk_size,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  util::ThreadPool* pool_;
+};
+
+}  // namespace gorilla::sim

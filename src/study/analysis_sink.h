@@ -1,0 +1,47 @@
+// Streams weekly probe-sample events into the §3/§4 core analyses.
+//
+// Call order within each event reproduces the pre-bus harness exactly:
+// sample begin -> census, victims; each observation -> census, victims,
+// extra hook; summary -> summaries vector; sample end -> census, victims.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/amplifiers.h"
+#include "core/victims.h"
+#include "scan/prober.h"
+#include "study/events.h"
+
+namespace gorilla::study {
+
+struct AnalysisSink final : EventSink {
+  core::AmplifierCensus* census = nullptr;
+  core::VictimAnalysis* victims = nullptr;
+  std::vector<scan::MonlistSampleSummary>* summaries = nullptr;
+  /// Optional extra per-observation hook (named-subset counting etc.).
+  std::function<void(int week, const scan::AmplifierObservation&)> extra;
+
+  void on_sample_begin(int week, const util::Date& date) override {
+    if (census != nullptr) census->begin_sample(week, date);
+    if (victims != nullptr) victims->begin_sample(week, date);
+  }
+
+  void on_probe_observation(int week,
+                            const scan::AmplifierObservation& obs) override {
+    if (census != nullptr) census->add(obs);
+    if (victims != nullptr) victims->add(obs);
+    if (extra) extra(week, obs);
+  }
+
+  void on_monlist_summary(const scan::MonlistSampleSummary& summary) override {
+    if (summaries != nullptr) summaries->push_back(summary);
+  }
+
+  void on_sample_end(int /*week*/) override {
+    if (census != nullptr) census->end_sample();
+    if (victims != nullptr) victims->end_sample();
+  }
+};
+
+}  // namespace gorilla::study

@@ -1,0 +1,67 @@
+// Fan-out event bus: one sink that forwards to N subscribers in
+// subscription order. Dispatch order is part of the determinism contract —
+// subscribers see every event in the exact order producers emitted it, and
+// within one event in the fixed subscription order, so order-sensitive
+// consumers (float accumulators, visitor streams) behave identically
+// whether they sit behind the bus, behind a replayed recording, or were
+// called directly by the pre-bus engine.
+#pragma once
+
+#include <vector>
+
+#include "study/events.h"
+
+namespace gorilla::study {
+
+class EventBus final : public EventSink {
+ public:
+  /// Adds a subscriber (not owned). Dispatch follows subscription order.
+  void subscribe(EventSink* sink) { sinks_.push_back(sink); }
+
+  [[nodiscard]] bool wants_flows() const override {
+    for (const auto* s : sinks_) {
+      if (s->wants_flows()) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool wants_labels() const override {
+    for (const auto* s : sinks_) {
+      if (s->wants_labels()) return true;
+    }
+    return false;
+  }
+
+  void on_global_bytes(int day, telemetry::ProtocolClass p,
+                       double bytes) override {
+    for (auto* s : sinks_) s->on_global_bytes(day, p, bytes);
+  }
+  void on_attack_label(const telemetry::LabeledAttack& label) override {
+    for (auto* s : sinks_) s->on_attack_label(label);
+  }
+  void on_flow(const telemetry::FlowRecord& flow, int vantage) override {
+    for (auto* s : sinks_) s->on_flow(flow, vantage);
+  }
+  void on_darknet_scan(net::Ipv4Address scanner, int day,
+                       std::uint64_t packets, bool benign) override {
+    for (auto* s : sinks_) s->on_darknet_scan(scanner, day, packets, benign);
+  }
+  void on_sample_begin(int week, const util::Date& date) override {
+    for (auto* s : sinks_) s->on_sample_begin(week, date);
+  }
+  void on_probe_observation(int week,
+                            const scan::AmplifierObservation& obs) override {
+    for (auto* s : sinks_) s->on_probe_observation(week, obs);
+  }
+  void on_monlist_summary(const scan::MonlistSampleSummary& summary) override {
+    for (auto* s : sinks_) s->on_monlist_summary(summary);
+  }
+  void on_sample_end(int week) override {
+    for (auto* s : sinks_) s->on_sample_end(week);
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace gorilla::study

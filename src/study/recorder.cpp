@@ -1,0 +1,362 @@
+#include "study/recorder.h"
+
+#include <utility>
+
+#include "scan/prober.h"
+
+namespace gorilla::study {
+
+namespace {
+
+// Event tags on the tape. Values are part of the artifact format.
+enum : std::uint8_t {
+  kTagGlobal = 1,
+  kTagLabel = 2,
+  kTagFlow = 3,
+  kTagDark = 4,
+  kTagBegin = 5,
+  kTagObs = 6,
+  kTagSummary = 7,
+  kTagEnd = 8,
+};
+
+std::vector<std::uint8_t> encode_header(const StudyHeader& h) {
+  util::ColumnWriter w;
+  w.put_u32(h.version);
+  w.put_u8(h.kind);
+  w.put_u32(h.scale);
+  w.put_varint(h.seed);
+  w.put_u8(h.quick ? 1 : 0);
+  w.put_u8(h.with_vantages ? 1 : 0);
+  w.put_u8(h.with_darknet ? 1 : 0);
+  w.put_zigzag(h.param_a);
+  w.put_zigzag(h.param_b);
+  return w.take_buffer();
+}
+
+bool decode_header(const std::vector<std::uint8_t>& bytes, StudyHeader& h) {
+  util::ColumnReader r(bytes);
+  h.version = r.get_u32();
+  h.kind = r.get_u8();
+  h.scale = r.get_u32();
+  h.seed = r.get_varint();
+  h.quick = r.get_u8() != 0;
+  h.with_vantages = r.get_u8() != 0;
+  h.with_darknet = r.get_u8() != 0;
+  h.param_a = static_cast<std::int32_t>(r.get_zigzag());
+  h.param_b = static_cast<std::int32_t>(r.get_zigzag());
+  return r.ok() && h.version == 1;
+}
+
+void encode_date(util::ColumnWriter& w, const util::Date& d) {
+  w.put_zigzag(d.year);
+  w.put_u8(static_cast<std::uint8_t>(d.month));
+  w.put_u8(static_cast<std::uint8_t>(d.day));
+}
+
+util::Date decode_date(util::ColumnReader& r) {
+  util::Date d;
+  d.year = static_cast<int>(r.get_zigzag());
+  d.month = r.get_u8();
+  d.day = r.get_u8();
+  return d;
+}
+
+}  // namespace
+
+void Recorder::tag(std::uint8_t t) {
+  if (t == run_tag_) {
+    ++run_len_;
+    return;
+  }
+  flush_run();
+  run_tag_ = t;
+  run_len_ = 1;
+}
+
+void Recorder::flush_run() {
+  if (run_len_ == 0) return;
+  tape_.put_u8(run_tag_);
+  tape_.put_varint(run_len_);
+  run_len_ = 0;
+}
+
+void Recorder::on_global_bytes(int day, telemetry::ProtocolClass p,
+                               double bytes) {
+  tag(kTagGlobal);
+  global_.put_zigzag(day);
+  global_.put_u8(static_cast<std::uint8_t>(p));
+  global_.put_f64(bytes);
+}
+
+void Recorder::on_attack_label(const telemetry::LabeledAttack& label) {
+  tag(kTagLabel);
+  label_.put_zigzag(label.start);
+  label_.put_u8(static_cast<std::uint8_t>(label.vector));
+  label_.put_f64(label.peak_bps);
+}
+
+void Recorder::on_flow(const telemetry::FlowRecord& flow, int vantage) {
+  tag(kTagFlow);
+  flow_.put_zigzag(vantage);
+  flow_.put_u32(flow.src.value());
+  flow_.put_u32(flow.dst.value());
+  flow_.put_u16(flow.src_port);
+  flow_.put_u16(flow.dst_port);
+  flow_.put_u8(flow.protocol);
+  flow_.put_u8(flow.ttl);
+  flow_.put_varint(flow.packets);
+  flow_.put_varint(flow.bytes);
+  flow_.put_varint(flow.payload_bytes);
+  flow_.put_zigzag(flow.first);
+  flow_.put_zigzag(flow.last);
+}
+
+void Recorder::on_darknet_scan(net::Ipv4Address scanner, int day,
+                               std::uint64_t packets, bool benign) {
+  tag(kTagDark);
+  dark_.put_u32(scanner.value());
+  dark_.put_zigzag(day);
+  dark_.put_varint(packets);
+  dark_.put_u8(benign ? 1 : 0);
+}
+
+void Recorder::on_sample_begin(int week, const util::Date& date) {
+  tag(kTagBegin);
+  begin_.put_zigzag(week);
+  encode_date(begin_, date);
+}
+
+void Recorder::on_probe_observation(int week,
+                                    const scan::AmplifierObservation& obs) {
+  tag(kTagObs);
+  obs_.put_zigzag(week);
+  obs_.put_varint(obs.server_index);
+  obs_.put_u32(obs.address.value());
+  obs_.put_varint(obs.response_packets);
+  obs_.put_varint(obs.response_udp_bytes);
+  obs_.put_varint(obs.response_wire_bytes);
+  obs_.put_zigzag(obs.probe_time);
+  obs_.put_u8(obs.table_partial ? 1 : 0);
+  obs_.put_zigzag(obs.attempts);
+  obs_.put_varint(obs.table.size());
+  for (const auto& e : obs.table) {
+    tbl_addr_.put_u32(e.address.value());
+    tbl_local_.put_u32(e.local_address.value());
+    tbl_avg_.put_varint(e.avg_interval);
+    tbl_seen_.put_varint(e.last_seen);
+    tbl_restr_.put_varint(e.restr);
+    tbl_count_.put_varint(e.count);
+    tbl_port_.put_u16(e.port);
+    tbl_mode_.put_u8(e.mode);
+    tbl_ver_.put_u8(e.version);
+  }
+}
+
+void Recorder::on_monlist_summary(const scan::MonlistSampleSummary& summary) {
+  tag(kTagSummary);
+  sum_.put_zigzag(summary.week);
+  encode_date(sum_, summary.date);
+  sum_.put_varint(summary.probes_sent);
+  sum_.put_varint(summary.responders);
+  sum_.put_varint(summary.error_replies);
+  sum_.put_varint(summary.probes_lost);
+  sum_.put_varint(summary.retries);
+  sum_.put_varint(summary.truncated_tables);
+  sum_.put_varint(summary.rate_limited);
+}
+
+void Recorder::on_sample_end(int week) {
+  tag(kTagEnd);
+  end_.put_zigzag(week);
+}
+
+util::ColumnArchive Recorder::to_archive() {
+  flush_run();
+  util::ColumnArchive archive;
+  archive.header = encode_header(header_);
+  archive.sections.emplace_back("tape", tape_.take_buffer());
+  archive.sections.emplace_back("global", global_.take_buffer());
+  archive.sections.emplace_back("label", label_.take_buffer());
+  archive.sections.emplace_back("flow", flow_.take_buffer());
+  archive.sections.emplace_back("dark", dark_.take_buffer());
+  archive.sections.emplace_back("begin", begin_.take_buffer());
+  archive.sections.emplace_back("obs", obs_.take_buffer());
+  archive.sections.emplace_back("sum", sum_.take_buffer());
+  archive.sections.emplace_back("end", end_.take_buffer());
+  archive.sections.emplace_back("tbl.addr", tbl_addr_.take_buffer());
+  archive.sections.emplace_back("tbl.local", tbl_local_.take_buffer());
+  archive.sections.emplace_back("tbl.avg", tbl_avg_.take_buffer());
+  archive.sections.emplace_back("tbl.seen", tbl_seen_.take_buffer());
+  archive.sections.emplace_back("tbl.restr", tbl_restr_.take_buffer());
+  archive.sections.emplace_back("tbl.count", tbl_count_.take_buffer());
+  archive.sections.emplace_back("tbl.port", tbl_port_.take_buffer());
+  archive.sections.emplace_back("tbl.mode", tbl_mode_.take_buffer());
+  archive.sections.emplace_back("tbl.ver", tbl_ver_.take_buffer());
+  return archive;
+}
+
+bool Recorder::save(const std::string& path) {
+  return to_archive().save_file(path);
+}
+
+bool Replayer::load(const std::string& path) {
+  auto archive = util::ColumnArchive::load_file(path);
+  if (!archive) return false;
+  return load_archive(std::move(*archive));
+}
+
+bool Replayer::load_archive(util::ColumnArchive archive) {
+  if (!decode_header(archive.header, header_)) return false;
+  static constexpr const char* kRequired[] = {
+      "tape", "global", "label", "flow", "dark", "begin", "obs", "sum",
+      "end", "tbl.addr", "tbl.local", "tbl.avg", "tbl.seen", "tbl.restr",
+      "tbl.count", "tbl.port", "tbl.mode", "tbl.ver"};
+  for (const char* name : kRequired) {
+    if (archive.find(name) == nullptr) return false;
+  }
+  archive_ = std::move(archive);
+  return true;
+}
+
+bool Replayer::replay(EventSink& sink) const {
+  util::ColumnReader tape(*archive_.find("tape"));
+  util::ColumnReader global(*archive_.find("global"));
+  util::ColumnReader label(*archive_.find("label"));
+  util::ColumnReader flow(*archive_.find("flow"));
+  util::ColumnReader dark(*archive_.find("dark"));
+  util::ColumnReader begin(*archive_.find("begin"));
+  util::ColumnReader obs_col(*archive_.find("obs"));
+  util::ColumnReader sum(*archive_.find("sum"));
+  util::ColumnReader end(*archive_.find("end"));
+  util::ColumnReader tbl_addr(*archive_.find("tbl.addr"));
+  util::ColumnReader tbl_local(*archive_.find("tbl.local"));
+  util::ColumnReader tbl_avg(*archive_.find("tbl.avg"));
+  util::ColumnReader tbl_seen(*archive_.find("tbl.seen"));
+  util::ColumnReader tbl_restr(*archive_.find("tbl.restr"));
+  util::ColumnReader tbl_count(*archive_.find("tbl.count"));
+  util::ColumnReader tbl_port(*archive_.find("tbl.port"));
+  util::ColumnReader tbl_mode(*archive_.find("tbl.mode"));
+  util::ColumnReader tbl_ver(*archive_.find("tbl.ver"));
+
+  scan::AmplifierObservation obs;  // reused across dispatches
+  while (!tape.at_end()) {
+    const std::uint8_t t = tape.get_u8();
+    const std::uint64_t count = tape.get_varint();
+    if (!tape.ok()) return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      switch (t) {
+        case kTagGlobal: {
+          const int day = static_cast<int>(global.get_zigzag());
+          const auto p = static_cast<telemetry::ProtocolClass>(global.get_u8());
+          const double bytes = global.get_f64();
+          if (!global.ok()) return false;
+          sink.on_global_bytes(day, p, bytes);
+          break;
+        }
+        case kTagLabel: {
+          telemetry::LabeledAttack a;
+          a.start = label.get_zigzag();
+          a.vector = static_cast<telemetry::AttackVector>(label.get_u8());
+          a.peak_bps = label.get_f64();
+          if (!label.ok()) return false;
+          sink.on_attack_label(a);
+          break;
+        }
+        case kTagFlow: {
+          const int vantage = static_cast<int>(flow.get_zigzag());
+          telemetry::FlowRecord f;
+          f.src = net::Ipv4Address(flow.get_u32());
+          f.dst = net::Ipv4Address(flow.get_u32());
+          f.src_port = flow.get_u16();
+          f.dst_port = flow.get_u16();
+          f.protocol = flow.get_u8();
+          f.ttl = flow.get_u8();
+          f.packets = flow.get_varint();
+          f.bytes = flow.get_varint();
+          f.payload_bytes = flow.get_varint();
+          f.first = flow.get_zigzag();
+          f.last = flow.get_zigzag();
+          if (!flow.ok()) return false;
+          sink.on_flow(f, vantage);
+          break;
+        }
+        case kTagDark: {
+          const net::Ipv4Address scanner(dark.get_u32());
+          const int day = static_cast<int>(dark.get_zigzag());
+          const std::uint64_t packets = dark.get_varint();
+          const bool benign = dark.get_u8() != 0;
+          if (!dark.ok()) return false;
+          sink.on_darknet_scan(scanner, day, packets, benign);
+          break;
+        }
+        case kTagBegin: {
+          const int week = static_cast<int>(begin.get_zigzag());
+          const util::Date date = decode_date(begin);
+          if (!begin.ok()) return false;
+          sink.on_sample_begin(week, date);
+          break;
+        }
+        case kTagObs: {
+          const int week = static_cast<int>(obs_col.get_zigzag());
+          obs.server_index = static_cast<std::uint32_t>(obs_col.get_varint());
+          obs.address = net::Ipv4Address(obs_col.get_u32());
+          obs.response_packets = obs_col.get_varint();
+          obs.response_udp_bytes = obs_col.get_varint();
+          obs.response_wire_bytes = obs_col.get_varint();
+          obs.probe_time = obs_col.get_zigzag();
+          obs.table_partial = obs_col.get_u8() != 0;
+          obs.attempts = static_cast<int>(obs_col.get_zigzag());
+          const std::uint64_t n = obs_col.get_varint();
+          if (!obs_col.ok() || n > (1u << 24)) return false;
+          obs.table.clear();
+          obs.table.reserve(static_cast<std::size_t>(n));
+          for (std::uint64_t e = 0; e < n; ++e) {
+            ntp::MonitorEntry entry;
+            entry.address = net::Ipv4Address(tbl_addr.get_u32());
+            entry.local_address = net::Ipv4Address(tbl_local.get_u32());
+            entry.avg_interval =
+                static_cast<std::uint32_t>(tbl_avg.get_varint());
+            entry.last_seen =
+                static_cast<std::uint32_t>(tbl_seen.get_varint());
+            entry.restr = static_cast<std::uint32_t>(tbl_restr.get_varint());
+            entry.count = static_cast<std::uint32_t>(tbl_count.get_varint());
+            entry.port = tbl_port.get_u16();
+            entry.mode = tbl_mode.get_u8();
+            entry.version = tbl_ver.get_u8();
+            obs.table.push_back(entry);
+          }
+          if (!tbl_addr.ok() || !tbl_ver.ok()) return false;
+          sink.on_probe_observation(week, obs);
+          break;
+        }
+        case kTagSummary: {
+          scan::MonlistSampleSummary s;
+          s.week = static_cast<int>(sum.get_zigzag());
+          s.date = decode_date(sum);
+          s.probes_sent = sum.get_varint();
+          s.responders = sum.get_varint();
+          s.error_replies = sum.get_varint();
+          s.probes_lost = sum.get_varint();
+          s.retries = sum.get_varint();
+          s.truncated_tables = sum.get_varint();
+          s.rate_limited = sum.get_varint();
+          if (!sum.ok()) return false;
+          sink.on_monlist_summary(s);
+          break;
+        }
+        case kTagEnd: {
+          const int week = static_cast<int>(end.get_zigzag());
+          if (!end.ok()) return false;
+          sink.on_sample_end(week);
+          break;
+        }
+        default:
+          return false;  // unknown tag: artifact from a newer format
+      }
+    }
+  }
+  return tape.ok();
+}
+
+}  // namespace gorilla::study

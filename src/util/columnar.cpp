@@ -1,0 +1,96 @@
+#include "util/columnar.h"
+
+#include <fstream>
+
+namespace gorilla::util {
+
+namespace {
+
+constexpr std::uint8_t kMagic[8] = {'G', 'O', 'R', 'C', 'O', 'L', 'v', '1'};
+constexpr std::size_t kMaxSections = 4096;
+
+}  // namespace
+
+const std::vector<std::uint8_t>* ColumnArchive::find(
+    std::string_view name) const noexcept {
+  for (const auto& [n, bytes] : sections) {
+    if (n == name) return &bytes;
+  }
+  return nullptr;
+}
+
+void ColumnArchive::save(std::ostream& out) const {
+  std::vector<std::uint8_t> scratch;
+  ByteWriter w(scratch);
+  w.bytes(kMagic);
+  w.u32le(static_cast<std::uint32_t>(header.size()));
+  w.bytes(header);
+  w.u32le(static_cast<std::uint32_t>(sections.size()));
+  write_all(out, scratch);
+  for (const auto& [name, bytes] : sections) {
+    scratch.clear();
+    ByteWriter sw(scratch);
+    sw.u8(static_cast<std::uint8_t>(name.size()));
+    for (const char c : name) sw.u8(static_cast<std::uint8_t>(c));
+    sw.u64be(bytes.size());
+    write_all(out, scratch);
+    write_all(out, bytes);
+  }
+}
+
+std::optional<ColumnArchive> ColumnArchive::load(std::istream& in) {
+  std::uint8_t fixed[12];
+  if (!read_exact(in, fixed)) return std::nullopt;
+  ByteReader fr(fixed);
+  for (const std::uint8_t m : kMagic) {
+    if (fr.u8() != m) return std::nullopt;
+  }
+  const std::uint32_t header_len = fr.u32le();
+  if (!fr.ok() || header_len > (1u << 20)) return std::nullopt;
+
+  ColumnArchive archive;
+  archive.header.resize(header_len);
+  if (header_len > 0 && !read_exact(in, archive.header)) return std::nullopt;
+
+  std::uint8_t count_raw[4];
+  if (!read_exact(in, count_raw)) return std::nullopt;
+  ByteReader cr(count_raw);
+  const std::uint32_t count = cr.u32le();
+  if (count > kMaxSections) return std::nullopt;
+
+  for (std::uint32_t s = 0; s < count; ++s) {
+    std::uint8_t name_len_raw[1];
+    if (!read_exact(in, name_len_raw)) return std::nullopt;
+    const std::size_t name_len = name_len_raw[0];
+    std::vector<std::uint8_t> name_bytes(name_len);
+    if (name_len > 0 && !read_exact(in, name_bytes)) return std::nullopt;
+    std::uint8_t size_raw[8];
+    if (!read_exact(in, size_raw)) return std::nullopt;
+    ByteReader sr(size_raw);
+    const std::uint64_t payload_len = sr.u64be();
+    // A recorded study is bounded by memory anyway; refuse absurd sizes
+    // rather than let a corrupt length drive a giant allocation.
+    if (payload_len > (1ull << 40)) return std::nullopt;
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_len));
+    if (payload_len > 0 && !read_exact(in, payload)) return std::nullopt;
+    std::string name(name_bytes.begin(), name_bytes.end());
+    archive.sections.emplace_back(std::move(name), std::move(payload));
+  }
+  return archive;
+}
+
+bool ColumnArchive::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  save(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+std::optional<ColumnArchive> ColumnArchive::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return load(in);
+}
+
+}  // namespace gorilla::util

@@ -1,0 +1,137 @@
+// Compact columnar serialization for recorded event streams.
+//
+// A ColumnWriter appends varint/zigzag/fixed-width values to one named
+// column buffer; a ColumnArchive bundles the columns into a sectioned file
+// behind an opaque caller-defined header. All byte-level encoding rides on
+// ByteReader/ByteWriter (the tree's one sanctioned byte<->integer seam), so
+// the artifact format inherits the same sticky-truncation discipline as the
+// wire parsers: a short or corrupt file reads as !ok(), never as garbage.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace gorilla::util {
+
+/// ZigZag maps signed to unsigned so small-magnitude values varint-encode
+/// short regardless of sign.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Append-only typed column. Owns its byte buffer; freely movable.
+class ColumnWriter {
+ public:
+  void put_u8(std::uint8_t v) { ByteWriter(buf_).u8(v); }
+  void put_u16(std::uint16_t v) { ByteWriter(buf_).u16le(v); }
+  void put_u32(std::uint32_t v) { ByteWriter(buf_).u32le(v); }
+
+  void put_varint(std::uint64_t v) {
+    ByteWriter w(buf_);
+    while (v >= 0x80) {
+      w.u8(static_cast<std::uint8_t>((v & 0x7f) | 0x80));
+      v >>= 7;
+    }
+    w.u8(static_cast<std::uint8_t>(v));
+  }
+
+  void put_zigzag(std::int64_t v) { put_varint(zigzag_encode(v)); }
+
+  void put_f64(double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    ByteWriter w(buf_);
+    w.u32le(static_cast<std::uint32_t>(bits));
+    w.u32le(static_cast<std::uint32_t>(bits >> 32));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const noexcept {
+    return buf_;
+  }
+  /// Moves the encoded bytes out (the writer is empty afterwards).
+  [[nodiscard]] std::vector<std::uint8_t> take_buffer() noexcept {
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Forward-only typed reads over one column's bytes (borrowed). Failure is
+/// sticky: after any short or overlong read, ok() stays false and every
+/// further get returns 0.
+class ColumnReader {
+ public:
+  constexpr explicit ColumnReader(std::span<const std::uint8_t> data) noexcept
+      : reader_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return reader_.ok() && !bad_; }
+  [[nodiscard]] bool at_end() const noexcept {
+    return reader_.remaining() == 0;
+  }
+
+  std::uint8_t get_u8() noexcept { return reader_.u8(); }
+  std::uint16_t get_u16() noexcept { return reader_.u16le(); }
+  std::uint32_t get_u32() noexcept { return reader_.u32le(); }
+
+  std::uint64_t get_varint() noexcept {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t b = reader_.u8();
+      if (!reader_.ok()) return 0;
+      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) return v;
+    }
+    bad_ = true;  // overlong encoding
+    return 0;
+  }
+
+  std::int64_t get_zigzag() noexcept { return zigzag_decode(get_varint()); }
+
+  double get_f64() noexcept {
+    const auto lo = reader_.u32le();
+    const auto hi = reader_.u32le();
+    return std::bit_cast<double>((static_cast<std::uint64_t>(hi) << 32) | lo);
+  }
+
+ private:
+  ByteReader reader_;
+  bool bad_ = false;
+};
+
+/// A named-section container: opaque header + ordered (name, bytes) columns.
+struct ColumnArchive {
+  std::vector<std::uint8_t> header;
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections;
+
+  /// Section bytes by name; nullptr when absent.
+  [[nodiscard]] const std::vector<std::uint8_t>* find(
+      std::string_view name) const noexcept;
+
+  void save(std::ostream& out) const;
+
+  /// nullopt on bad magic, truncation, or malformed section table.
+  [[nodiscard]] static std::optional<ColumnArchive> load(std::istream& in);
+
+  /// File convenience wrappers; false/nullopt on I/O failure.
+  [[nodiscard]] bool save_file(const std::string& path) const;
+  [[nodiscard]] static std::optional<ColumnArchive> load_file(
+      const std::string& path);
+};
+
+}  // namespace gorilla::util

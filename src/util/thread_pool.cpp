@@ -1,0 +1,47 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gorilla::util {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(1, threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace gorilla::util

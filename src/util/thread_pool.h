@@ -1,0 +1,55 @@
+// A fixed-size worker pool for the sharded study engine.
+//
+// The pool is deliberately dumb: it runs opaque jobs in submission order on
+// N OS threads and knows nothing about determinism. All ordering guarantees
+// live one layer up in sim::ShardedExecutor, which slices work into
+// fixed-size chunks and merges results on the calling thread in canonical
+// chunk order — the pool only supplies the concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gorilla::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains nothing: outstanding jobs run to completion, then workers exit.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job; runs on some worker after all earlier jobs started.
+  void submit(std::function<void()> job);
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Hardware concurrency with a sane floor (hardware_concurrency() may
+  /// legally return 0).
+  [[nodiscard]] static int default_threads() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace gorilla::util

@@ -1,0 +1,29 @@
+// gorilla_lint self-test fixture: must trip exactly [worker-capture].
+//
+// The worker lambda handed to parallel_for uses a blanket [&] capture, so
+// the racy fold over `total` is invisible at the call site — the rule
+// demands every capture be spelled out (DESIGN.md §3d rule 2).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Executor {
+  template <typename Fn>
+  void parallel_for(std::size_t n, std::size_t chunk, Fn fn) {
+    for (std::size_t b = 0; b < n; b += chunk) {
+      const std::size_t e = b + chunk < n ? b + chunk : n;
+      fn(b, e);
+    }
+  }
+};
+
+inline long sum_in_parallel(Executor& executor, const std::vector<long>& xs) {
+  long total = 0;
+  executor.parallel_for(xs.size(), 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) total += xs[i];
+  });
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,180 @@
+#include "util/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gorilla::util {
+namespace {
+
+TEST(ZigzagTest, RoundTripsEdgeValues) {
+  const std::int64_t values[] = {0,
+                                 1,
+                                 -1,
+                                 63,
+                                 -64,
+                                 64,
+                                 -65,
+                                 std::numeric_limits<std::int64_t>::max(),
+                                 std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t v : values) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v) << v;
+  }
+  // Small magnitudes map to small codes (the point of the encoding).
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+}
+
+TEST(ColumnTest, MixedTypedRoundTrip) {
+  ColumnWriter w;
+  w.put_u8(0xab);
+  w.put_u16(0xbeef);
+  w.put_u32(0xdeadbeef);
+  w.put_varint(0);
+  w.put_varint(127);
+  w.put_varint(128);
+  w.put_varint(std::numeric_limits<std::uint64_t>::max());
+  w.put_zigzag(-123456789);
+  w.put_f64(-0.125);
+  w.put_f64(std::numeric_limits<double>::infinity());
+
+  ColumnReader r(w.buffer());
+  EXPECT_EQ(r.get_u8(), 0xab);
+  EXPECT_EQ(r.get_u16(), 0xbeef);
+  EXPECT_EQ(r.get_u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_varint(), 0u);
+  EXPECT_EQ(r.get_varint(), 127u);
+  EXPECT_EQ(r.get_varint(), 128u);
+  EXPECT_EQ(r.get_varint(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(r.get_zigzag(), -123456789);
+  EXPECT_EQ(r.get_f64(), -0.125);
+  EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ColumnTest, VarintBoundaryLengths) {
+  // One byte up to 127, two bytes up to 16383, ten bytes for the max.
+  ColumnWriter w;
+  w.put_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.put_varint(128);
+  EXPECT_EQ(w.size(), 3u);
+  w.put_varint(16383);
+  EXPECT_EQ(w.size(), 5u);
+  w.put_varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w.size(), 15u);
+}
+
+TEST(ColumnTest, TruncatedReadIsStickyFailure) {
+  ColumnWriter w;
+  w.put_u32(42);
+  std::vector<std::uint8_t> bytes = w.take_buffer();
+  bytes.pop_back();
+
+  ColumnReader r(bytes);
+  EXPECT_EQ(r.get_u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  // Failure is sticky: ok() never recovers, so callers that check it after
+  // a batch of reads discard everything from a short column.
+  (void)r.get_varint();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_varint(), 0u);
+}
+
+TEST(ColumnTest, UnterminatedVarintFails) {
+  // Ten continuation bytes with no terminator: overlong encoding.
+  const std::vector<std::uint8_t> bytes(10, 0xff);
+  ColumnReader r(bytes);
+  EXPECT_EQ(r.get_varint(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ColumnTest, TakeBufferLeavesWriterEmpty) {
+  ColumnWriter w;
+  w.put_u8(1);
+  EXPECT_EQ(w.take_buffer().size(), 1u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+ColumnArchive make_archive() {
+  ColumnArchive archive;
+  archive.header = {0x01, 0x02, 0x03};
+  ColumnWriter a;
+  a.put_varint(7);
+  a.put_f64(3.5);
+  archive.sections.emplace_back("alpha", a.take_buffer());
+  archive.sections.emplace_back("empty", std::vector<std::uint8_t>{});
+  ColumnWriter b;
+  b.put_u32(99);
+  archive.sections.emplace_back("beta", b.take_buffer());
+  return archive;
+}
+
+TEST(ColumnArchiveTest, StreamRoundTripPreservesEverything) {
+  const ColumnArchive archive = make_archive();
+  std::stringstream ss;
+  archive.save(ss);
+  const auto loaded = ColumnArchive::load(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->header, archive.header);
+  ASSERT_EQ(loaded->sections.size(), archive.sections.size());
+  for (std::size_t i = 0; i < archive.sections.size(); ++i) {
+    EXPECT_EQ(loaded->sections[i].first, archive.sections[i].first);
+    EXPECT_EQ(loaded->sections[i].second, archive.sections[i].second);
+  }
+}
+
+TEST(ColumnArchiveTest, FindLocatesSectionsByName) {
+  const ColumnArchive archive = make_archive();
+  ASSERT_NE(archive.find("beta"), nullptr);
+  EXPECT_EQ(archive.find("beta")->size(), 4u);
+  ASSERT_NE(archive.find("empty"), nullptr);
+  EXPECT_TRUE(archive.find("empty")->empty());
+  EXPECT_EQ(archive.find("gamma"), nullptr);
+}
+
+TEST(ColumnArchiveTest, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "columnar_roundtrip.gorcol";
+  const ColumnArchive archive = make_archive();
+  ASSERT_TRUE(archive.save_file(path));
+  const auto loaded = ColumnArchive::load_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->header, archive.header);
+  EXPECT_EQ(loaded->sections.size(), archive.sections.size());
+}
+
+TEST(ColumnArchiveTest, MissingFileLoadsAsNullopt) {
+  EXPECT_FALSE(
+      ColumnArchive::load_file(testing::TempDir() + "no_such_file.gorcol")
+          .has_value());
+}
+
+TEST(ColumnArchiveTest, BadMagicRejected) {
+  std::stringstream ss;
+  make_archive().save(ss);
+  std::string bytes = ss.str();
+  bytes[0] ^= 0x20;
+  std::stringstream corrupt(bytes);
+  EXPECT_FALSE(ColumnArchive::load(corrupt).has_value());
+}
+
+TEST(ColumnArchiveTest, TruncationRejectedAtEveryLength) {
+  std::stringstream ss;
+  make_archive().save(ss);
+  const std::string bytes = ss.str();
+  // Any strict prefix must fail to load — never a silent partial archive.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream prefix(bytes.substr(0, len));
+    EXPECT_FALSE(ColumnArchive::load(prefix).has_value()) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace gorilla::util

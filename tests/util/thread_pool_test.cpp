@@ -1,0 +1,90 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+namespace gorilla::util {
+namespace {
+
+TEST(ThreadPoolTest, ClampsThreadCountToAtLeastOne) {
+  EXPECT_EQ(ThreadPool(0).size(), 1);
+  EXPECT_EQ(ThreadPool(-5).size(), 1);
+  EXPECT_EQ(ThreadPool(1).size(), 1);
+  EXPECT_EQ(ThreadPool(4).size(), 4);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::default_threads(), 1);
+}
+
+TEST(ThreadPoolTest, RunsEveryJobExactlyOnce) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // The destructor drains the queue: all 1000 jobs must have run by the
+    // time the pool is gone, with no explicit wait in sight.
+  }
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, JobsRunOffTheSubmittingThread) {
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&mu, &seen] {
+        const std::lock_guard<std::mutex> lock(mu);
+        seen.insert(std::this_thread::get_id());
+      });
+    }
+  }
+  EXPECT_FALSE(seen.empty());
+  EXPECT_EQ(seen.count(std::this_thread::get_id()), 0u);
+  EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(ThreadPoolTest, SubmitFromMultipleProducers) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(3);
+    std::thread a([&pool, &counter] {
+      for (int i = 0; i < 200; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+    std::thread b([&pool, &counter] {
+      for (int i = 0; i < 200; ++i) {
+        pool.submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+    a.join();
+    b.join();
+  }
+  EXPECT_EQ(counter.load(), 400);
+}
+
+TEST(ThreadPoolTest, JobsMayOutliveTheirCaptures) {
+  // Move-only state owned by the job itself must survive until the worker
+  // runs it (possibly after the submitting scope has exited).
+  std::atomic<int> sum{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 1; i <= 10; ++i) {
+      auto payload = std::make_shared<int>(i);
+      pool.submit([&sum, payload] { sum.fetch_add(*payload); });
+    }
+  }
+  EXPECT_EQ(sum.load(), 55);
+}
+
+}  // namespace
+}  // namespace gorilla::util

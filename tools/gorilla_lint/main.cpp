@@ -15,6 +15,10 @@
 //                   outside util/ (use util::sorted_* or carry a waiver)
 //   float-eq        ==/!= against a floating-point literal
 //   parse-optional  a parse_* function whose return type is not optional
+//   worker-capture  blanket [&]-capture on the worker lambda handed to
+//                   ShardedExecutor::run_ordered/parallel_for (captures
+//                   must be spelled out so the reviewer can check the
+//                   determinism-merge contract at the call site)
 //
 // A finding on a line containing "NOLINT(<rule>)" is suppressed; waivers
 // are expected to carry a justifying comment.
@@ -363,6 +367,51 @@ void rule_parse_optional(const SourceFile& f, std::vector<Finding>& findings) {
   }
 }
 
+// --- rule: worker-capture --------------------------------------------------
+
+/// The first lambda in a run_ordered()/parallel_for() call is the one that
+/// runs on pool threads (produce / the shard body); a blanket by-reference
+/// capture there puts silent shared-state mutation one keystroke away. The
+/// sanctioned merge path is run_ordered's consume callback, which runs on
+/// the calling thread — this rule only inspects the worker lambda.
+void rule_worker_capture(const SourceFile& f, std::vector<Finding>& findings) {
+  const std::string& s = f.scrubbed;
+  static const std::regex call_re(R"(\b(run_ordered|parallel_for)\b)");
+  for (auto it = std::sregex_iterator(s.begin(), s.end(), call_re);
+       it != std::sregex_iterator(); ++it) {
+    // Walk forward to the first lambda-introducer '[' (one preceded, spaces
+    // aside, by '(' ',' '{' or '='; a subscript follows an identifier or a
+    // closing bracket instead). Stop at the first ';' — past the end of the
+    // statement this call belongs to, and in a declaration/definition of
+    // run_ordered/parallel_for themselves, before any body lambda.
+    for (std::size_t i = static_cast<std::size_t>(it->position() + it->length());
+         i < s.size() && s[i] != ';'; ++i) {
+      if (s[i] != '[') continue;
+      std::size_t j = i;
+      while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
+      const char prev = j > 0 ? s[j - 1] : '\0';
+      if (prev != '(' && prev != ',' && prev != '{' && prev != '=') break;
+      const std::size_t close = s.find(']', i);
+      if (close == std::string::npos) break;
+      std::string caps = s.substr(i + 1, close - i - 1);
+      caps.erase(std::remove_if(caps.begin(), caps.end(),
+                                [](unsigned char c) { return std::isspace(c); }),
+                 caps.end());
+      if (caps == "&" || caps.rfind("&,", 0) == 0) {
+        const std::size_t line = line_of(f, i);
+        if (!waived(f, line, "worker-capture")) {
+          findings.push_back(
+              {f.path, line, "worker-capture",
+               "blanket [&] capture on a worker lambda; spell out every "
+               "capture so shard-disjoint mutation (DESIGN.md §3d rule 2) is "
+               "checkable at the call site"});
+        }
+      }
+      break;  // only the first (worker) lambda of each call is inspected
+    }
+  }
+}
+
 // --- driver ----------------------------------------------------------------
 
 bool load(const fs::path& p, SourceFile& f) {
@@ -406,6 +455,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
     rule_unordered_iter(f, unordered_names, findings);
     rule_float_eq(f, findings);
     rule_parse_optional(f, findings);
+    rule_worker_capture(f, findings);
   }
   return findings;
 }
