@@ -200,16 +200,19 @@ void StudyPipeline::run_simulated(
                       probe_policy);
   prober.set_executor(executor_.get());
 
+  // Attack + scan days fan out as day shards on the executor (buffered
+  // events merged in day order — bit-identical for any --jobs value);
+  // monitor seeding and the weekly probe sample follow on the same path
+  // they always used.
+  sim::ScanTraffic* day_scans =
+      (with_darknet_ || with_vantages_) ? &scans : nullptr;
   const int horizon_weeks = opt_.quick ? 8 : 15;
   int day = 0;
   for (int week = 0; week < horizon_weeks; ++week) {
     const int sample_day = 70 + week * 7;
-    for (; day <= sample_day; ++day) {
-      attacks.run_day(day);
-      if (with_darknet_ || with_vantages_) {
-        scans.run_day(day, bus, darknet.get(), vantages);
-      }
-    }
+    attacks.run_days(day, sample_day + 1, executor_.get(), day_scans,
+                     darknet.get(), &vantages);
+    day = sample_day + 1;
     scans.seed_monitor_tables(week, executor_.get());
     (void)prober.run_monlist_sample(week, bus);  // AnalysisSink keeps summary
   }
@@ -264,6 +267,10 @@ RegionalRun::RegionalRun(const Options& opt, bool with_darknet)
     telemetry::DarknetConfig dcfg;
     dcfg.telescope = named.darknet;
     darknet = std::make_unique<telemetry::DarknetTelescope>(dcfg);
+  }
+  if (opt.jobs > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(opt.jobs);
+    executor_ = std::make_unique<sim::ShardedExecutor>(pool_.get());
   }
   print_phase("build-world", seconds_between(t0, EngineClock::now()));
 }
@@ -324,10 +331,10 @@ void RegionalRun::run(int from_day, int to_day) {
     sim::ScanTrafficConfig scan_cfg;
     scan_cfg.seed = opt_.seed ^ 0x5ca7ULL;
     sim::ScanTraffic scans(*world, scan_cfg);
-    for (int day = from_day; day < to_day; ++day) {
-      attacks.run_day(day);
-      scans.run_day(day, bus, darknet.get(), vantages);
-    }
+    // The whole window is one day-shard fan-out (the §7 benches are
+    // attack-dominated, so this is where --jobs N pays off).
+    attacks.run_days(from_day, to_day, executor_.get(), &scans, darknet.get(),
+                     &vantages);
     if (recording) {
       const bool ok = recorder.save(opt_.record);
       std::fprintf(stderr, "[engine] %s study recording: %s\n",

@@ -124,6 +124,8 @@ struct StudyPipeline {
 /// Lighter harness for the §7 regional benches: attacks and scanning with
 /// the Merit/FRGP/CSU vantage collectors (and optionally the darknet), no
 /// prober. Days default to Dec 1 - Mar 1 (the window Figures 11-15 plot).
+/// Under --jobs N the whole window runs as parallel day shards,
+/// byte-identically to --jobs 1.
 struct RegionalRun {
   explicit RegionalRun(const Options& opt, bool with_darknet = false);
   ~RegionalRun();
@@ -144,6 +146,8 @@ struct RegionalRun {
  private:
   Options opt_;
   bool with_darknet_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::unique_ptr<sim::ShardedExecutor> executor_;
   std::chrono::steady_clock::time_point run_done_{};
   bool ran_ = false;
 };

@@ -2,7 +2,8 @@
 # Engine perf trajectory: times representative full-pipeline benches under
 # the sharded study engine and writes BENCH_engine.json at the repo root.
 #
-# For each bench (fig03, fig07, tab05) this measures, at default scale/seed:
+# For each bench (fig03, fig07, fig13, tab05) this measures, at default
+# scale/seed:
 #   - sequential wall time        (--jobs 1)
 #   - parallel wall time          (--jobs $(nproc), override with JOBS=N)
 #   - record wall time            (--jobs 1 --record study.bin)
@@ -27,7 +28,11 @@ fi
 
 cores="$(nproc 2>/dev/null || echo 1)"
 jobs="${JOBS:-$cores}"
-benches=(fig03_amplifier_counts fig07_attack_timeseries tab05_top_amplifiers)
+# fig07 (StudyPipeline) and fig13 (RegionalRun) now push their attack days
+# through the parallel day-shard path, so the jobs column tracks
+# attack-phase speedup; fig03/tab05 cover the probe-dominated pipeline.
+benches=(fig03_amplifier_counts fig07_attack_timeseries fig13_top_victims
+         tab05_top_amplifiers)
 
 work="$(mktemp -d)"
 trap 'rm -rf "$work"' EXIT
@@ -69,8 +74,12 @@ for bench in "${benches[@]}"; do
   done
   echo "   stdout byte-identical across jobs/record/replay"
 
-  jobs_speedup=$(awk -v a="$seq_s" -v b="$par_s" 'BEGIN { printf "%.2f", a / b }')
-  replay_speedup=$(awk -v a="$seq_s" -v b="$rep_s" 'BEGIN { printf "%.2f", a / b }')
+  # Sub-millisecond denominators would print inf/nan and break the JSON;
+  # report a 0.00 sentinel speedup instead.
+  jobs_speedup=$(awk -v a="$seq_s" -v b="$par_s" \
+    'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0.00" }')
+  replay_speedup=$(awk -v a="$seq_s" -v b="$rep_s" \
+    'BEGIN { if (b > 0) printf "%.2f", a / b; else printf "0.00" }')
   artifact_bytes=$(wc -c <"$work/$bench.study")
 
   [[ -n "$entries" ]] && entries+=","
@@ -90,7 +99,7 @@ cat >BENCH_engine.json <<EOF
   "generated_by": "scripts/bench.sh",
   "host_cores": $cores,
   "jobs": $jobs,
-  "note": "seq_s = full simulate+analyze at --jobs 1; par_s = same at --jobs N (thread speedup requires >1 core — on a 1-core host par_s ~= seq_s and the honest speedup is the replay column); replay_s = analyze-only from a recorded event stream, the simulate-once/analyze-many path every per-figure bench can use.",
+  "note": "seq_s = full simulate+analyze at --jobs 1; par_s = same at --jobs N, with attack+scan days running as parallel day shards (fig07/fig13 are attack-dominated, so their jobs column is the attack-phase speedup; thread speedup requires >1 core — on a 1-core host par_s ~= seq_s and the honest speedup is the replay column); replay_s = analyze-only from a recorded event stream, the simulate-once/analyze-many path every per-figure bench can use.",
   "entries": [$entries
   ]
 }

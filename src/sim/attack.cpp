@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "net/ethernet.h"
+#include "sim/scanner.h"
+#include "sim/sharded_executor.h"
 
 namespace gorilla::sim {
 
@@ -20,11 +23,50 @@ constexpr std::uint64_t kTriggerWireBytes =
 /// Windows botnet) sender — §7.2's mode TTL of 109.
 constexpr std::uint8_t kAttackTtl = 109;
 
+/// Day-local record ids: day in the high bits, per-day sequence below.
+constexpr int kIdSequenceBits = 24;
+
 double lerp(double a, double b, double t) noexcept {
   return a + (b - a) * std::clamp(t, 0.0, 1.0);
 }
 
 }  // namespace
+
+/// Mutable worker-side state for one simulated day. Everything here is
+/// owned by the shard: its RNG substream, its result buffers, and the
+/// bookkeeping that replaces live reads of shared mutable state (monitor
+/// sizes, booter target lists).
+struct AttackEngine::DayShard {
+  util::Rng rng;
+  DayShardResult result;
+  /// server index -> slot in result.monitor_deltas (first-touch order).
+  std::unordered_map<std::uint32_t, std::size_t> delta_slot;
+  /// Distinct (server, victim) keys observed this day, and the per-server
+  /// count of them — the shard-local overlay on the snapshot size.
+  std::unordered_map<std::uint64_t, char> seen_keys;
+  std::unordered_map<std::uint32_t, std::uint32_t> new_keys;
+
+  explicit DayShard(util::Rng day_rng) : rng(day_rng) {}
+
+  ntp::MonitorDelta& delta_for(std::uint32_t server_index) {
+    const auto [it, inserted] =
+        delta_slot.try_emplace(server_index, result.monitor_deltas.size());
+    if (inserted) {
+      result.monitor_deltas.emplace_back(server_index, ntp::MonitorDelta{});
+    }
+    return result.monitor_deltas[it->second].second;
+  }
+
+  /// Records a victim key on a server; returns the estimated distinct-entry
+  /// count (snapshot + this shard's additions, current key included).
+  std::uint32_t note_key(std::uint32_t server_index, std::uint32_t victim_key,
+                         std::uint32_t snapshot_size) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(server_index) << 32) | victim_key;
+    if (seen_keys.try_emplace(key, '\0').second) ++new_keys[server_index];
+    return snapshot_size + new_keys[server_index];
+  }
+};
 
 const std::vector<std::pair<std::uint16_t, double>>& attacked_port_mix() {
   // Table 4 of the paper; the sentinel port 0 stands for "random ephemeral"
@@ -129,55 +171,78 @@ int AttackEngine::week_of_day(int day) noexcept {
   return delta >= 0 ? delta / 7 : (delta - 6) / 7;
 }
 
-void AttackEngine::refresh_live_pool(int week) {
-  if (week == live_pool_week_) return;
-  live_pool_week_ = week;
-  live_pool_.clear();
-  for (const auto ai : world_.amplifier_indices()) {
-    const auto& t = world_.servers()[ai];
-    if (t.monlist_fix_week < 0 || week < t.monlist_fix_week) {
-      live_pool_.push_back(ai);
+AttackEngine::DayWindowPlan AttackEngine::make_window_plan(int from,
+                                                           int to) const {
+  DayWindowPlan plan;
+  plan.base_week = week_of_day(from);
+  const int last_week = week_of_day(std::max(from, to - 1));
+  plan.live_pools.resize(
+      static_cast<std::size_t>(last_week - plan.base_week) + 1);
+  for (int week = plan.base_week; week <= last_week; ++week) {
+    auto& pool =
+        plan.live_pools[static_cast<std::size_t>(week - plan.base_week)];
+    for (const auto ai : world_.amplifier_indices()) {
+      const auto& t = world_.servers()[ai];
+      if (t.monlist_fix_week < 0 || week < t.monlist_fix_week) {
+        pool.push_back(ai);
+      }
     }
   }
+  // Snapshot monitor sizes once per window, on the calling thread: shards
+  // estimate non-primed dump sizes from snapshot + their own additions, so
+  // the estimate depends only on (window start state, seed, day) — never
+  // on what sibling shards are concurrently writing.
+  plan.monitor_sizes.assign(world_.servers().size(), 0);
+  const World& world = world_;
+  for (const auto ai : world_.amplifier_indices()) {
+    if (const auto* server = world.detailed(ai)) {
+      plan.monitor_sizes[ai] =
+          static_cast<std::uint32_t>(server->monitor().size());
+    }
+  }
+  plan.wants_flows = sink_->wants_flows();
+  plan.wants_labels = sink_->wants_labels();
+  return plan;
 }
 
-std::uint32_t AttackEngine::pick_booter() {
-  return static_cast<std::uint32_t>(booter_zipf_.sample(rng_));
+std::uint32_t AttackEngine::pick_booter(util::Rng& rng) const {
+  return static_cast<std::uint32_t>(booter_zipf_.sample(rng));
 }
 
-net::Ipv4Address AttackEngine::pick_victim(int day, BooterProfile& booter,
-                                           bool& end_host,
-                                           bool& common_pool) {
+net::Ipv4Address AttackEngine::pick_victim(
+    int day, util::Rng& rng, std::vector<net::Ipv4Address>& booter_targets,
+    bool& end_host, bool& common_pool) const {
   const auto& registry = world_.registry();
   end_host = false;
   common_pool = false;
 
-  const double u = rng_.uniform01();
+  const double u = rng.uniform01();
   if (u < config_.common_victim_rate && !common_victims_.empty()) {
     common_pool = true;
-    return common_victims_[rng_.uniform(common_victims_.size())];
+    return common_victims_[rng.uniform(common_victims_.size())];
   }
   if (u < config_.common_victim_rate + config_.merit_victim_rate) {
     const auto& space = registry.named().merit_space;
-    return space.at(rng_.uniform(space.size()));
+    return space.at(rng.uniform(space.size()));
   }
   if (u < config_.common_victim_rate + config_.merit_victim_rate +
               config_.frgp_victim_rate) {
     const auto& space = registry.named().frgp_space;
-    return space.at(rng_.uniform(space.size()));
+    return space.at(rng.uniform(space.size()));
   }
   if (u < config_.common_victim_rate + config_.merit_victim_rate +
               config_.frgp_victim_rate + config_.ovh_victim_rate) {
-    // The OVH-analogue campaign: a few thousand IPs hit repeatedly.
+    // The OVH-analogue campaign: a few thousand IPs hit repeatedly. The
+    // concentrated set is capped by the block size so a small-world block
+    // can never be overrun.
     const auto& info = registry.as_info(registry.named().ovh_analogue);
-    const auto& block = registry.blocks()[info.block_indices[rng_.uniform(
+    const auto& block = registry.blocks()[info.block_indices[rng.uniform(
         info.block_indices.size())]];
-    return block.prefix.at(rng_.uniform(4096));  // concentrated target set
+    return block.prefix.at(
+        rng.uniform(std::min<std::uint64_t>(4096, block.prefix.size())));
   }
-  if (rng_.chance(config_.repeat_victim_rate) &&
-      !booter.customer_targets.empty()) {
-    return booter.customer_targets[rng_.uniform(
-        booter.customer_targets.size())];
+  if (rng.chance(config_.repeat_victim_rate) && !booter_targets.empty()) {
+    return booter_targets[rng.uniform(booter_targets.size())];
   }
 
   const double end_host_p =
@@ -185,40 +250,42 @@ net::Ipv4Address AttackEngine::pick_victim(int day, BooterProfile& booter,
            static_cast<double>(day) /
                static_cast<double>(config_.horizon_days));
   net::Ipv4Address victim;
-  if (rng_.chance(end_host_p)) {
+  if (rng.chance(end_host_p)) {
     end_host = true;
     victim = registry
-                 .random_address(rng_,
+                 .random_address(rng,
                                  [](const net::RoutedBlock& b) {
                                    return b.residential;
                                  })
-                 .value_or(registry.random_address(rng_));
+                 .value_or(registry.random_address(rng));
   } else {
-    const auto asn = hosting_ases_[hosting_zipf_.sample(rng_)];
+    const auto asn = hosting_ases_[hosting_zipf_.sample(rng)];
     const auto& info = registry.as_info(asn);
-    const auto& block = registry.blocks()[info.block_indices[rng_.uniform(
+    const auto& block = registry.blocks()[info.block_indices[rng.uniform(
         info.block_indices.size())]];
-    victim = block.prefix.at(rng_.uniform(block.prefix.size()));
+    victim = block.prefix.at(rng.uniform(block.prefix.size()));
   }
   // The fresh pick joins the booter's customer-target list (bounded; old
   // feuds get displaced).
-  if (booter.customer_targets.size() < 16) {
-    booter.customer_targets.push_back(victim);
+  if (booter_targets.size() < 16) {
+    booter_targets.push_back(victim);
   } else {
-    booter.customer_targets[rng_.uniform(booter.customer_targets.size())] =
-        victim;
+    booter_targets[rng.uniform(booter_targets.size())] = victim;
   }
   return victim;
 }
 
-std::uint16_t AttackEngine::pick_port(bool /*end_host*/) {
-  const std::uint16_t port = port_values_[port_sampler_.sample(rng_)];
+std::uint16_t AttackEngine::pick_port(bool /*end_host*/,
+                                      util::Rng& rng) const {
+  const std::uint16_t port = port_values_[port_sampler_.sample(rng)];
   if (port != 0) return port;
-  return static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535));
+  return static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
 }
 
 void AttackEngine::pick_amplifiers(int day, bool common_pool, bool primed,
-                                   std::vector<std::uint32_t>& out) {
+                                   const std::vector<std::uint32_t>& live_pool,
+                                   util::Rng& rng,
+                                   std::vector<std::uint32_t>& out) const {
   out.clear();
   const int week = week_of_day(day);
   auto alive = [&](std::uint32_t idx) {
@@ -230,7 +297,7 @@ void AttackEngine::pick_amplifiers(int day, bool common_pool, bool primed,
     std::size_t taken = 0;
     for (const auto idx : pool) {
       if (taken >= want) break;
-      if (alive(idx) && rng_.chance(0.85)) {
+      if (alive(idx) && rng.chance(0.85)) {
         out.push_back(idx);
         ++taken;
       }
@@ -242,8 +309,8 @@ void AttackEngine::pick_amplifiers(int day, bool common_pool, bool primed,
     // (what makes the Fig 15 victims visible from both vantage points).
     sample_regional(world_.merit_amplifiers(), 40);
     sample_regional(world_.frgp_amplifiers(), 40);
-  } else if (rng_.chance(config_.regional_reflection_rate)) {
-    if (rng_.chance(0.5)) {
+  } else if (rng.chance(config_.regional_reflection_rate)) {
+    if (rng.chance(0.5)) {
       sample_regional(world_.merit_amplifiers(), 40);
     } else {
       // The CSU amplifiers were always used together (§7.1).
@@ -253,25 +320,28 @@ void AttackEngine::pick_amplifiers(int day, bool common_pool, bool primed,
   }
   if (!out.empty()) return;
 
-  if (live_pool_.empty()) return;
+  if (live_pool.empty()) return;
   // Amplifiers per attack shrinks with the pool (§6.3: amplifiers seen per
   // victim fell an order of magnitude).
   const double pool_fraction =
-      static_cast<double>(live_pool_.size()) /
+      static_cast<double>(live_pool.size()) /
       static_cast<double>(std::max<std::size_t>(1,
                                                 world_.amplifier_indices()
                                                     .size()));
   const double base_k = (4.0 + 56.0 * pool_fraction) *
                         (primed ? config_.primed_amplifier_boost : 1.0);
   const std::size_t k = std::clamp<std::size_t>(
-      static_cast<std::size_t>(base_k * rng_.lognormal(0.0, 0.6)), 1,
-      std::min<std::size_t>(live_pool_.size(), 4000));
+      static_cast<std::size_t>(base_k * rng.lognormal(0.0, 0.6)), 1,
+      std::min<std::size_t>(live_pool.size(), 4000));
   for (std::size_t i = 0; i < k; ++i) {
-    out.push_back(live_pool_[rng_.uniform(live_pool_.size())]);
+    out.push_back(live_pool[rng.uniform(live_pool.size())]);
   }
 }
 
-void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
+void AttackEngine::apply(AttackRecord& rec, int day, const DayWindowPlan& plan,
+                         DayShard& shard, double min_duration_s) const {
+  util::Rng& rng = shard.rng;
+  study::EventBuffer& events = shard.result.events;
   // Duration: heavy-tailed lognormal whose median grows (15s -> 40s) while
   // the tail shrinks (95th 6.5h in January -> ~50min by April), §4.3.4.
   const double t = std::clamp((day - 45) / 80.0, 0.0, 1.0);
@@ -279,13 +349,13 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
   const double sigma = lerp(3.6, 2.45, t);
   const double duration = std::max(
       min_duration_s,
-      std::clamp(rng_.lognormal(std::log(median), sigma), 1.0, 6.5 * 3600.0));
+      std::clamp(rng.lognormal(std::log(median), sigma), 1.0, 6.5 * 3600.0));
 
   // Diurnal start: evening-weighted hour (the §7.1 manual-element pattern).
   double hour;
   do {
-    hour = rng_.uniform_real(0.0, 24.0);
-  } while (rng_.uniform01() >
+    hour = rng.uniform_real(0.0, 24.0);
+  } while (rng.uniform01() >
            0.5 + 0.45 * std::sin((hour - 14.0) / 24.0 * 6.2831853));
   rec.start = static_cast<util::SimTime>(day) * util::kSecondsPerDay +
               static_cast<util::SimTime>(hour * 3600.0);
@@ -294,11 +364,11 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
   double pps =
       rec.primed
           ? std::min(config_.trigger_pps_cap,
-                     rng_.pareto(config_.primed_pps_scale,
-                                 config_.primed_pps_alpha))
+                     rng.pareto(config_.primed_pps_scale,
+                                config_.primed_pps_alpha))
           : std::min(config_.trigger_pps_cap,
-                     rng_.pareto(config_.trigger_pps_scale,
-                                 config_.trigger_pps_alpha));
+                     rng.pareto(config_.trigger_pps_scale,
+                                config_.trigger_pps_alpha));
   // Long campaigns run at lower sustained rates (booters time-slice their
   // capacity); this keeps multi-hour attacks from dwarfing the daily total.
   // min_duration_s == 0.0 is the config's literal "no floor" sentinel.
@@ -309,10 +379,11 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
       std::max<std::uint64_t>(1, static_cast<std::uint64_t>(pps * duration));
 
   // Pass 1: per-amplifier offered volume (bounded by each amplifier's
-  // uplink); monitor-table evidence is recorded unscaled — the spoofed
-  // *triggers* always arrive regardless of what the victim can absorb.
+  // uplink). Monitor-table evidence is *buffered* as a per-server delta —
+  // the spoofed triggers always arrive regardless of what the victim can
+  // absorb — and applied on the calling thread during the ordered merge.
   struct AmpEmission {
-    ntp::NtpServer* server = nullptr;
+    const ntp::NtpServer* server = nullptr;
     std::uint64_t bytes = 0;
     std::uint64_t packets = 0;
     std::uint64_t payload = 0;
@@ -325,6 +396,7 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
   const double response_delivery = impairment_.response_delivery_fraction();
   double peak_bps = 0.0;
   std::uint64_t total_delivered_triggers = 0;
+  const World& world = world_;  // const view: workers never mutate the world
   for (const auto amp_index : rec.amplifiers) {
     // Spoofed triggers cross a lossy network too: only the delivered ones
     // leave monitor-table evidence or elicit a response.
@@ -335,18 +407,24 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
             : rec.triggers_per_amplifier;
     total_delivered_triggers += delivered_triggers;
     if (delivered_triggers == 0) continue;
-    auto* server = world_.detailed(amp_index);
+    const auto* server = world.detailed(amp_index);
     if (server == nullptr) continue;
-    server->monitor().observe_many(
-        rec.victim, rec.victim_port,
-        static_cast<std::uint8_t>(ntp::Mode::kPrivate), ntp::kNtpVersion,
-        delivered_triggers, rec.start, rec.end);
+    shard.delta_for(amp_index)
+        .push_back(ntp::MonitorObservation{
+            rec.victim, rec.victim_port,
+            static_cast<std::uint8_t>(ntp::Mode::kPrivate), ntp::kNtpVersion,
+            delivered_triggers, rec.start, rec.end});
 
+    // Non-primed dumps return however many entries the table holds; the
+    // shard estimates that as the window-start snapshot plus the distinct
+    // victims it has itself added to this server today.
+    const std::uint32_t estimated_size = shard.note_key(
+        amp_index, rec.victim.value(), plan.monitor_sizes[amp_index]);
     const std::size_t entries =
         rec.primed ? ntp::kMonlistMaxEntries
                    : std::min<std::size_t>(ntp::kMonlistMaxEntries,
-                                           std::max<std::size_t>(
-                                               1, server->monitor().size()));
+                                           std::max<std::uint32_t>(
+                                               1, estimated_size));
     // A looping mega amplifier cannot emit faster than its uplink; cap its
     // sustained contribution at ~500 Mbps (the paper saw ~50-500 Mbps
     // steady streams from megas, §3.4).
@@ -440,7 +518,7 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
     rec.response_packets += amp_packets;
 
     // Flows at any vantage that can see them (collectors drop transit).
-    if (sink_->wants_flows()) {
+    if (events.wants_flows()) {
       const auto amp_addr = emission.server->config().address;
       telemetry::FlowRecord response;
       response.src = amp_addr;
@@ -470,8 +548,8 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
       trigger.first = rec.start;
       trigger.last = rec.end;
 
-      sink_->on_flow(response, study::kAllVantages);
-      sink_->on_flow(trigger, study::kAllVantages);
+      events.on_flow(response, study::kAllVantages);
+      events.on_flow(trigger, study::kAllVantages);
     }
   }
 
@@ -479,11 +557,11 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
     const double trigger_bytes =
         static_cast<double>(kTriggerWireBytes) *
         static_cast<double>(total_delivered_triggers);
-    sink_->on_global_bytes(day, telemetry::ProtocolClass::kNtp,
+    events.on_global_bytes(day, telemetry::ProtocolClass::kNtp,
                            static_cast<double>(rec.response_bytes) +
                                trigger_bytes);
   }
-  if (sink_->wants_labels() && rec.peak_bps > 0.0) {
+  if (events.wants_labels() && rec.peak_bps > 0.0) {
     // Arbor-analogue visibility: the vendor feed catches a size-dependent
     // fraction of attack events (small ones are easy to miss, §2.2).
     double visibility = config_.arbor_visibility_small;
@@ -497,21 +575,22 @@ void AttackEngine::apply(AttackRecord& rec, int day, double min_duration_s) {
       case telemetry::SizeClass::kSmall:
         break;
     }
-    if (rng_.chance(visibility)) {
-      sink_->on_attack_label(telemetry::LabeledAttack{
+    if (rng.chance(visibility)) {
+      events.on_attack_label(telemetry::LabeledAttack{
           rec.start, telemetry::AttackVector::kNtp, rec.peak_bps});
     }
   }
 }
 
-void AttackEngine::emit_background_labels(int day) {
+void AttackEngine::emit_background_labels(int day, DayShard& shard) const {
   // Skipping an unwatched label stream also skips its RNG draws — exactly
   // the pre-bus null-pointer behavior, so RNG streams stay aligned.
-  if (!sink_->wants_labels()) return;
+  if (!shard.result.events.wants_labels()) return;
+  util::Rng& rng = shard.rng;
   const std::uint64_t scale = std::max<std::uint32_t>(1, world_.config().scale);
   const std::uint64_t n =
-      rng_.poisson(config_.background_attacks_per_day /
-                   static_cast<double>(scale));
+      rng.poisson(config_.background_attacks_per_day /
+                  static_cast<double>(scale));
   static constexpr telemetry::AttackVector kVectors[] = {
       telemetry::AttackVector::kDns, telemetry::AttackVector::kSynFlood,
       telemetry::AttackVector::kIcmp, telemetry::AttackVector::kChargen,
@@ -521,48 +600,67 @@ void AttackEngine::emit_background_labels(int day) {
   for (std::uint64_t i = 0; i < n; ++i) {
     telemetry::LabeledAttack a;
     a.start = static_cast<util::SimTime>(day) * util::kSecondsPerDay +
-              static_cast<util::SimTime>(rng_.uniform(util::kSecondsPerDay));
-    a.vector = kVectors[sampler.sample(rng_)];
+              static_cast<util::SimTime>(rng.uniform(util::kSecondsPerDay));
+    a.vector = kVectors[sampler.sample(rng)];
     // 90% small / 10% medium / 1% large (§2.2), heavy tail inside each bin.
-    const double u = rng_.uniform01();
+    const double u = rng.uniform01();
     if (u < 0.89) {
-      a.peak_bps = rng_.pareto(20e6, 1.2);
+      a.peak_bps = rng.pareto(20e6, 1.2);
       a.peak_bps = std::min(a.peak_bps, 1.9e9);
     } else if (u < 0.99) {
-      a.peak_bps = rng_.uniform_real(2e9, 20e9);
+      a.peak_bps = rng.uniform_real(2e9, 20e9);
     } else {
-      a.peak_bps = rng_.pareto(20e9, 2.0);
+      a.peak_bps = rng.pareto(20e9, 2.0);
       a.peak_bps = std::min(a.peak_bps, 120e9);
     }
-    sink_->on_attack_label(a);
+    shard.result.events.on_attack_label(a);
   }
 }
 
-std::vector<AttackRecord> AttackEngine::run_day(int day) {
-  refresh_live_pool(week_of_day(day));
-  emit_background_labels(day);
+AttackEngine::DayShardResult AttackEngine::simulate_day(
+    int day, const DayWindowPlan& plan) const {
+  // The day's RNG is a pure substream of (engine seed, day): days are
+  // independent of each other and of how they are batched into windows.
+  DayShard shard(util::Rng::substream(config_.seed,
+                                      static_cast<std::uint64_t>(
+                                          static_cast<std::uint32_t>(day))));
+  shard.result.day = day;
+  shard.result.events = study::EventBuffer(plan.wants_flows,
+                                           plan.wants_labels);
+  std::vector<std::vector<net::Ipv4Address>> booter_targets(booters_.size());
+  const auto& live_pool = plan.live_pools[static_cast<std::size_t>(
+      week_of_day(day) - plan.base_week)];
+  util::Rng& rng = shard.rng;
 
-  std::vector<AttackRecord> scripted;
+  emit_background_labels(day, shard);
+
+  std::uint64_t seq = 0;
+  auto next_record_id = [day, &seq] {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(day))
+            << kIdSequenceBits) |
+           seq++;
+  };
+
   if (config_.scripted_ovh_event && day >= 101 && day <= 103) {
     // §4.4: the record ~400 Gbps reflection attack on the OVH analogue,
     // February 10-12. Thousands of amplifiers — including, notably, the
     // FRGP ones (§7) — pointed at a small set of hosting IPs for hours.
     AttackRecord rec;
-    rec.id = next_id_++;
+    rec.id = next_record_id();
     const auto& registry = world_.registry();
     const auto& info = registry.as_info(registry.named().ovh_analogue);
     const auto& block = registry.blocks()[info.block_indices[0]];
-    rec.victim = block.prefix.at(1 + rng_.uniform(64));
+    rec.victim = block.prefix.at(1 + rng.uniform(64));
     rec.victim_port = 80;
     rec.primed = true;
     // Event magnitude scales with the world so its share of scaled global
     // traffic matches the real event's share of real traffic.
     const std::size_t want = std::min<std::size_t>(
-        live_pool_.size(),
+        live_pool.size(),
         std::max<std::size_t>(8, 1200 / std::max<std::uint32_t>(
                                             1, world_.config().scale)));
     for (std::size_t i = 0; i < want; ++i) {
-      rec.amplifiers.push_back(live_pool_[rng_.uniform(live_pool_.size())]);
+      rec.amplifiers.push_back(live_pool[rng.uniform(live_pool.size())]);
     }
     for (const auto idx : world_.frgp_amplifiers()) {
       const auto& t = world_.servers()[idx];
@@ -571,51 +669,114 @@ std::vector<AttackRecord> AttackEngine::run_day(int day) {
       }
     }
     if (!rec.amplifiers.empty()) {
-      apply(rec, day, /*min_duration_s=*/8 * 3600.0);
       // Stretch the scripted event into a long-running campaign block.
-      victim_ever_[rec.victim.value()] = true;
-      ++totals_.ntp_attacks;
-      totals_.response_packets += rec.response_packets;
-      totals_.response_bytes += rec.response_bytes;
-      scripted_events_.push_back(rec);
-      scripted.push_back(std::move(rec));
+      apply(rec, day, plan, shard, /*min_duration_s=*/8 * 3600.0);
+      shard.result.records.push_back(std::move(rec));
+      shard.result.scripted_count = shard.result.records.size();
     }
   }
 
   const std::uint64_t scale = std::max<std::uint32_t>(1, world_.config().scale);
-  const std::uint64_t n = rng_.poisson(ntp_attacks_per_day(day) /
-                                       static_cast<double>(scale));
-  std::vector<AttackRecord> records = std::move(scripted);
-  records.reserve(records.size() + n);
+  const std::uint64_t n = rng.poisson(ntp_attacks_per_day(day) /
+                                      static_cast<double>(scale));
+  shard.result.records.reserve(shard.result.records.size() + n);
   for (std::uint64_t i = 0; i < n; ++i) {
     AttackRecord rec;
-    rec.id = next_id_++;
-    rec.booter_id = pick_booter();
-    auto& booter = booters_[rec.booter_id];
-    ++attacks_per_booter_[rec.booter_id];
+    rec.id = next_record_id();
+    rec.booter_id = pick_booter(rng);
     bool end_host = false, common_pool = false;
-    rec.victim = pick_victim(day, booter, end_host, common_pool);
+    rec.victim = pick_victim(day, rng, booter_targets[rec.booter_id],
+                             end_host, common_pool);
     rec.victim_end_host = end_host;
-    rec.victim_port = pick_port(end_host);
+    rec.victim_port = pick_port(end_host, rng);
     // Priming requires booter-grade tooling, which only spreads with the
     // mid-December attack-script releases; before that everything is
     // ad-hoc.
-    rec.primed = booter.primes_amplifiers &&
-                 rng_.chance(std::clamp((day - 45) / 25.0, 0.0, 1.0));
-    pick_amplifiers(day, common_pool, rec.primed, rec.amplifiers);
+    rec.primed = booters_[rec.booter_id].primes_amplifiers &&
+                 rng.chance(std::clamp((day - 45) / 25.0, 0.0, 1.0));
+    pick_amplifiers(day, common_pool, rec.primed, live_pool, rng,
+                    rec.amplifiers);
     if (rec.amplifiers.empty()) continue;
-    apply(rec, day);
+    apply(rec, day, plan, shard);
+    shard.result.records.push_back(std::move(rec));
+  }
+
+  shard.result.booter_picks = std::move(booter_targets);
+  return std::move(shard.result);
+}
+
+void AttackEngine::consume_day(DayShardResult& result) {
+  // Monitor deltas first, then the buffered bus events: the two touch
+  // disjoint state (tables vs. collectors), so only each delta's internal
+  // order — per-table chronological — matters for the merge.
+  for (auto& [server_index, delta] : result.monitor_deltas) {
+    if (auto* server = world_.detailed(server_index)) {
+      server->monitor().apply_delta(delta);
+    }
+  }
+  result.events.replay_into(*sink_);
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    const auto& rec = result.records[i];
     victim_ever_[rec.victim.value()] = true;
     ++totals_.ntp_attacks;
     totals_.response_packets += rec.response_packets;
     totals_.response_bytes += rec.response_bytes;
-    records.push_back(std::move(rec));
+    if (i < result.scripted_count) {
+      scripted_events_.push_back(rec);
+    } else {
+      ++attacks_per_booter_[rec.booter_id];
+    }
   }
+  // Merge each booter's day-local picks into its rolling customer-target
+  // list (most recent 16), purely diagnostic state for the §5.2 analyses.
+  for (std::size_t b = 0; b < result.booter_picks.size(); ++b) {
+    auto& targets = booters_[b].customer_targets;
+    for (const auto& victim : result.booter_picks[b]) {
+      targets.push_back(victim);
+    }
+    if (targets.size() > 16) {
+      targets.erase(targets.begin(),
+                    targets.end() - static_cast<std::ptrdiff_t>(16));
+    }
+  }
+}
+
+std::vector<AttackRecord> AttackEngine::run_day(int day) {
+  const DayWindowPlan plan = make_window_plan(day, day + 1);
+  DayShardResult result = simulate_day(day, plan);
+  std::vector<AttackRecord> records = result.records;
+  consume_day(result);
   return records;
 }
 
-void AttackEngine::run_days(int from, int to) {
-  for (int day = from; day < to; ++day) run_day(day);
+void AttackEngine::run_days(int from, int to, ShardedExecutor* executor,
+                            ScanTraffic* scans,
+                            const telemetry::DarknetTelescope* darknet_geometry,
+                            const std::vector<telemetry::FlowCollector*>*
+                                vantage_geometry) {
+  if (to <= from) return;
+  const DayWindowPlan plan = make_window_plan(from, to);
+  static const std::vector<telemetry::FlowCollector*> kNoVantages;
+  const auto& vantages =
+      vantage_geometry != nullptr ? *vantage_geometry : kNoVantages;
+  // A null executor runs the same produce/consume pair inline (the K=1
+  // path IS the sequential engine — DESIGN.md §3d).
+  ShardedExecutor inline_executor(nullptr);
+  ShardedExecutor& exec = executor != nullptr ? *executor : inline_executor;
+  exec.run_ordered(
+      static_cast<std::size_t>(to - from), /*chunk_size=*/1,
+      [this, from, &plan, scans, darknet_geometry,
+       &vantages](std::size_t begin, std::size_t /*end*/) {
+        const int day = from + static_cast<int>(begin);
+        DayShardResult result = simulate_day(day, plan);
+        if (scans != nullptr) {
+          // The day's scan traffic joins the shard, ordered after the
+          // attack events — the sequential engines' per-day interleave.
+          scans->run_day(day, result.events, darknet_geometry, vantages);
+        }
+        return result;
+      },
+      [this](DayShardResult result) { consume_day(result); });
 }
 
 }  // namespace gorilla::sim

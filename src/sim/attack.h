@@ -10,14 +10,24 @@
 // after), applies their evidence to the world (amplifier monitor tables),
 // and reports their traffic into the telemetry sinks (global collector,
 // attack labels, regional flow collectors).
+//
+// Parallel execution (DESIGN.md §3d): every day is a pure function of
+// (seed, day) — its RNG is a splitmix substream derived from the day index,
+// and all its bus emissions and monitor-table mutations are buffered into a
+// DayShardResult on the worker, then applied on the calling thread in
+// ascending day order. run_days() fans whole days out over a
+// ShardedExecutor; output is bit-identical for any --jobs value.
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
+#include "ntp/monlist.h"
 #include "sim/impairment.h"
 #include "sim/world.h"
 #include "study/collector_sink.h"
+#include "study/event_buffer.h"
 #include "study/events.h"
 #include "telemetry/darknet.h"
 #include "telemetry/flow.h"
@@ -26,8 +36,13 @@
 
 namespace gorilla::sim {
 
+class ScanTraffic;
+class ShardedExecutor;
+
 /// One NTP reflection attack (ground truth, kept for validation).
 struct AttackRecord {
+  /// Unique, deterministic: (day << 24) | sequence-within-day, so ids are
+  /// independent of how days are batched across run_day()/run_days() calls.
   std::uint64_t id = 0;
   std::uint32_t booter_id = 0;  ///< which §5.2 actor launched it
   net::Ipv4Address victim;
@@ -111,7 +126,8 @@ struct AttackEngineConfig {
   double arbor_visibility_large = 0.45;
 
   /// Victim re-targeting stickiness: the chance an attack re-hits one of
-  /// its booter's current customer targets (campaigns spanning days).
+  /// its booter's customer targets picked earlier the same day (the sticky
+  /// hosting/common pools carry concentration across days).
   double repeat_victim_rate = 0.35;
 
   /// Booter/botmaster population at full scale (§5.2), divided by the
@@ -136,7 +152,11 @@ struct AttackEngineConfig {
 struct BooterProfile {
   std::uint32_t id = 0;
   bool primes_amplifiers = false;  ///< booter-grade tooling
-  /// The service's current customer-target list (gamer feuds are sticky).
+  /// The service's recent customer-target list (gamer feuds are sticky).
+  /// Repeat-victim draws see the targets picked *earlier the same day* —
+  /// day-scoped stickiness keeps each day a pure function of (seed, day)
+  /// so days can simulate in parallel; the merged list here (most recent
+  /// 16 across days) is diagnostic state for the §5.2 analyses.
   std::vector<net::Ipv4Address> customer_targets;
 };
 
@@ -159,12 +179,24 @@ class AttackEngine {
   /// ONP sample-week index containing a sim day (<0 before the first).
   [[nodiscard]] static int week_of_day(int day) noexcept;
 
-  /// Generates, applies, and reports all attacks for one day. Must be
-  /// called with non-decreasing days. Returns the day's NTP attack records.
+  /// Generates, applies, and reports all attacks for one day — a one-day
+  /// window of run_days(). Days are independent (seed, day) substreams, so
+  /// any day order is valid. Returns the day's NTP attack records.
   std::vector<AttackRecord> run_day(int day);
 
-  /// Convenience: run days [from, to).
-  void run_days(int from, int to);
+  /// Runs days [from, to) as independent day shards. With a (multi-job)
+  /// `executor`, days simulate in parallel on workers — each buffering its
+  /// bus emissions and monitor-table deltas — and merge on the calling
+  /// thread in ascending day order, bit-identical to the inline path for
+  /// any job count. When `scans` is given, each day's scan traffic joins
+  /// that day's shard (events ordered after the attack events, matching the
+  /// sequential per-day interleave); `darknet_geometry`/`vantage_geometry`
+  /// are consulted for geometry only, as in ScanTraffic::run_day.
+  void run_days(int from, int to, ShardedExecutor* executor = nullptr,
+                ScanTraffic* scans = nullptr,
+                const telemetry::DarknetTelescope* darknet_geometry = nullptr,
+                const std::vector<telemetry::FlowCollector*>* vantage_geometry =
+                    nullptr);
 
   struct Totals {
     std::uint64_t ntp_attacks = 0;
@@ -199,27 +231,63 @@ class AttackEngine {
   AttackEngine(World& world, const AttackEngineConfig& config,
                study::EventSink* sink, SinkPtr);
 
-  std::uint32_t pick_booter();
-  net::Ipv4Address pick_victim(int day, BooterProfile& booter,
-                               bool& end_host, bool& common_pool);
-  std::uint16_t pick_port(bool end_host);
+  /// Everything one day shard produced on a worker thread: ground-truth
+  /// records (scripted prefix first), buffered bus events, buffered
+  /// monitor-table deltas (per amplifier, first-touch order), and the day's
+  /// victim picks per booter. consume_day() folds it into the engine and
+  /// the world on the calling thread.
+  struct DayShardResult {
+    int day = 0;
+    std::size_t scripted_count = 0;  ///< scripted prefix of `records`
+    std::vector<AttackRecord> records;
+    study::EventBuffer events;
+    std::vector<std::pair<std::uint32_t, ntp::MonitorDelta>> monitor_deltas;
+    std::vector<std::vector<net::Ipv4Address>> booter_picks;
+  };
+
+  /// Shared inputs every day shard in a window reads; immutable while the
+  /// window runs, so workers may read it freely (contract rule 2).
+  struct DayWindowPlan {
+    int base_week = 0;
+    /// Live amplifier pool per week covered by the window.
+    std::vector<std::vector<std::uint32_t>> live_pools;
+    /// Monitor-table sizes snapshotted at window start (per server index);
+    /// day shards estimate non-primed dump sizes from snapshot + their own
+    /// same-day additions instead of reading the live tables.
+    std::vector<std::uint32_t> monitor_sizes;
+    bool wants_flows = false;
+    bool wants_labels = false;
+  };
+
+  /// Worker-side mutable state for one day (defined in attack.cpp).
+  struct DayShard;
+
+  [[nodiscard]] DayWindowPlan make_window_plan(int from, int to) const;
+  /// Pure in (seed, day, plan): the worker-side half of a day.
+  [[nodiscard]] DayShardResult simulate_day(int day,
+                                            const DayWindowPlan& plan) const;
+  /// Calling-thread half: applies deltas, replays events, merges state.
+  void consume_day(DayShardResult& result);
+
+  std::uint32_t pick_booter(util::Rng& rng) const;
+  net::Ipv4Address pick_victim(int day, util::Rng& rng,
+                               std::vector<net::Ipv4Address>& booter_targets,
+                               bool& end_host, bool& common_pool) const;
+  std::uint16_t pick_port(bool end_host, util::Rng& rng) const;
   void pick_amplifiers(int day, bool common_pool, bool primed,
-                       std::vector<std::uint32_t>& out);
-  void refresh_live_pool(int week);
-  void apply(AttackRecord& rec, int day, double min_duration_s = 0.0);
-  void emit_background_labels(int day);
+                       const std::vector<std::uint32_t>& live_pool,
+                       util::Rng& rng, std::vector<std::uint32_t>& out) const;
+  void apply(AttackRecord& rec, int day, const DayWindowPlan& plan,
+             DayShard& shard, double min_duration_s = 0.0) const;
+  void emit_background_labels(int day, DayShard& shard) const;
 
   World& world_;
   AttackEngineConfig config_;
   AttackSinks legacy_sinks_;     ///< owned sink backing the legacy ctor
   study::EventSink* sink_;       ///< never null after construction
   ImpairmentLayer impairment_;
-  util::Rng rng_;
-  std::uint64_t next_id_ = 0;
+  util::Rng rng_;                ///< construction-time draws only
   Totals totals_;
-
-  int live_pool_week_ = -1000;
-  std::vector<std::uint32_t> live_pool_;  ///< amplifier indices usable now
 
   std::vector<BooterProfile> booters_;
   std::vector<std::uint64_t> attacks_per_booter_;

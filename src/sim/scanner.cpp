@@ -68,7 +68,7 @@ std::uint64_t ScanTraffic::darknet_packets_per_pass(
 
 void ScanTraffic::run_day(
     int day, telemetry::DarknetTelescope* darknet,
-    const std::vector<telemetry::FlowCollector*>& vantages) {
+    const std::vector<telemetry::FlowCollector*>& vantages) const {
   study::CollectorSink sink;
   sink.darknet = darknet;
   sink.vantages = vantages;
@@ -78,16 +78,21 @@ void ScanTraffic::run_day(
 void ScanTraffic::run_day(
     int day, study::EventSink& sink,
     const telemetry::DarknetTelescope* darknet_geometry,
-    const std::vector<telemetry::FlowCollector*>& vantage_geometry) {
+    const std::vector<telemetry::FlowCollector*>& vantage_geometry) const {
+  // A pure (seed, day) substream: the day's scan traffic is independent of
+  // every other day, so attack-day shards can simulate it on workers.
+  util::Rng rng = util::Rng::substream(
+      config_.seed, static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                        day)));
   const util::SimTime day_start =
       static_cast<util::SimTime>(day) * util::kSecondsPerDay;
   for (const auto& actor : actors_) {
     if (day < actor.first_day || day > actor.last_day) continue;
     const double passes_today = actor.passes_per_week / 7.0;
     const bool scans_today =
-        actor.benign ? rng_.chance(passes_today)
-                     : (rng_.chance(config_.malicious_duty_cycle) &&
-                        rng_.chance(std::min(1.0, passes_today * 4)));
+        actor.benign ? rng.chance(passes_today)
+                     : (rng.chance(config_.malicious_duty_cycle) &&
+                        rng.chance(std::min(1.0, passes_today * 4)));
     if (!scans_today) continue;
 
     if (darknet_geometry != nullptr) {
@@ -113,7 +118,7 @@ void ScanTraffic::run_day(
     for (std::size_t vi = 0; vi < vantage_geometry.size(); ++vi) {
       const auto* vantage = vantage_geometry[vi];
       if (!actor.benign &&
-          !rng_.chance(std::min(1.0, actor.ipv4_coverage * 0.5))) {
+          !rng.chance(std::min(1.0, actor.ipv4_coverage * 0.5))) {
         continue;
       }
       if (vantage->prefixes().empty()) continue;
@@ -121,10 +126,10 @@ void ScanTraffic::run_day(
       f.src = actor.address;
       // The flow represents the slice of this pass that landed inside this
       // vantage's space, so pick a destination there.
-      const auto& prefix = vantage->prefixes()[rng_.uniform(
+      const auto& prefix = vantage->prefixes()[rng.uniform(
           vantage->prefixes().size())];
-      f.dst = prefix.at(rng_.uniform(prefix.size()));
-      f.src_port = static_cast<std::uint16_t>(rng_.uniform_int(32768, 61000));
+      f.dst = prefix.at(rng.uniform(prefix.size()));
+      f.src_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 61000));
       f.dst_port = net::kNtpPort;
       f.ttl = kScanTtl;
       // Flow-exporter granularity: a sweep shows up as per-destination
@@ -141,7 +146,7 @@ void ScanTraffic::run_day(
       f.bytes = f.packets * kProbeWireBytes;
       f.payload_bytes = f.packets * ntp::kMode7RequestBytes;
       f.first = day_start + static_cast<util::SimTime>(
-                                rng_.uniform(util::kSecondsPerDay / 2));
+                                rng.uniform(util::kSecondsPerDay / 2));
       f.last = f.first + 3600;
       sink.on_flow(f, static_cast<int>(vi));
     }
@@ -149,7 +154,8 @@ void ScanTraffic::run_day(
 }
 
 template <typename BeginServer, typename Emit>
-void ScanTraffic::plan_seed_observations(int week, BeginServer&& begin_server,
+void ScanTraffic::plan_seed_observations(int week, util::Rng& rng,
+                                         BeginServer&& begin_server,
                                          Emit&& emit) {
   // Research scanners sweep everything weekly: every responding server's
   // monitor table gains (or refreshes) one probe entry per active scanner.
@@ -175,49 +181,55 @@ void ScanTraffic::plan_seed_observations(int week, BeginServer&& begin_server,
     for (const auto& a : actors_) {
       ++actor_index;
       if (!a.benign || day < a.first_day || day > a.last_day) continue;
-      const bool mode6 = rng_.chance(a.mode6_share);
+      const bool mode6 = rng.chance(a.mode6_share);
       // Fates are hash draws, not RNG stream draws: checking them cannot
       // shift the clean stream, and the burned draws below keep an enabled
       // run's stream aligned whether or not this probe got through.
       if (impairment_.enabled() &&
           impairment_.request_fate(ai, week, 0x200 + actor_index) !=
               ImpairmentLayer::Fate::kDelivered) {
-        (void)rng_.uniform_int(1024, 65535);
-        (void)rng_.uniform(3600);
+        (void)rng.uniform_int(1024, 65535);
+        (void)rng.uniform(3600);
         continue;  // this scanner's probe never reached the server
       }
       emit(server, a.address,
-           static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
+           static_cast<std::uint16_t>(rng.uniform_int(1024, 65535)),
            static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
                                            : ntp::Mode::kPrivate),
-           when - static_cast<util::SimTime>(rng_.uniform(3600)));
+           when - static_cast<util::SimTime>(rng.uniform(3600)));
     }
-    const std::uint64_t hits = rng_.poisson(malicious_rate_per_server);
+    const std::uint64_t hits = rng.poisson(malicious_rate_per_server);
     for (std::uint64_t h = 0; h < hits && h < 16; ++h) {
-      const auto& a = actors_[rng_.uniform(actors_.size())];
+      const auto& a = actors_[rng.uniform(actors_.size())];
       if (a.benign) continue;
-      const bool mode6 = rng_.chance(a.mode6_share);
+      const bool mode6 = rng.chance(a.mode6_share);
       if (impairment_.enabled() &&
           impairment_.request_fate(ai, week, 0x300 + static_cast<int>(h)) !=
               ImpairmentLayer::Fate::kDelivered) {
-        (void)rng_.uniform_int(1024, 65535);
-        (void)rng_.uniform(3 * util::kSecondsPerDay);
+        (void)rng.uniform_int(1024, 65535);
+        (void)rng.uniform(3 * util::kSecondsPerDay);
         continue;
       }
       emit(server, a.address,
-           static_cast<std::uint16_t>(rng_.uniform_int(1024, 65535)),
+           static_cast<std::uint16_t>(rng.uniform_int(1024, 65535)),
            static_cast<std::uint8_t>(mode6 ? ntp::Mode::kControl
                                            : ntp::Mode::kPrivate),
            when - static_cast<util::SimTime>(
-                      rng_.uniform(3 * util::kSecondsPerDay)));
+                      rng.uniform(3 * util::kSecondsPerDay)));
     }
   }
 }
 
 void ScanTraffic::seed_monitor_tables(int week, ShardedExecutor* executor) {
+  // A pure (seed, week) substream, tag-disjoint from the per-day streams:
+  // the weekly seeding plan no longer depends on how many days ran first.
+  util::Rng rng = util::Rng::substream(
+      config_.seed, (std::uint64_t{1} << 32) +
+                        static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(week)));
   if (executor == nullptr || executor->jobs() <= 1) {
     plan_seed_observations(
-        week, [] {},
+        week, rng, [] {},
         [](ntp::NtpServer* server, net::Ipv4Address address,
            std::uint16_t port, std::uint8_t mode, util::SimTime when) {
           server->monitor().observe(address, port, mode, ntp::kNtpVersion,
@@ -242,7 +254,7 @@ void ScanTraffic::seed_monitor_tables(int week, ShardedExecutor* executor) {
   std::vector<std::size_t> offsets;
   offsets.reserve(world_.amplifier_indices().size() + 1);
   plan_seed_observations(
-      week, [&plan, &offsets] { offsets.push_back(plan.size()); },
+      week, rng, [&plan, &offsets] { offsets.push_back(plan.size()); },
       [&plan](ntp::NtpServer* server, net::Ipv4Address address,
               std::uint16_t port, std::uint8_t mode, util::SimTime when) {
         plan.push_back(Planned{server, address, port, mode, when});

@@ -58,20 +58,26 @@ class ScanTraffic {
 
   /// Runs one day of scanning. `darknet`, `vantages` may be empty/null.
   void run_day(int day, telemetry::DarknetTelescope* darknet,
-               const std::vector<telemetry::FlowCollector*>& vantages);
+               const std::vector<telemetry::FlowCollector*>& vantages) const;
 
   /// Event-stream form: darknet packets become on_darknet_scan() events and
   /// vantage flows become on_flow(flow, vantage_index) events. The darknet
   /// and vantage collectors are consulted for *geometry only* (dark-space
   /// size, local prefixes); all observations flow through `sink`. Draws the
   /// exact RNG stream of the direct form above.
+  ///
+  /// Each day draws from a pure (seed, day) substream, so a day is a pure
+  /// function of the day index — AttackEngine::run_days() calls this from
+  /// worker threads with a per-shard buffer as `sink` (DESIGN.md §3d).
   void run_day(int day, study::EventSink& sink,
                const telemetry::DarknetTelescope* darknet_geometry,
-               const std::vector<telemetry::FlowCollector*>& vantage_geometry);
+               const std::vector<telemetry::FlowCollector*>& vantage_geometry)
+      const;
 
   /// Injects this week's research-scanner probe entries into the detailed
   /// servers' monitor tables (called once per sample week by the harness,
-  /// cheaper than per-day per-server observation).
+  /// cheaper than per-day per-server observation). The plan draws from a
+  /// pure (seed, week) substream, independent of the day streams.
   ///
   /// With a (multi-job) executor, the RNG plan is drawn sequentially —
   /// burning exactly the draws of the inline path — and only the per-server
@@ -93,13 +99,13 @@ class ScanTraffic {
   /// monitor-table observation. Both the inline and the plan/apply paths
   /// run through here, so their draw order cannot diverge.
   template <typename BeginServer, typename Emit>
-  void plan_seed_observations(int week, BeginServer&& begin_server,
-                              Emit&& emit);
+  void plan_seed_observations(int week, util::Rng& rng,
+                              BeginServer&& begin_server, Emit&& emit);
 
   World& world_;
   ScanTrafficConfig config_;
   ImpairmentLayer impairment_;
-  util::Rng rng_;
+  util::Rng rng_;                  ///< construction-time draws only
   std::vector<ScanActor> actors_;  ///< research first, then malicious
 };
 

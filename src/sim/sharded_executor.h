@@ -30,6 +30,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <type_traits>
 #include <utility>
 
@@ -48,7 +49,9 @@ class ShardedExecutor {
 
   /// Ordered map/reduce over [0, n): produce(begin, end) runs on workers,
   /// consume(result) runs on the calling thread in ascending shard order.
-  /// Exceptions thrown by produce() re-throw here, in shard order.
+  /// Exceptions thrown by produce() re-throw here, in shard order, and only
+  /// after every in-flight task has finished (they reference `produce` and
+  /// its captures, which must outlive them).
   template <typename Produce, typename Consume>
   void run_ordered(std::size_t n, std::size_t chunk_size, Produce produce,
                    Consume consume) {
@@ -76,10 +79,26 @@ class ShardedExecutor {
     };
     while (next < n && inflight.size() < window) submit_one();
     while (!inflight.empty()) {
-      Result result = inflight.front().get();
+      std::optional<Result> result;
+      std::exception_ptr error;
+      try {
+        result.emplace(inflight.front().get());
+      } catch (...) {
+        error = std::current_exception();
+      }
       inflight.pop_front();
+      if (error != nullptr) {
+        // Drain every in-flight task before unwinding: workers still hold
+        // references to `produce` and its captures, which live on this
+        // stack frame — rethrowing with tasks in flight is a use-after-
+        // scope on the worker threads. The earliest shard's exception wins
+        // (shard order); later failures die with their futures.
+        for (auto& pending : inflight) pending.wait();
+        inflight.clear();
+        std::rethrow_exception(error);
+      }
       if (next < n) submit_one();  // refill before the (serial) consume
-      consume(std::move(result));
+      consume(std::move(*result));
     }
   }
 

@@ -130,6 +130,22 @@ class Rng {
     return child;
   }
 
+  /// A *pure* substream: deterministic in (seed, tag) alone — unlike
+  /// fork(), which depends on the parent's current position. One splitmix64
+  /// step folds the tag into the seed (the same stateless idiom
+  /// sim::ImpairmentLayer uses for hash draws); reseed() then splitmixes the
+  /// result again, so nearby tags land on unrelated streams. Day/week
+  /// shards derive their RNG here so each shard is a pure function of
+  /// (seed, index) — the keystone of the sharded engine's determinism-merge
+  /// contract (DESIGN.md §3d).
+  [[nodiscard]] static Rng substream(std::uint64_t seed,
+                                     std::uint64_t tag) noexcept {
+    std::uint64_t z = seed + (tag + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -197,6 +197,58 @@ TEST_F(AttackEngineTest, DeterministicGivenSeed) {
   }
 }
 
+TEST_F(AttackEngineTest, RunDaysMatchesPerDayLoop) {
+  // A window is nothing but its days: every draw comes from a (seed, day)
+  // substream, so run_days() over [95, 109) launches exactly the attacks of
+  // fourteen run_day() calls — same counts, same victims. Response volumes
+  // may drift within a fraction of a percent: non-primed dump sizes are
+  // estimated from the *window-start* monitor snapshot plus each shard's
+  // own same-day additions (DESIGN.md §3d), and the per-day loop
+  // re-snapshots daily.
+  World w1(tiny_config()), w2(tiny_config());
+  AttackEngine e1(w1, AttackEngineConfig{}, {});
+  AttackEngine e2(w2, AttackEngineConfig{}, {});
+  e1.run_days(95, 109);
+  for (int day = 95; day < 109; ++day) (void)e2.run_day(day);
+  EXPECT_EQ(e1.totals().ntp_attacks, e2.totals().ntp_attacks);
+  EXPECT_EQ(e1.unique_victims(), e2.unique_victims());
+  const double window_bytes = static_cast<double>(e1.totals().response_bytes);
+  const double daily_bytes = static_cast<double>(e2.totals().response_bytes);
+  EXPECT_NEAR(window_bytes / daily_bytes, 1.0, 0.01);
+}
+
+TEST_F(AttackEngineTest, OvhVictimsStayInsideTheAnalogueBlocks) {
+  // Regression for the OVH-campaign draw: the concentrated-victim index is
+  // clamped to the block size, so a small-world block (scale 200 shrinks
+  // routed blocks well below the full-scale /16s) can never be overrun —
+  // every OVH-branch victim must fall inside the analogue AS's space.
+  AttackEngineConfig cfg;
+  cfg.ovh_victim_rate = 1.0;
+  cfg.common_victim_rate = 0.0;
+  cfg.merit_victim_rate = 0.0;
+  cfg.frgp_victim_rate = 0.0;
+  cfg.scripted_ovh_event = false;
+  AttackEngine engine(world_, cfg, {});
+  const auto& registry = world_.registry();
+  const auto& info = registry.as_info(registry.named().ovh_analogue);
+  std::size_t checked = 0;
+  for (int day = 98; day < 102; ++day) {
+    for (const auto& rec : engine.run_day(day)) {
+      bool inside = false;
+      for (const auto bi : info.block_indices) {
+        if (registry.blocks()[bi].prefix.contains(rec.victim)) {
+          inside = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(inside) << "victim " << rec.victim.value()
+                          << " outside the OVH analogue on day " << day;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
 TEST_F(AttackEngineTest, PortEightyMostCommon) {
   AttackEngine engine(world_, engine_config(), {});
   std::map<std::uint16_t, int> ports;

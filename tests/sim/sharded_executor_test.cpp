@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -144,6 +146,37 @@ TEST(ShardedExecutorTest, ProduceExceptionRethrowsOnCaller) {
       std::runtime_error);
 }
 
+TEST(ShardedExecutorTest, ExceptionDrainsInFlightShardsBeforeRethrow) {
+  // Regression: run_ordered must wait for every in-flight produce before
+  // rethrowing. If it rethrew immediately, still-running workers would keep
+  // touching this frame's counters (and, at real call sites, the produce
+  // lambda's captures) after the caller's stack unwound — a use-after-scope
+  // the TSan/ASan presets in scripts/check.sh would flag here.
+  util::ThreadPool pool(4);
+  ShardedExecutor exec(&pool);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  EXPECT_THROW(
+      exec.run_ordered(
+          64, 1,
+          [&started, &finished](std::size_t b, std::size_t) -> int {
+            started.fetch_add(1);
+            if (b == 0) {
+              finished.fetch_add(1);
+              throw std::runtime_error("shard 0 failed");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            finished.fetch_add(1);
+            return 0;
+          },
+          [](int) {}),
+      std::runtime_error);
+  // By the time the exception reached us, every shard that started had
+  // finished — nothing still runs against a dead stack frame.
+  EXPECT_EQ(started.load(), finished.load());
+  EXPECT_GE(started.load(), 1);
+}
+
 TEST(ShardedExecutorTest, ParallelForCoversDisjointShards) {
   const std::size_t n = 10'000;
   const auto run_with = [n](ShardedExecutor& exec) {
@@ -267,6 +300,55 @@ TEST(ShardedPipelineTest, ByteIdenticalAcrossShardCounts) {
 
 TEST(ShardedPipelineTest, RepeatedRunsAtSameShardCountAgree) {
   EXPECT_EQ(run_pipeline(7), run_pipeline(7));
+}
+
+// --- Attack-day shards: the §3d pin for AttackEngine::run_days. ---
+
+/// Runs the peak-fortnight attack window (attacks + scans, darknet and all
+/// three vantages) through AttackEngine::run_days on a K-job executor and
+/// fingerprints every downstream observable. RegionalRun is a thin harness
+/// over AttackEngine + ScanTraffic — no prober, so any divergence here is
+/// the day-shard path itself.
+Fingerprint run_attack_window(int jobs) {
+  bench::Options opt;
+  opt.scale = 400;
+  opt.jobs = jobs;
+  bench::RegionalRun run(opt, /*with_darknet=*/true);
+  run.run(95, 109);
+
+  Fingerprint fp;
+  for (int day = 0; day < run.global->horizon_days(); ++day) {
+    for (int p = 0; p < 5; ++p) {
+      fp.mix_double(
+          run.global->bytes(day, static_cast<telemetry::ProtocolClass>(p)));
+    }
+  }
+  fp.mix(run.labels->attacks().size());
+  for (const auto& a : run.labels->attacks()) {
+    fp.mix(static_cast<std::uint64_t>(a.start));
+    fp.mix(static_cast<std::uint64_t>(a.vector));
+    fp.mix_double(a.peak_bps);
+  }
+  mix_flows(fp, *run.merit);
+  mix_flows(fp, *run.frgp);
+  mix_flows(fp, *run.csu);
+  fp.mix(run.darknet->total_packets());
+  for (const auto& [day, scanners] : run.darknet->unique_scanners_per_day()) {
+    fp.mix(static_cast<std::uint64_t>(day));
+    fp.mix(scanners);
+  }
+  return fp;
+}
+
+TEST(ShardedPipelineTest, AttackDayShardsByteIdenticalAcrossJobCounts) {
+  const Fingerprint k1 = run_attack_window(1);
+  EXPECT_GT(k1.items, 0u);
+  EXPECT_EQ(k1, run_attack_window(2));
+  EXPECT_EQ(k1, run_attack_window(7));
+}
+
+TEST(ShardedPipelineTest, AttackDayShardsStableAcrossRepeatRuns) {
+  EXPECT_EQ(run_attack_window(7), run_attack_window(7));
 }
 
 }  // namespace

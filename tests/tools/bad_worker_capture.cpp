@@ -1,8 +1,9 @@
 // gorilla_lint self-test fixture: must trip exactly [worker-capture].
 //
-// The worker lambda handed to parallel_for uses a blanket [&] capture, so
-// the racy fold over `total` is invisible at the call site — the rule
-// demands every capture be spelled out (DESIGN.md §3d rule 2).
+// The worker lambdas handed to parallel_for and submit use blanket [&]
+// captures, so the racy folds over `total` are invisible at the call
+// sites — the rule demands every capture be spelled out (DESIGN.md §3d
+// rule 2).
 #include <cstddef>
 #include <vector>
 
@@ -18,10 +19,25 @@ struct Executor {
   }
 };
 
+struct Pool {
+  template <typename Fn>
+  void submit(Fn fn) {
+    fn();
+  }
+};
+
 inline long sum_in_parallel(Executor& executor, const std::vector<long>& xs) {
   long total = 0;
   executor.parallel_for(xs.size(), 64, [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) total += xs[i];
+  });
+  return total;
+}
+
+inline long sum_via_pool(Pool& pool, const std::vector<long>& xs) {
+  long total = 0;
+  pool.submit([&] {
+    for (const long x : xs) total += x;
   });
   return total;
 }

@@ -16,9 +16,10 @@
 //   float-eq        ==/!= against a floating-point literal
 //   parse-optional  a parse_* function whose return type is not optional
 //   worker-capture  blanket [&]-capture on the worker lambda handed to
-//                   ShardedExecutor::run_ordered/parallel_for (captures
-//                   must be spelled out so the reviewer can check the
-//                   determinism-merge contract at the call site)
+//                   ShardedExecutor::run_ordered/parallel_for or
+//                   ThreadPool::submit (captures must be spelled out so the
+//                   reviewer can check the determinism-merge contract at
+//                   the call site)
 //
 // A finding on a line containing "NOLINT(<rule>)" is suppressed; waivers
 // are expected to carry a justifying comment.
@@ -369,14 +370,18 @@ void rule_parse_optional(const SourceFile& f, std::vector<Finding>& findings) {
 
 // --- rule: worker-capture --------------------------------------------------
 
-/// The first lambda in a run_ordered()/parallel_for() call is the one that
-/// runs on pool threads (produce / the shard body); a blanket by-reference
-/// capture there puts silent shared-state mutation one keystroke away. The
-/// sanctioned merge path is run_ordered's consume callback, which runs on
-/// the calling thread — this rule only inspects the worker lambda.
+/// The first lambda in a run_ordered()/parallel_for()/submit() call is the
+/// one that runs on pool threads (produce / the shard body / the submitted
+/// task); a blanket by-reference capture there puts silent shared-state
+/// mutation one keystroke away. The sanctioned merge path is run_ordered's
+/// consume callback, which runs on the calling thread — this rule only
+/// inspects the worker lambda. `submit` covers ThreadPool::submit and, by
+/// the same token, any future worker-dispatch entry point using that name
+/// (e.g. the day-shard produce lambdas AttackEngine::run_days hands to the
+/// executor are already caught via run_ordered).
 void rule_worker_capture(const SourceFile& f, std::vector<Finding>& findings) {
   const std::string& s = f.scrubbed;
-  static const std::regex call_re(R"(\b(run_ordered|parallel_for)\b)");
+  static const std::regex call_re(R"(\b(run_ordered|parallel_for|submit)\b)");
   for (auto it = std::sregex_iterator(s.begin(), s.end(), call_re);
        it != std::sregex_iterator(); ++it) {
     // Walk forward to the first lambda-introducer '[' (one preceded, spaces
