@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/fault.h"
+
 namespace gorilla::bench {
 
 namespace {
@@ -24,6 +26,23 @@ void print_phase(const char* phase, double seconds) {
   std::fprintf(stderr, "[engine] phase %-12s %8.3fs\n", phase, seconds);
 }
 
+/// Strict positive-integer flag parse: rejects non-numeric text, trailing
+/// junk, zero, and negatives with a clear message instead of silently
+/// clamping (a mistyped `--jobs -4` or `--scale 0x10` should not quietly
+/// run something else).
+long parse_positive(const char* text, const char* flag, long max_value) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v <= 0 || v > max_value) {
+    std::fprintf(stderr,
+                 "invalid value for %s: '%s' (expected an integer in "
+                 "[1, %ld])\n",
+                 flag, text, max_value);
+    std::exit(2);
+  }
+  return v;
+}
+
 }  // namespace
 
 Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
@@ -39,9 +58,8 @@ Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
       return argv[++i];
     };
     if (arg == "--scale") {
-      opt.scale = static_cast<std::uint32_t>(std::strtoul(value("--scale"),
-                                                          nullptr, 10));
-      if (opt.scale == 0) opt.scale = 1;
+      opt.scale = static_cast<std::uint32_t>(
+          parse_positive(value("--scale"), "--scale", 1l << 30));
     } else if (arg == "--seed") {
       opt.seed = std::strtoull(value("--seed"), nullptr, 10);
     } else if (arg == "--quick") {
@@ -49,21 +67,44 @@ Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
     } else if (arg == "--csv") {
       opt.csv_dir = value("--csv");
     } else if (arg == "--jobs") {
-      opt.jobs = static_cast<int>(std::strtol(value("--jobs"), nullptr, 10));
-      if (opt.jobs <= 0) opt.jobs = util::ThreadPool::default_threads();
+      opt.jobs = static_cast<int>(parse_positive(value("--jobs"), "--jobs",
+                                                 1l << 16));
     } else if (arg == "--record") {
       opt.record = value("--record");
     } else if (arg == "--replay") {
       opt.replay = value("--replay");
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint_weeks = static_cast<int>(
+          parse_positive(value("--checkpoint"), "--checkpoint", 1l << 16));
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--faults") {
+      const char* spec = value("--faults");
+      const auto plan = util::FaultPlan::parse(spec);
+      if (!plan) {
+        std::fprintf(stderr, "invalid --faults spec: '%s'\n", spec);
+        std::exit(2);
+      }
+      util::FaultPlan::install(*plan);
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // google-benchmark flags pass through untouched.
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--scale N] [--seed N] [--quick] [--jobs N]\n"
-          "          [--record PATH] [--replay PATH] [--csv DIR]\n",
+          "          [--record PATH] [--replay PATH] [--csv DIR]\n"
+          "          [--checkpoint WEEKS] [--resume] [--faults SPEC]\n",
           argv[0]);
       std::exit(0);
     }
+  }
+  if (opt.resume && opt.record.empty()) {
+    std::fprintf(stderr, "--resume requires --record PATH (the artifact to "
+                         "resume from and keep extending)\n");
+    std::exit(2);
+  }
+  if (opt.resume && !opt.replay.empty()) {
+    std::fprintf(stderr, "--resume and --replay are mutually exclusive\n");
+    std::exit(2);
   }
   return opt;
 }
@@ -180,6 +221,49 @@ void StudyPipeline::run() {
               seconds_between(t0, run_done_));
 }
 
+int StudyPipeline::resume_prefix_weeks(study::EventBus& bus,
+                                       int horizon_weeks) {
+  study::Replayer replayer;
+  study::ReplayReport report;
+  if (!replayer.load_prefix(opt_.record, report)) {
+    std::fprintf(stderr,
+                 "[engine] resume: no usable recording at %s; starting "
+                 "fresh\n",
+                 opt_.record.c_str());
+    return 0;
+  }
+  if (!(replayer.header() == make_header())) {
+    std::fprintf(stderr,
+                 "recording %s was made by a different harness shape "
+                 "(kind/scale/seed/horizon mismatch); refusing to resume\n",
+                 opt_.record.c_str());
+    std::exit(2);
+  }
+  const int usable = std::min(replayer.complete_weeks(), horizon_weeks);
+  if (usable <= 0) {
+    std::fprintf(stderr,
+                 "[engine] resume: %s holds no complete week; starting "
+                 "fresh\n",
+                 opt_.record.c_str());
+    return 0;
+  }
+  // The bus carries the live consumers AND the fresh Recorder, so this one
+  // dispatch both rebuilds the sinks' state and re-encodes the prefix —
+  // the final artifact comes out byte-identical to an uninterrupted run.
+  if (!replayer.replay_prefix(bus, usable, report)) {
+    std::fprintf(stderr, "recording %s failed prefix validation\n",
+                 opt_.record.c_str());
+    std::exit(2);
+  }
+  std::fprintf(stderr,
+               "[engine] resume: replayed %d complete week(s) "
+               "(%llu events) from %s\n",
+               report.weeks_complete,
+               static_cast<unsigned long long>(report.events),
+               opt_.record.c_str());
+  return report.weeks_complete;
+}
+
 void StudyPipeline::run_simulated(
     study::EventBus& bus,
     const std::vector<telemetry::FlowCollector*>& vantages) {
@@ -207,14 +291,57 @@ void StudyPipeline::run_simulated(
   sim::ScanTraffic* day_scans =
       (with_darknet_ || with_vantages_) ? &scans : nullptr;
   const int horizon_weeks = opt_.quick ? 8 : 15;
+
+  const int start_week =
+      opt_.resume ? resume_prefix_weeks(bus, horizon_weeks) : 0;
+
   int day = 0;
-  for (int week = 0; week < horizon_weeks; ++week) {
+  if (start_week > 0) {
+    // Fast-forward the world through the already-replayed weeks. The
+    // replay above rebuilt the CONSUMER state; the world's monitor tables
+    // and the prober's remediation/window state are producer-side and must
+    // be recomputed by re-running those weeks against a discard bus. The
+    // discard sink elects every capability, so producers burn exactly the
+    // RNG draws the original run did; scans and prober are the same
+    // objects the live loop continues with, keeping their cross-week state
+    // continuous. (Correctness over speed: resume re-simulates, it just
+    // never re-emits.)
+    study::EventBus ff_bus;
+    study::ConsumeAllSink discard;
+    ff_bus.subscribe(&discard);
+    sim::AttackEngine ff_attacks(*world, attack_cfg, ff_bus);
+    for (int week = 0; week < start_week; ++week) {
+      const int sample_day = 70 + week * 7;
+      ff_attacks.run_days(day, sample_day + 1, executor_.get(), day_scans,
+                          darknet.get(), &vantages);
+      day = sample_day + 1;
+      scans.seed_monitor_tables(week, executor_.get());
+      (void)prober.run_monlist_sample(week, ff_bus);
+    }
+  }
+
+  for (int week = start_week; week < horizon_weeks; ++week) {
     const int sample_day = 70 + week * 7;
     attacks.run_days(day, sample_day + 1, executor_.get(), day_scans,
                      darknet.get(), &vantages);
     day = sample_day + 1;
     scans.seed_monitor_tables(week, executor_.get());
     (void)prober.run_monlist_sample(week, bus);  // AnalysisSink keeps summary
+    if (recording && opt_.checkpoint_weeks > 0 && week + 1 < horizon_weeks &&
+        (week + 1) % opt_.checkpoint_weeks == 0) {
+      // Durable mid-run snapshot (atomic rename over the --record path).
+      // Failure is a warning, not an abort: losing a checkpoint only costs
+      // resume granularity, never the run.
+      if (recorder.checkpoint(opt_.record)) {
+        std::fprintf(stderr, "[engine] checkpoint: %d week(s) durable at %s\n",
+                     week + 1, opt_.record.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "[engine] warning: checkpoint at week %d failed "
+                     "(continuing)\n",
+                     week);
+      }
+    }
   }
 
   if (recording) {
@@ -281,6 +408,17 @@ RegionalRun::~RegionalRun() {
 }
 
 void RegionalRun::run(int from_day, int to_day) {
+  if (opt_.resume) {
+    // The regional window runs as ONE run_days() fan-out whose per-day
+    // monitor-size snapshots are taken at window start; splitting the
+    // window would change those snapshots and the output bytes. Refuse
+    // rather than resume into a subtly different world.
+    std::fprintf(stderr,
+                 "--resume is not supported for regional runs (the day "
+                 "window is a single shard fan-out); re-run without "
+                 "--resume\n");
+    std::exit(2);
+  }
   const auto t0 = EngineClock::now();
   study::CollectorSink collectors;
   collectors.global = global.get();

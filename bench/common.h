@@ -41,11 +41,20 @@ struct Options {
   bool quick = false;  ///< --quick halves the horizon for smoke runs
   std::string csv_dir;  ///< --csv DIR: also drop machine-readable series
   /// --jobs N: worker threads for the sharded study engine (1 = the
-  /// sequential engine; 0 = hardware concurrency). Output is bit-identical
-  /// for every value.
+  /// sequential engine; must be >= 1). Output is bit-identical for every
+  /// value.
   int jobs = 1;
   std::string record;  ///< --record PATH: save the study's event stream
   std::string replay;  ///< --replay PATH: skip simulation, replay a stream
+  /// --checkpoint N: while recording, flush a durable snapshot of the
+  /// stream every N complete sample weeks (atomic rename over the --record
+  /// path). 0 = only the final save.
+  int checkpoint_weeks = 0;
+  /// --resume: before simulating, consume the longest valid prefix of the
+  /// --record artifact (complete weeks only), fast-forward the world
+  /// through those weeks, and continue live — stdout is byte-identical to
+  /// an uninterrupted run.
+  bool resume = false;
 };
 
 /// Writes a CSV artifact into opt.csv_dir when set (no-op otherwise);
@@ -110,6 +119,12 @@ struct StudyPipeline {
   void run_simulated(study::EventBus& bus,
                      const std::vector<telemetry::FlowCollector*>& vantages);
   void run_replayed(study::EventBus& bus);
+  /// Under --resume: loads the durable prefix of the --record artifact,
+  /// replays its complete weeks into `bus`, and returns that week count (0
+  /// = start fresh). Exits on a header mismatch — resuming someone else's
+  /// world would silently corrupt the output.
+  [[nodiscard]] int resume_prefix_weeks(study::EventBus& bus,
+                                        int horizon_weeks);
   [[nodiscard]] study::StudyHeader make_header() const;
 
   Options opt_;

@@ -93,15 +93,53 @@ for bench in "${benches[@]}"; do
       \"identical_stdout\": true }"
 done
 
-cat >BENCH_engine.json <<EOF
-{
-  "name": "sharded-study-engine",
-  "generated_by": "scripts/bench.sh",
+# One labeled run per invocation (BENCH_LABEL=... names it); previous runs
+# are preserved so the file carries the perf trajectory across changes —
+# e.g. the GORCOLv2 CRC/atomic-write run is directly comparable to the
+# original engine run, same benches, same modes.
+label="${BENCH_LABEL:-unlabeled}"
+cat >"$work/run.json" <<EOF
+{ "label": "$label",
   "host_cores": $cores,
   "jobs": $jobs,
-  "note": "seq_s = full simulate+analyze at --jobs 1; par_s = same at --jobs N, with attack+scan days running as parallel day shards (fig07/fig13 are attack-dominated, so their jobs column is the attack-phase speedup; thread speedup requires >1 core — on a 1-core host par_s ~= seq_s and the honest speedup is the replay column); replay_s = analyze-only from a recorded event stream, the simulate-once/analyze-many path every per-figure bench can use.",
   "entries": [$entries
-  ]
-}
+  ] }
 EOF
-echo "wrote BENCH_engine.json"
+
+python3 - "$work/run.json" <<'PYEOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    run = json.load(f)
+
+note = ("seq_s = full simulate+analyze at --jobs 1; par_s = same at "
+        "--jobs N, with attack+scan days running as parallel day shards "
+        "(fig07/fig13 are attack-dominated, so their jobs column is the "
+        "attack-phase speedup; thread speedup requires >1 core — on a "
+        "1-core host par_s ~= seq_s and the honest speedup is the replay "
+        "column); replay_s = analyze-only from a recorded event stream, "
+        "the simulate-once/analyze-many path every per-figure bench can "
+        "use. One run object per scripts/bench.sh invocation, oldest "
+        "first.")
+doc = {"name": "sharded-study-engine", "generated_by": "scripts/bench.sh",
+       "note": note, "runs": []}
+try:
+    with open("BENCH_engine.json") as f:
+        old = json.load(f)
+    if "runs" in old:
+        doc["runs"] = old["runs"]
+    elif "entries" in old:
+        # Legacy single-run layout: keep it as the first labeled run.
+        doc["runs"] = [{"label": "sharded-engine-gorcolv1",
+                        "host_cores": old.get("host_cores"),
+                        "jobs": old.get("jobs"),
+                        "entries": old["entries"]}]
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+
+doc["runs"].append(run)
+with open("BENCH_engine.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PYEOF
+echo "wrote BENCH_engine.json (run '$label' appended)"

@@ -6,7 +6,11 @@
 #   2. gorilla_lint over src/ plus its self-test fixtures (the lint.* ctest
 #      label, run from the release tree).
 #   3. ASan+UBSan build, full test suite again under instrumentation.
-#   4. TSan build of the engine/thread-pool tests; the sharded executor's
+#   4. Fault-injection suite (ctest label "fault") re-run under ASan+UBSan:
+#      the crash-safety paths — torn writes, CRC-failed loads, shard
+#      retry/quarantine, checkpoint+prefix replay — exercise exactly the
+#      error-handling branches sanitizers are best at auditing.
+#   5. TSan build of the engine/thread-pool tests; the sharded executor's
 #      worker-thread discipline (DESIGN.md §3d) is vetted under
 #      ThreadSanitizer even on hosts where thread speedup is impossible.
 #
@@ -23,27 +27,31 @@ fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/4] Release build (strict warnings) + tests =="
+echo "== [1/5] Release build (strict warnings) + tests =="
 cmake --preset release >/dev/null
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
-echo "== [2/4] gorilla_lint (tree + self-test) =="
+echo "== [2/5] gorilla_lint (tree + self-test) =="
 ctest --test-dir build/release -L lint --output-on-failure
 
 if [[ "$fast" -eq 1 ]]; then
-  echo "== [3/4] skipped (--fast) =="
-  echo "== [4/4] skipped (--fast) =="
+  echo "== [3/5] skipped (--fast) =="
+  echo "== [4/5] skipped (--fast) =="
+  echo "== [5/5] skipped (--fast) =="
   echo "check.sh: OK (fast)"
   exit 0
 fi
 
-echo "== [3/4] ASan+UBSan build + tests =="
+echo "== [3/5] ASan+UBSan build + tests =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
-echo "== [4/4] TSan build + engine/thread-pool tests =="
+echo "== [4/5] fault-injection suite under ASan+UBSan =="
+ctest --test-dir build/asan-ubsan -L fault --output-on-failure
+
+echo "== [5/5] TSan build + engine/thread-pool tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 ctest --preset tsan -j "$jobs"

@@ -113,7 +113,7 @@ PcapWriter::PcapWriter(std::ostream& out) : out_(out) {
   w.u32le(0);      // sigfigs
   w.u32le(65535);  // snaplen
   w.u32le(kLinkTypeEthernet);
-  util::write_all(out_, header);
+  ok_ = util::write_all(out_, header);
 }
 
 std::size_t PcapWriter::write(const UdpPacket& packet) {
@@ -126,7 +126,7 @@ std::size_t PcapWriter::write(const UdpPacket& packet) {
   w.u32le(static_cast<std::uint32_t>(frame.size()));      // incl_len
   w.u32le(static_cast<std::uint32_t>(frame.size()));      // orig_len
   w.bytes(frame);
-  util::write_all(out_, record);
+  ok_ = util::write_all(out_, record) && ok_;
   ++packets_;
   return record.size();
 }

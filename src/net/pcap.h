@@ -43,9 +43,14 @@ class PcapWriter {
     return packets_;
   }
 
+  /// True while every write so far reached the stream intact (sticky —
+  /// mirrors the sink discipline of util::write_all).
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+
  private:
   std::ostream& out_;
   std::uint64_t packets_ = 0;
+  bool ok_ = true;
 };
 
 /// Reads UDP packets back from a pcap byte stream. Non-UDP records are

@@ -12,7 +12,9 @@ void ShardedExecutor::parallel_for(
     const std::function<void(std::size_t, std::size_t)>& fn) {
   const std::size_t chunk = chunk_size == 0 ? 1 : chunk_size;
   if (jobs() <= 1) {
-    for (std::size_t b = 0; b < n; b += chunk) fn(b, std::min(n, b + chunk));
+    for (std::size_t b = 0; b < n; b += chunk) {
+      run_shard_with_retry(fn, b / chunk, b, std::min(n, b + chunk));
+    }
     return;
   }
   std::mutex mu;
@@ -22,9 +24,10 @@ void ShardedExecutor::parallel_for(
   std::exception_ptr first_error;
   for (std::size_t b = 0; b < n; b += chunk) {
     const std::size_t e = std::min(n, b + chunk);
-    pool_->submit([&fn, &mu, &cv, &remaining, &first_error, b, e] {
+    const std::size_t index = b / chunk;
+    pool_->submit([this, &fn, &mu, &cv, &remaining, &first_error, index, b, e] {
       try {
-        fn(b, e);
+        run_shard_with_retry(fn, index, b, e);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mu);
         if (!first_error) first_error = std::current_exception();
@@ -36,6 +39,21 @@ void ShardedExecutor::parallel_for(
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&remaining] { return remaining == 0; });
   if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<ShardFailure> ShardedExecutor::quarantined() const {
+  const std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  return quarantined_;
+}
+
+void ShardedExecutor::clear_quarantine() {
+  const std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  quarantined_.clear();
+}
+
+void ShardedExecutor::note_quarantine(ShardFailure failure) {
+  const std::lock_guard<std::mutex> lock(quarantine_mutex_);
+  quarantined_.push_back(std::move(failure));
 }
 
 }  // namespace gorilla::sim

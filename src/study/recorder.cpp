@@ -62,6 +62,33 @@ util::Date decode_date(util::ColumnReader& r) {
   return d;
 }
 
+// Section layout, in write order. Shared by the strict loader (all must be
+// present) and the prefix loader (missing trailing ones read as empty).
+constexpr const char* kSectionNames[] = {
+    "tape", "global", "label", "flow", "dark", "begin", "obs", "sum",
+    "end", "tbl.addr", "tbl.local", "tbl.avg", "tbl.seen", "tbl.restr",
+    "tbl.count", "tbl.port", "tbl.mode", "tbl.ver"};
+
+const std::vector<std::uint8_t>& section_or_empty(
+    const util::ColumnArchive& archive, const char* name) {
+  static const std::vector<std::uint8_t> kEmpty;
+  const auto* bytes = archive.find(name);
+  return bytes != nullptr ? *bytes : kEmpty;
+}
+
+/// A do-nothing sink for validation/counting passes over a stream.
+struct NullSink final : EventSink {};
+
+struct StreamStats {
+  std::uint64_t events = 0;
+  /// Events up to and including the last on_sample_end — the longest
+  /// week-aligned prefix, which is what a resume may safely consume.
+  std::uint64_t safe_events = 0;
+  int weeks = 0;
+  /// Whole tape consumed, every column consistent, no cap hit.
+  bool clean = false;
+};
+
 }  // namespace
 
 void Recorder::tag(std::uint8_t t) {
@@ -200,6 +227,45 @@ bool Recorder::save(const std::string& path) {
   return to_archive().save_file(path);
 }
 
+util::ColumnArchive Recorder::snapshot_archive() const {
+  util::ColumnArchive archive;
+  archive.header = encode_header(header_);
+  // Copy the tape and materialize the pending RLE run into the copy so the
+  // snapshot ends exactly at the last event seen; the live run keeps
+  // accumulating into the original, unperturbed.
+  std::vector<std::uint8_t> tape = tape_.buffer();
+  if (run_len_ > 0) {
+    util::ColumnWriter pending;
+    pending.put_u8(run_tag_);
+    pending.put_varint(run_len_);
+    const auto& extra = pending.buffer();
+    tape.insert(tape.end(), extra.begin(), extra.end());
+  }
+  archive.sections.emplace_back("tape", std::move(tape));
+  archive.sections.emplace_back("global", global_.buffer());
+  archive.sections.emplace_back("label", label_.buffer());
+  archive.sections.emplace_back("flow", flow_.buffer());
+  archive.sections.emplace_back("dark", dark_.buffer());
+  archive.sections.emplace_back("begin", begin_.buffer());
+  archive.sections.emplace_back("obs", obs_.buffer());
+  archive.sections.emplace_back("sum", sum_.buffer());
+  archive.sections.emplace_back("end", end_.buffer());
+  archive.sections.emplace_back("tbl.addr", tbl_addr_.buffer());
+  archive.sections.emplace_back("tbl.local", tbl_local_.buffer());
+  archive.sections.emplace_back("tbl.avg", tbl_avg_.buffer());
+  archive.sections.emplace_back("tbl.seen", tbl_seen_.buffer());
+  archive.sections.emplace_back("tbl.restr", tbl_restr_.buffer());
+  archive.sections.emplace_back("tbl.count", tbl_count_.buffer());
+  archive.sections.emplace_back("tbl.port", tbl_port_.buffer());
+  archive.sections.emplace_back("tbl.mode", tbl_mode_.buffer());
+  archive.sections.emplace_back("tbl.ver", tbl_ver_.buffer());
+  return archive;
+}
+
+bool Recorder::checkpoint(const std::string& path) const {
+  return snapshot_archive().save_file(path);
+}
+
 bool Replayer::load(const std::string& path) {
   auto archive = util::ColumnArchive::load_file(path);
   if (!archive) return false;
@@ -208,49 +274,82 @@ bool Replayer::load(const std::string& path) {
 
 bool Replayer::load_archive(util::ColumnArchive archive) {
   if (!decode_header(archive.header, header_)) return false;
-  static constexpr const char* kRequired[] = {
-      "tape", "global", "label", "flow", "dark", "begin", "obs", "sum",
-      "end", "tbl.addr", "tbl.local", "tbl.avg", "tbl.seen", "tbl.restr",
-      "tbl.count", "tbl.port", "tbl.mode", "tbl.ver"};
-  for (const char* name : kRequired) {
+  for (const char* name : kSectionNames) {
     if (archive.find(name) == nullptr) return false;
   }
   archive_ = std::move(archive);
   return true;
 }
 
-bool Replayer::replay(EventSink& sink) const {
-  util::ColumnReader tape(*archive_.find("tape"));
-  util::ColumnReader global(*archive_.find("global"));
-  util::ColumnReader label(*archive_.find("label"));
-  util::ColumnReader flow(*archive_.find("flow"));
-  util::ColumnReader dark(*archive_.find("dark"));
-  util::ColumnReader begin(*archive_.find("begin"));
-  util::ColumnReader obs_col(*archive_.find("obs"));
-  util::ColumnReader sum(*archive_.find("sum"));
-  util::ColumnReader end(*archive_.find("end"));
-  util::ColumnReader tbl_addr(*archive_.find("tbl.addr"));
-  util::ColumnReader tbl_local(*archive_.find("tbl.local"));
-  util::ColumnReader tbl_avg(*archive_.find("tbl.avg"));
-  util::ColumnReader tbl_seen(*archive_.find("tbl.seen"));
-  util::ColumnReader tbl_restr(*archive_.find("tbl.restr"));
-  util::ColumnReader tbl_count(*archive_.find("tbl.count"));
-  util::ColumnReader tbl_port(*archive_.find("tbl.port"));
-  util::ColumnReader tbl_mode(*archive_.find("tbl.mode"));
-  util::ColumnReader tbl_ver(*archive_.find("tbl.ver"));
+bool Replayer::load_prefix(const std::string& path, ReplayReport& report) {
+  report = ReplayReport{};
+  util::ArchiveReadReport container;
+  auto archive = util::ColumnArchive::load_file_prefix(path, &container);
+  report.sections_ok = container.sections_ok;
+  report.crc_failures = container.crc_failures;
+  report.truncated_at = container.truncated_at;
+  if (!archive) return false;
+  if (!decode_header(archive->header, header_)) return false;
+  report.clean = container.complete;
+  archive_ = std::move(*archive);
+  return true;
+}
 
+namespace {
+
+/// The one dispatch loop behind replay(), complete_weeks(), and
+/// replay_prefix(). Walks the tape, decodes each event out of its column,
+/// and hands it to `sink`. Stops at `max_events`, after `max_weeks`
+/// complete weeks (-1 = unlimited), or at the first inconsistency (short
+/// column, unknown tag, absurd table size) — damage ends the walk, it
+/// never fabricates an event.
+StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
+                            std::uint64_t max_events, int max_weeks) {
+  util::ColumnReader tape(section_or_empty(archive, "tape"));
+  util::ColumnReader global(section_or_empty(archive, "global"));
+  util::ColumnReader label(section_or_empty(archive, "label"));
+  util::ColumnReader flow(section_or_empty(archive, "flow"));
+  util::ColumnReader dark(section_or_empty(archive, "dark"));
+  util::ColumnReader begin(section_or_empty(archive, "begin"));
+  util::ColumnReader obs_col(section_or_empty(archive, "obs"));
+  util::ColumnReader sum(section_or_empty(archive, "sum"));
+  util::ColumnReader end(section_or_empty(archive, "end"));
+  util::ColumnReader tbl_addr(section_or_empty(archive, "tbl.addr"));
+  util::ColumnReader tbl_local(section_or_empty(archive, "tbl.local"));
+  util::ColumnReader tbl_avg(section_or_empty(archive, "tbl.avg"));
+  util::ColumnReader tbl_seen(section_or_empty(archive, "tbl.seen"));
+  util::ColumnReader tbl_restr(section_or_empty(archive, "tbl.restr"));
+  util::ColumnReader tbl_count(section_or_empty(archive, "tbl.count"));
+  util::ColumnReader tbl_port(section_or_empty(archive, "tbl.port"));
+  util::ColumnReader tbl_mode(section_or_empty(archive, "tbl.mode"));
+  util::ColumnReader tbl_ver(section_or_empty(archive, "tbl.ver"));
+
+  StreamStats stats;
+  bool damaged = false;
+  bool capped = false;
   scan::AmplifierObservation obs;  // reused across dispatches
-  while (!tape.at_end()) {
+  while (!tape.at_end() && !damaged && !capped) {
     const std::uint8_t t = tape.get_u8();
     const std::uint64_t count = tape.get_varint();
-    if (!tape.ok()) return false;
-    for (std::uint64_t i = 0; i < count; ++i) {
+    if (!tape.ok()) {
+      damaged = true;
+      break;
+    }
+    for (std::uint64_t i = 0; i < count && !damaged; ++i) {
+      if (stats.events >= max_events ||
+          (max_weeks >= 0 && stats.weeks >= max_weeks)) {
+        capped = true;
+        break;
+      }
       switch (t) {
         case kTagGlobal: {
           const int day = static_cast<int>(global.get_zigzag());
           const auto p = static_cast<telemetry::ProtocolClass>(global.get_u8());
           const double bytes = global.get_f64();
-          if (!global.ok()) return false;
+          if (!global.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_global_bytes(day, p, bytes);
           break;
         }
@@ -259,7 +358,10 @@ bool Replayer::replay(EventSink& sink) const {
           a.start = label.get_zigzag();
           a.vector = static_cast<telemetry::AttackVector>(label.get_u8());
           a.peak_bps = label.get_f64();
-          if (!label.ok()) return false;
+          if (!label.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_attack_label(a);
           break;
         }
@@ -277,7 +379,10 @@ bool Replayer::replay(EventSink& sink) const {
           f.payload_bytes = flow.get_varint();
           f.first = flow.get_zigzag();
           f.last = flow.get_zigzag();
-          if (!flow.ok()) return false;
+          if (!flow.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_flow(f, vantage);
           break;
         }
@@ -286,14 +391,20 @@ bool Replayer::replay(EventSink& sink) const {
           const int day = static_cast<int>(dark.get_zigzag());
           const std::uint64_t packets = dark.get_varint();
           const bool benign = dark.get_u8() != 0;
-          if (!dark.ok()) return false;
+          if (!dark.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_darknet_scan(scanner, day, packets, benign);
           break;
         }
         case kTagBegin: {
           const int week = static_cast<int>(begin.get_zigzag());
           const util::Date date = decode_date(begin);
-          if (!begin.ok()) return false;
+          if (!begin.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_sample_begin(week, date);
           break;
         }
@@ -308,7 +419,10 @@ bool Replayer::replay(EventSink& sink) const {
           obs.table_partial = obs_col.get_u8() != 0;
           obs.attempts = static_cast<int>(obs_col.get_zigzag());
           const std::uint64_t n = obs_col.get_varint();
-          if (!obs_col.ok() || n > (1u << 24)) return false;
+          if (!obs_col.ok() || n > (1u << 24)) {
+            damaged = true;
+            break;
+          }
           obs.table.clear();
           obs.table.reserve(static_cast<std::size_t>(n));
           for (std::uint64_t e = 0; e < n; ++e) {
@@ -326,7 +440,10 @@ bool Replayer::replay(EventSink& sink) const {
             entry.version = tbl_ver.get_u8();
             obs.table.push_back(entry);
           }
-          if (!tbl_addr.ok() || !tbl_ver.ok()) return false;
+          if (!tbl_addr.ok() || !tbl_ver.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_probe_observation(week, obs);
           break;
         }
@@ -341,22 +458,64 @@ bool Replayer::replay(EventSink& sink) const {
           s.retries = sum.get_varint();
           s.truncated_tables = sum.get_varint();
           s.rate_limited = sum.get_varint();
-          if (!sum.ok()) return false;
+          if (!sum.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_monlist_summary(s);
           break;
         }
         case kTagEnd: {
           const int week = static_cast<int>(end.get_zigzag());
-          if (!end.ok()) return false;
+          if (!end.ok()) {
+            damaged = true;
+            break;
+          }
           sink.on_sample_end(week);
           break;
         }
         default:
-          return false;  // unknown tag: artifact from a newer format
+          damaged = true;  // unknown tag: artifact from a newer format
+          break;
+      }
+      if (damaged) break;
+      ++stats.events;
+      if (t == kTagEnd) {
+        ++stats.weeks;
+        stats.safe_events = stats.events;
       }
     }
   }
-  return tape.ok();
+  stats.clean = !damaged && !capped && tape.at_end() && tape.ok();
+  return stats;
+}
+
+}  // namespace
+
+bool Replayer::replay(EventSink& sink) const {
+  constexpr auto kNoCap = ~std::uint64_t{0};
+  return dispatch_stream(archive_, sink, kNoCap, -1).clean;
+}
+
+int Replayer::complete_weeks() const {
+  NullSink null;
+  constexpr auto kNoCap = ~std::uint64_t{0};
+  return dispatch_stream(archive_, null, kNoCap, -1).weeks;
+}
+
+bool Replayer::replay_prefix(EventSink& sink, int max_weeks,
+                             ReplayReport& report) const {
+  // Validation pass into a null sink finds the longest week-aligned run of
+  // decodable events; the real pass then stops exactly there, so `sink`
+  // never observes a torn week even from a damaged artifact.
+  NullSink null;
+  constexpr auto kNoCap = ~std::uint64_t{0};
+  const StreamStats scan = dispatch_stream(archive_, null, kNoCap, max_weeks);
+  const StreamStats real =
+      dispatch_stream(archive_, sink, scan.safe_events, -1);
+  report.events = real.events;
+  report.weeks_complete = real.weeks;
+  return real.events == scan.safe_events;
 }
 
 }  // namespace gorilla::study

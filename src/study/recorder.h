@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "study/events.h"
@@ -69,6 +70,16 @@ class Recorder final : public EventSink {
   /// to_archive() + write to `path`; false on I/O failure.
   [[nodiscard]] bool save(const std::string& path);
 
+  /// Non-destructive copy of everything recorded so far (the pending RLE
+  /// run is materialized into the copy; recording continues unaffected).
+  [[nodiscard]] util::ColumnArchive snapshot_archive() const;
+
+  /// snapshot_archive() + atomic save_file: a durable mid-run checkpoint.
+  /// Call at week boundaries and an interrupted run can resume from the
+  /// last complete week instead of starting over. False on I/O failure
+  /// (the previous checkpoint, if any, is left intact).
+  [[nodiscard]] bool checkpoint(const std::string& path) const;
+
  private:
   void tag(std::uint8_t t);
   void flush_run();
@@ -83,6 +94,22 @@ class Recorder final : public EventSink {
   std::uint64_t run_len_ = 0;
 };
 
+/// What a prefix-tolerant load + replay recovered from a damaged (or
+/// intact) artifact. Container-level damage first — `sections_ok` archive
+/// sections survived, reading stopped at `truncated_at` (stream offset) or
+/// after `crc_failures` checksum mismatches — then stream-level totals:
+/// how many events the longest valid prefix holds and how many COMPLETE
+/// sample weeks (terminated by on_sample_end) they span. `clean` means the
+/// artifact was whole: every section present and consistent.
+struct ReplayReport {
+  std::size_t sections_ok = 0;
+  std::size_t crc_failures = 0;
+  std::optional<std::uint64_t> truncated_at;
+  std::uint64_t events = 0;
+  int weeks_complete = 0;
+  bool clean = false;
+};
+
 /// Loads a recorded study and dispatches it into a sink.
 class Replayer {
  public:
@@ -90,12 +117,32 @@ class Replayer {
   [[nodiscard]] bool load(const std::string& path);
   [[nodiscard]] bool load_archive(util::ColumnArchive archive);
 
+  /// Prefix-tolerant load: accepts a truncated or partially corrupt
+  /// artifact, keeping the longest valid section prefix (missing trailing
+  /// sections read as empty columns). False only when not even the magic +
+  /// study header survive. `report` describes what was recovered;
+  /// replay_prefix() later fills in its stream-level fields.
+  [[nodiscard]] bool load_prefix(const std::string& path, ReplayReport& report);
+
   [[nodiscard]] const StudyHeader& header() const noexcept { return header_; }
 
   /// Dispatches the entire stream into `sink` in recorded order.
   /// False when the artifact is truncated or internally inconsistent
   /// (the sink may have received a prefix of the stream by then).
   [[nodiscard]] bool replay(EventSink& sink) const;
+
+  /// Complete weeks (on_sample_end markers) in the longest valid event
+  /// prefix — what a resumed run can skip re-simulating.
+  [[nodiscard]] int complete_weeks() const;
+
+  /// Dispatches the longest valid prefix, cut at a week boundary: at most
+  /// `max_weeks` complete weeks (-1 = all of them), never a partial week.
+  /// A validation pass runs first, so `sink` only ever sees events that
+  /// are known-good — unlike replay(), damage cannot leak a torn week.
+  /// Fills report.events / report.weeks_complete. False when the two
+  /// passes disagree (a torn artifact mutating underneath us).
+  [[nodiscard]] bool replay_prefix(EventSink& sink, int max_weeks,
+                                   ReplayReport& report) const;
 
  private:
   StudyHeader header_;

@@ -249,7 +249,10 @@ class ByteWriter {
 /// stream I/O elsewhere stays free of it.
 [[nodiscard]] bool read_exact(std::istream& in, std::span<std::uint8_t> buf);
 
-/// Writes all of `buf` to `out`.
-void write_all(std::ostream& out, std::span<const std::uint8_t> buf);
+/// Writes all of `buf` to `out`; false when the stream is failed afterwards
+/// (short device writes, closed pipes — and injected faults: this is the
+/// seam util::FaultPlan's short-write/corrupt directives act through).
+[[nodiscard]] bool write_all(std::ostream& out,
+                             std::span<const std::uint8_t> buf);
 
 }  // namespace gorilla::util

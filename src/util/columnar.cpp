@@ -1,13 +1,169 @@
 #include "util/columnar.h"
 
+#include <cstdio>
 #include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/crc32.h"
 
 namespace gorilla::util {
 
 namespace {
 
-constexpr std::uint8_t kMagic[8] = {'G', 'O', 'R', 'C', 'O', 'L', 'v', '1'};
+constexpr std::uint8_t kMagicV1[8] = {'G', 'O', 'R', 'C', 'O', 'L', 'v', '1'};
+constexpr std::uint8_t kMagicV2[8] = {'G', 'O', 'R', 'C', 'O', 'L', 'v', '2'};
 constexpr std::size_t kMaxSections = 4096;
+
+/// Flushes a closed file's (or directory's) pages to stable storage. The
+/// ofstream flush only reaches the kernel; without this a rename + crash
+/// can still surface an empty file after reboot.
+bool fsync_path(const char* path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
+void fsync_parent_dir(const std::string& path) {
+  // Best effort: syncing the directory makes the rename itself durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  (void)fsync_path(dir.c_str());
+}
+
+/// Shared loader. Strict mode reproduces load()'s all-or-nothing contract;
+/// prefix mode keeps every section up to the first truncated or CRC-failed
+/// one and reports what it saw.
+std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
+                                       ArchiveReadReport& report) {
+  report = ArchiveReadReport{};
+  std::uint64_t offset = 0;
+
+  std::uint8_t fixed[12];
+  if (!read_exact(in, fixed)) {
+    report.truncated_at = offset;
+    return std::nullopt;
+  }
+  ByteReader fr(fixed);
+  int version = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::uint8_t m = fr.u8();
+    if (i < 7) {
+      if (m != kMagicV1[i]) return std::nullopt;
+    } else if (m == kMagicV1[7]) {
+      version = 1;
+    } else if (m == kMagicV2[7]) {
+      version = 2;
+    } else {
+      return std::nullopt;
+    }
+  }
+  const std::uint32_t header_len = fr.u32le();
+  if (!fr.ok() || header_len > (1u << 20)) return std::nullopt;
+  offset += sizeof(fixed);
+
+  ColumnArchive archive;
+  archive.header.resize(header_len);
+  if (header_len > 0 && !read_exact(in, archive.header)) {
+    report.truncated_at = offset;
+    return std::nullopt;
+  }
+  offset += header_len;
+
+  if (version == 2) {
+    std::uint8_t crc_raw[4];
+    if (!read_exact(in, crc_raw)) {
+      report.truncated_at = offset;
+      return std::nullopt;
+    }
+    ByteReader hr(crc_raw);
+    if (hr.u32le() != crc32(archive.header)) {
+      // A corrupt header poisons everything downstream — fatal even for
+      // the prefix loader.
+      ++report.crc_failures;
+      return std::nullopt;
+    }
+    offset += sizeof(crc_raw);
+  }
+
+  std::uint8_t count_raw[4];
+  if (!read_exact(in, count_raw)) {
+    report.truncated_at = offset;
+    return std::nullopt;
+  }
+  ByteReader cr(count_raw);
+  const std::uint32_t count = cr.u32le();
+  if (count > kMaxSections) return std::nullopt;
+  offset += sizeof(count_raw);
+  report.header_ok = true;
+
+  for (std::uint32_t s = 0; s < count; ++s) {
+    std::uint8_t name_len_raw[1];
+    if (!read_exact(in, name_len_raw)) {
+      report.truncated_at = offset;
+      if (strict) return std::nullopt;
+      return archive;
+    }
+    const std::size_t name_len = name_len_raw[0];
+    offset += 1;
+    std::vector<std::uint8_t> name_bytes(name_len);
+    if (name_len > 0 && !read_exact(in, name_bytes)) {
+      report.truncated_at = offset;
+      if (strict) return std::nullopt;
+      return archive;
+    }
+    offset += name_len;
+
+    const std::size_t frame_len = version == 2 ? 12 : 8;
+    std::uint8_t frame_raw[12];
+    if (!read_exact(in, std::span<std::uint8_t>(frame_raw, frame_len))) {
+      report.truncated_at = offset;
+      if (strict) return std::nullopt;
+      return archive;
+    }
+    ByteReader sr(std::span<const std::uint8_t>(frame_raw, frame_len));
+    const std::uint64_t payload_len = sr.u64be();
+    const std::uint32_t payload_crc = version == 2 ? sr.u32le() : 0;
+    // A recorded study is bounded by memory anyway; refuse absurd sizes
+    // rather than let a corrupt length drive a giant allocation.
+    if (payload_len > (1ull << 40)) {
+      if (strict) return std::nullopt;
+      report.truncated_at = offset;
+      return archive;
+    }
+    offset += frame_len;
+
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_len));
+    if (payload_len > 0 && !read_exact(in, payload)) {
+      report.truncated_at = offset;
+      if (strict) return std::nullopt;
+      return archive;
+    }
+    offset += payload_len;
+    if (version == 2 && crc32(payload) != payload_crc) {
+      ++report.crc_failures;
+      if (strict) return std::nullopt;
+      // Framing was intact but the bytes are damaged: the durable prefix
+      // ends at the previous section.
+      return archive;
+    }
+    std::string name(name_bytes.begin(), name_bytes.end());
+    archive.sections.emplace_back(std::move(name), std::move(payload));
+    ++report.sections_ok;
+  }
+  report.complete = true;
+  return archive;
+}
 
 }  // namespace
 
@@ -19,78 +175,77 @@ const std::vector<std::uint8_t>* ColumnArchive::find(
   return nullptr;
 }
 
-void ColumnArchive::save(std::ostream& out) const {
+bool ColumnArchive::save(std::ostream& out) const {
   std::vector<std::uint8_t> scratch;
   ByteWriter w(scratch);
-  w.bytes(kMagic);
+  w.bytes(kMagicV2);
   w.u32le(static_cast<std::uint32_t>(header.size()));
   w.bytes(header);
+  w.u32le(crc32(header));
   w.u32le(static_cast<std::uint32_t>(sections.size()));
-  write_all(out, scratch);
+  if (!write_all(out, scratch)) return false;
   for (const auto& [name, bytes] : sections) {
     scratch.clear();
     ByteWriter sw(scratch);
     sw.u8(static_cast<std::uint8_t>(name.size()));
     for (const char c : name) sw.u8(static_cast<std::uint8_t>(c));
     sw.u64be(bytes.size());
-    write_all(out, scratch);
-    write_all(out, bytes);
+    sw.u32le(crc32(bytes));
+    if (!write_all(out, scratch)) return false;
+    if (!write_all(out, bytes)) return false;
   }
+  return true;
 }
 
 std::optional<ColumnArchive> ColumnArchive::load(std::istream& in) {
-  std::uint8_t fixed[12];
-  if (!read_exact(in, fixed)) return std::nullopt;
-  ByteReader fr(fixed);
-  for (const std::uint8_t m : kMagic) {
-    if (fr.u8() != m) return std::nullopt;
-  }
-  const std::uint32_t header_len = fr.u32le();
-  if (!fr.ok() || header_len > (1u << 20)) return std::nullopt;
+  ArchiveReadReport report;
+  return load_impl(in, /*strict=*/true, report);
+}
 
-  ColumnArchive archive;
-  archive.header.resize(header_len);
-  if (header_len > 0 && !read_exact(in, archive.header)) return std::nullopt;
-
-  std::uint8_t count_raw[4];
-  if (!read_exact(in, count_raw)) return std::nullopt;
-  ByteReader cr(count_raw);
-  const std::uint32_t count = cr.u32le();
-  if (count > kMaxSections) return std::nullopt;
-
-  for (std::uint32_t s = 0; s < count; ++s) {
-    std::uint8_t name_len_raw[1];
-    if (!read_exact(in, name_len_raw)) return std::nullopt;
-    const std::size_t name_len = name_len_raw[0];
-    std::vector<std::uint8_t> name_bytes(name_len);
-    if (name_len > 0 && !read_exact(in, name_bytes)) return std::nullopt;
-    std::uint8_t size_raw[8];
-    if (!read_exact(in, size_raw)) return std::nullopt;
-    ByteReader sr(size_raw);
-    const std::uint64_t payload_len = sr.u64be();
-    // A recorded study is bounded by memory anyway; refuse absurd sizes
-    // rather than let a corrupt length drive a giant allocation.
-    if (payload_len > (1ull << 40)) return std::nullopt;
-    std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_len));
-    if (payload_len > 0 && !read_exact(in, payload)) return std::nullopt;
-    std::string name(name_bytes.begin(), name_bytes.end());
-    archive.sections.emplace_back(std::move(name), std::move(payload));
-  }
-  return archive;
+std::optional<ColumnArchive> ColumnArchive::load_prefix(
+    std::istream& in, ArchiveReadReport* report) {
+  ArchiveReadReport local;
+  return load_impl(in, /*strict=*/false, report != nullptr ? *report : local);
 }
 
 bool ColumnArchive::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return false;
-  save(out);
-  out.flush();
-  return static_cast<bool>(out);
+  // Temp-file + rename: the destination either keeps its previous contents
+  // or atomically becomes the complete new artifact — a crash, ENOSPC, or
+  // injected short write can never leave a torn file at `path`.
+  const std::string tmp = path + ".tmp";
+  bool ok = false;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ok = static_cast<bool>(out) && save(out);
+    if (ok) {
+      out.flush();
+      ok = static_cast<bool>(out);
+    }
+  }
+  ok = ok && fsync_path(tmp.c_str());
+  ok = ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
 }
 
 std::optional<ColumnArchive> ColumnArchive::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   return load(in);
+}
+
+std::optional<ColumnArchive> ColumnArchive::load_file_prefix(
+    const std::string& path, ArchiveReadReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (report != nullptr) *report = ArchiveReadReport{};
+    return std::nullopt;
+  }
+  return load_prefix(in, report);
 }
 
 }  // namespace gorilla::util

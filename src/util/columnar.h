@@ -114,7 +114,28 @@ class ColumnReader {
   bool bad_ = false;
 };
 
+/// What a prefix-tolerant archive read saw. `sections_ok` sections were
+/// recovered intact; reading stopped at the first CRC failure
+/// (`crc_failures` = 1) or short read (`truncated_at` = stream offset of
+/// the first field that could not be fully read). `complete` means every
+/// declared section was present and valid — the file is whole.
+struct ArchiveReadReport {
+  std::size_t sections_ok = 0;
+  std::size_t crc_failures = 0;
+  std::optional<std::uint64_t> truncated_at;
+  bool header_ok = false;
+  bool complete = false;
+};
+
 /// A named-section container: opaque header + ordered (name, bytes) columns.
+///
+/// On-disk format GORCOLv2: magic "GORCOLv2", u32le header length, header
+/// bytes, u32le header CRC-32, u32le section count, then per section a u8
+/// name length, the name, a u64be payload length, a u32le payload CRC-32,
+/// and the payload. v1 (no CRCs) is still readable; writers emit v2 only.
+/// The length+CRC framing makes every section independently validatable,
+/// so a torn tail is recoverable as a durable prefix (load_prefix) instead
+/// of poisoning the whole artifact.
 struct ColumnArchive {
   std::vector<std::uint8_t> header;
   std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections;
@@ -123,15 +144,29 @@ struct ColumnArchive {
   [[nodiscard]] const std::vector<std::uint8_t>* find(
       std::string_view name) const noexcept;
 
-  void save(std::ostream& out) const;
+  /// Serializes as GORCOLv2; false when the sink fails mid-write (the
+  /// stream then holds an undefined partial prefix — discard it).
+  [[nodiscard]] bool save(std::ostream& out) const;
 
-  /// nullopt on bad magic, truncation, or malformed section table.
+  /// Strict load (v1 or v2): nullopt on bad magic, truncation, any CRC
+  /// mismatch, or a malformed section table.
   [[nodiscard]] static std::optional<ColumnArchive> load(std::istream& in);
 
-  /// File convenience wrappers; false/nullopt on I/O failure.
+  /// Prefix-tolerant load (v1 or v2): requires a valid magic/header, then
+  /// consumes the longest run of intact sections, stopping at the first
+  /// truncated or CRC-failed one. nullopt only when not even the header
+  /// survives. Details of what was recovered land in *report (optional).
+  [[nodiscard]] static std::optional<ColumnArchive> load_prefix(
+      std::istream& in, ArchiveReadReport* report = nullptr);
+
+  /// Atomic file write: serializes to `path + ".tmp"`, flushes + fsyncs,
+  /// then renames over `path`. On any failure the temp file is removed and
+  /// the previous contents of `path` are untouched. False on failure.
   [[nodiscard]] bool save_file(const std::string& path) const;
   [[nodiscard]] static std::optional<ColumnArchive> load_file(
       const std::string& path);
+  [[nodiscard]] static std::optional<ColumnArchive> load_file_prefix(
+      const std::string& path, ArchiveReadReport* report = nullptr);
 };
 
 }  // namespace gorilla::util

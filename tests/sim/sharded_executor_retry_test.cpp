@@ -1,0 +1,195 @@
+// Retry/quarantine contract: a transient shard failure heals invisibly
+// (produce is pure in its range, so the re-run merges bit-identically for
+// any worker count), a poison shard exhausts its budget into the
+// quarantine list and still aborts the run, and the FaultPlan shard hook
+// drives both paths from a deterministic plan.
+//
+// Suites are named ShardedExecutorRetry* so the TSan preset's test filter
+// (^ShardedExecutor...) picks them up.
+#include "sim/sharded_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/fault.h"
+#include "util/thread_pool.h"
+
+namespace gorilla::sim {
+namespace {
+
+struct ScopedPlan {
+  explicit ScopedPlan(const util::FaultPlan& plan) {
+    util::FaultPlan::install(plan);
+  }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+  ~ScopedPlan() { util::FaultPlan::clear(); }
+};
+
+/// Sums [begin, end) — the pure produce() all retry tests merge.
+std::size_t range_sum(std::size_t begin, std::size_t end) {
+  std::size_t sum = 0;
+  for (std::size_t i = begin; i < end; ++i) sum += i;
+  return sum;
+}
+
+/// The canonical merged output of run_ordered(n, chunk, range_sum, append).
+std::vector<std::size_t> expected_sums(std::size_t n, std::size_t chunk) {
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < n; b += chunk) {
+    out.push_back(range_sum(b, std::min(n, b + chunk)));
+  }
+  return out;
+}
+
+TEST(ShardedExecutorRetryTest, TransientFailureHealsBitIdentical) {
+  const auto run_with_one_transient_failure = [](ShardedExecutor& exec) {
+    std::mutex mu;
+    bool failed_once = false;
+    std::vector<std::size_t> sums;
+    exec.run_ordered(
+        10, 3,
+        [&mu, &failed_once](std::size_t b, std::size_t e) {
+          {
+            const std::lock_guard<std::mutex> lock(mu);
+            if (b == 3 && !failed_once) {
+              failed_once = true;
+              throw std::runtime_error("transient");
+            }
+          }
+          return range_sum(b, e);
+        },
+        [&sums](std::size_t s) { sums.push_back(s); });
+    return sums;
+  };
+
+  ShardedExecutor inline_exec(nullptr);
+  EXPECT_EQ(run_with_one_transient_failure(inline_exec), expected_sums(10, 3));
+  EXPECT_TRUE(inline_exec.quarantined().empty());
+
+  util::ThreadPool pool(3);
+  ShardedExecutor pooled(&pool);
+  EXPECT_EQ(run_with_one_transient_failure(pooled), expected_sums(10, 3));
+  EXPECT_TRUE(pooled.quarantined().empty());
+}
+
+TEST(ShardedExecutorRetryTest, PoisonShardQuarantinedAndRethrown) {
+  const auto poison_run = [](ShardedExecutor& exec) {
+    exec.run_ordered(
+        10, 2,
+        [](std::size_t b, std::size_t e) -> std::size_t {
+          if (b == 6) throw std::runtime_error("poison cell");
+          return range_sum(b, e);
+        },
+        [](std::size_t) {});
+  };
+
+  ShardedExecutor inline_exec(nullptr);
+  EXPECT_THROW(poison_run(inline_exec), std::runtime_error);
+  auto quarantined = inline_exec.quarantined();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].index, 3u);
+  EXPECT_EQ(quarantined[0].begin, 6u);
+  EXPECT_EQ(quarantined[0].end, 8u);
+  EXPECT_EQ(quarantined[0].attempts, inline_exec.max_attempts());
+  EXPECT_NE(quarantined[0].error.find("poison cell"), std::string::npos);
+  inline_exec.clear_quarantine();
+  EXPECT_TRUE(inline_exec.quarantined().empty());
+
+  util::ThreadPool pool(3);
+  ShardedExecutor pooled(&pool);
+  EXPECT_THROW(poison_run(pooled), std::runtime_error);
+  quarantined = pooled.quarantined();
+  ASSERT_GE(quarantined.size(), 1u);  // later in-flight shards drain cleanly
+  EXPECT_EQ(quarantined[0].begin, 6u);
+}
+
+TEST(ShardedExecutorRetryTest, MaxAttemptsClampsToOne) {
+  ShardedExecutor exec(nullptr);
+  exec.set_max_attempts(0);
+  EXPECT_EQ(exec.max_attempts(), 1);
+
+  int calls = 0;
+  EXPECT_THROW(exec.run_ordered(
+                   2, 2,
+                   [&calls](std::size_t, std::size_t) -> int {
+                     ++calls;
+                     throw std::runtime_error("always");
+                   },
+                   [](int) {}),
+               std::runtime_error);
+  EXPECT_EQ(calls, 1);  // no retry at max_attempts() == 1
+  ASSERT_EQ(exec.quarantined().size(), 1u);
+  EXPECT_EQ(exec.quarantined()[0].attempts, 1);
+}
+
+TEST(ShardedExecutorRetryTest, InjectedTransientFaultIsInvisible) {
+  // Inline executor: attempt ordinals are sequential, so shard 2's first
+  // attempt is ordinal 2. One injected throw there retries into ordinal 3
+  // and the merged output is unchanged.
+  util::FaultPlan plan;
+  plan.shard_throw_at = 2;
+  const ScopedPlan guard(plan);
+
+  ShardedExecutor exec(nullptr);
+  std::vector<std::size_t> sums;
+  exec.run_ordered(
+      10, 2, [](std::size_t b, std::size_t e) { return range_sum(b, e); },
+      [&sums](std::size_t s) { sums.push_back(s); });
+  EXPECT_EQ(sums, expected_sums(10, 2));
+  EXPECT_TRUE(exec.quarantined().empty());
+}
+
+TEST(ShardedExecutorRetryTest, InjectedPoisonWindowExhaustsTheBudget) {
+  // A wide throw window swallows every retry: the shard burns its whole
+  // budget on consecutive ordinals and lands in quarantine.
+  util::FaultPlan plan;
+  plan.shard_throw_at = 2;
+  plan.shard_throw_count = 100;
+  const ScopedPlan guard(plan);
+
+  ShardedExecutor exec(nullptr);
+  EXPECT_THROW(exec.run_ordered(
+                   10, 2,
+                   [](std::size_t b, std::size_t e) { return range_sum(b, e); },
+                   [](std::size_t) {}),
+               util::FaultInjected);
+  const auto quarantined = exec.quarantined();
+  ASSERT_EQ(quarantined.size(), 1u);
+  EXPECT_EQ(quarantined[0].index, 2u);
+  EXPECT_EQ(quarantined[0].attempts, exec.max_attempts());
+  EXPECT_NE(quarantined[0].error.find("injected shard fault"),
+            std::string::npos);
+}
+
+TEST(ShardedExecutorRetryTest, ParallelForRetriesTransientFailures) {
+  std::mutex mu;
+  bool failed_once = false;
+  std::vector<int> hits(10, 0);
+  util::ThreadPool pool(2);
+  ShardedExecutor exec(&pool);
+  exec.parallel_for(10, 5, [&mu, &failed_once, &hits](std::size_t b,
+                                                      std::size_t e) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      if (b == 5 && !failed_once) {
+        failed_once = true;
+        throw std::runtime_error("transient");
+      }
+    }
+    const std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  // Every index ran exactly once despite the mid-run failure.
+  EXPECT_EQ(hits, std::vector<int>(10, 1));
+  EXPECT_TRUE(exec.quarantined().empty());
+}
+
+}  // namespace
+}  // namespace gorilla::sim

@@ -1,0 +1,230 @@
+// In-process kill-test for the checkpoint/resume path: a mid-run
+// checkpoint is a whole, loadable artifact holding exactly the complete
+// weeks recorded so far; a torn artifact replays as the longest
+// week-aligned prefix and never leaks a partial week into the sink.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scan/prober.h"
+#include "study/events.h"
+#include "study/recorder.h"
+#include "util/columnar.h"
+
+namespace gorilla::study {
+namespace {
+
+StudyHeader test_header() {
+  StudyHeader h;
+  h.kind = 0;
+  h.scale = 55;
+  h.seed = 0x800'1b;
+  h.quick = true;
+  h.param_a = 3;
+  return h;
+}
+
+/// One synthetic sample week: every event type fires, payloads vary by
+/// week so a misaligned replay cannot accidentally match.
+void emit_week(EventSink& sink, int week) {
+  sink.on_global_bytes(week * 7, telemetry::ProtocolClass::kNtp,
+                       1.5e9 * (week + 1));
+
+  telemetry::FlowRecord flow;
+  flow.src = net::Ipv4Address(192, 0, 2, static_cast<std::uint8_t>(week + 1));
+  flow.dst = net::Ipv4Address(198, 51, 100, 7);
+  flow.src_port = 123;
+  flow.dst_port = static_cast<std::uint16_t>(40000 + week);
+  flow.packets = 10u + static_cast<std::uint64_t>(week);
+  flow.bytes = 4000u + static_cast<std::uint64_t>(week) * 100;
+  sink.on_flow(flow, kAllVantages);
+
+  sink.on_darknet_scan(net::Ipv4Address(203, 0, 113, 9), week * 7,
+                       256 + static_cast<std::uint64_t>(week), week % 2 == 0);
+
+  sink.on_sample_begin(week, util::Date{2013, 11, 1 + week});
+  scan::AmplifierObservation obs;
+  obs.server_index = 100 + week;
+  obs.address = net::Ipv4Address(203, 0, 113, static_cast<std::uint8_t>(week));
+  obs.response_packets = 7u + static_cast<std::uint64_t>(week);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ntp::MonitorEntry entry;
+    entry.address = net::Ipv4Address((10u << 24) | (week * 8u + i));
+    entry.local_address = obs.address;
+    entry.count = 100u * (i + 1) + static_cast<std::uint32_t>(week);
+    entry.port = static_cast<std::uint16_t>(1024 + i);
+    entry.mode = 3;
+    entry.version = 4;
+    obs.table.push_back(entry);
+  }
+  sink.on_probe_observation(week, obs);
+
+  scan::MonlistSampleSummary summary;
+  summary.week = week;
+  summary.date = util::Date{2013, 11, 1 + week};
+  summary.probes_sent = 500 + week;
+  summary.responders = 42 + week;
+  sink.on_monlist_summary(summary);
+  sink.on_sample_end(week);
+}
+
+/// Journals every delivered event as one line for order/payload equality.
+struct JournalSink final : EventSink {
+  std::vector<std::string> lines;
+  [[nodiscard]] bool wants_flows() const override { return true; }
+  [[nodiscard]] bool wants_labels() const override { return true; }
+  void on_global_bytes(int day, telemetry::ProtocolClass p,
+                       double bytes) override {
+    lines.push_back("global " + std::to_string(day) + " " +
+                    std::to_string(static_cast<int>(p)) + " " +
+                    std::to_string(bytes));
+  }
+  void on_flow(const telemetry::FlowRecord& flow, int vantage) override {
+    lines.push_back("flow " + std::to_string(vantage) + " " +
+                    std::to_string(flow.src.value()) + " " +
+                    std::to_string(flow.bytes));
+  }
+  void on_darknet_scan(net::Ipv4Address scanner, int day,
+                       std::uint64_t packets, bool benign) override {
+    lines.push_back("dark " + std::to_string(scanner.value()) + " " +
+                    std::to_string(day) + " " + std::to_string(packets) + " " +
+                    std::to_string(benign ? 1 : 0));
+  }
+  void on_sample_begin(int week, const util::Date& date) override {
+    lines.push_back("begin " + std::to_string(week) + " " +
+                    std::to_string(date.day));
+  }
+  void on_probe_observation(int week,
+                            const scan::AmplifierObservation& obs) override {
+    std::string line = "obs " + std::to_string(week) + " " +
+                       std::to_string(obs.server_index);
+    for (const auto& e : obs.table) {
+      line += ' ';
+      line += std::to_string(e.address.value());
+      line += ':';
+      line += std::to_string(e.count);
+    }
+    lines.push_back(line);
+  }
+  void on_monlist_summary(const scan::MonlistSampleSummary& summary) override {
+    lines.push_back("sum " + std::to_string(summary.week) + " " +
+                    std::to_string(summary.responders));
+  }
+  void on_sample_end(int week) override {
+    lines.push_back("end " + std::to_string(week));
+  }
+};
+
+std::vector<std::string> direct_journal(int weeks) {
+  JournalSink sink;
+  for (int w = 0; w < weeks; ++w) emit_week(sink, w);
+  return sink.lines;
+}
+
+TEST(RecorderCheckpointTest, CheckpointCapturesCompleteWeeksMidRun) {
+  const std::string path = testing::TempDir() + "checkpoint_midrun.study";
+  Recorder recorder(test_header());
+  emit_week(recorder, 0);
+  emit_week(recorder, 1);
+  ASSERT_TRUE(recorder.checkpoint(path));
+
+  // The "crash": week 2 starts but never completes, and no final save runs.
+  recorder.on_sample_begin(2, util::Date{2013, 11, 3});
+  recorder.on_global_bytes(14, telemetry::ProtocolClass::kNtp, 9e9);
+
+  Replayer replayer;
+  ReplayReport report;
+  ASSERT_TRUE(replayer.load_prefix(path, report));
+  EXPECT_TRUE(report.clean);  // a checkpoint is a whole artifact
+  EXPECT_EQ(replayer.header(), test_header());
+  EXPECT_EQ(replayer.complete_weeks(), 2);
+
+  JournalSink sink;
+  ASSERT_TRUE(replayer.replay_prefix(sink, -1, report));
+  EXPECT_EQ(report.weeks_complete, 2);
+  EXPECT_EQ(sink.lines, direct_journal(2));
+  std::remove(path.c_str());
+}
+
+TEST(RecorderCheckpointTest, SnapshotDoesNotDisturbRecording) {
+  Recorder with_snapshot(test_header());
+  Recorder plain(test_header());
+  for (int w = 0; w < 3; ++w) {
+    emit_week(with_snapshot, w);
+    emit_week(plain, w);
+    (void)with_snapshot.snapshot_archive();  // snapshot every week boundary
+  }
+  const util::ColumnArchive a = with_snapshot.to_archive();
+  const util::ColumnArchive b = plain.to_archive();
+  EXPECT_EQ(a.header, b.header);
+  EXPECT_EQ(a.sections, b.sections);
+}
+
+TEST(RecorderCheckpointTest, SnapshotAtEndMatchesFinalArchive) {
+  Recorder recorder(test_header());
+  for (int w = 0; w < 2; ++w) emit_week(recorder, w);
+  const util::ColumnArchive snap = recorder.snapshot_archive();
+  const util::ColumnArchive final_archive = recorder.to_archive();
+  EXPECT_EQ(snap.header, final_archive.header);
+  EXPECT_EQ(snap.sections, final_archive.sections);
+}
+
+TEST(ReplayerPrefixTest, TruncatedArtifactReplaysOnlyWholeWeeks) {
+  const std::string path = testing::TempDir() + "prefix_truncated.study";
+  Recorder recorder(test_header());
+  for (int w = 0; w < 3; ++w) emit_week(recorder, w);
+  ASSERT_TRUE(recorder.save(path));
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  for (const double frac : {0.35, 0.55, 0.75, 0.95}) {
+    const auto len =
+        static_cast<std::size_t>(static_cast<double>(full.size()) * frac);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(len));
+    }
+    Replayer replayer;
+    ReplayReport report;
+    if (!replayer.load_prefix(path, report)) continue;  // header zone cut
+    EXPECT_FALSE(report.clean) << "frac " << frac;
+
+    JournalSink sink;
+    ASSERT_TRUE(replayer.replay_prefix(sink, -1, report)) << "frac " << frac;
+    ASSERT_LE(report.weeks_complete, 3) << "frac " << frac;
+    // The sink saw exactly the first weeks_complete weeks — never a torn
+    // week, never a stray event past the last on_sample_end.
+    EXPECT_EQ(sink.lines, direct_journal(report.weeks_complete))
+        << "frac " << frac;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReplayerPrefixTest, ReplayPrefixHonorsWeekCap) {
+  Recorder recorder(test_header());
+  for (int w = 0; w < 3; ++w) emit_week(recorder, w);
+  const std::string path = testing::TempDir() + "prefix_cap.study";
+  ASSERT_TRUE(recorder.save(path));
+
+  Replayer replayer;
+  ReplayReport report;
+  ASSERT_TRUE(replayer.load_prefix(path, report));
+  EXPECT_TRUE(report.clean);
+  EXPECT_EQ(replayer.complete_weeks(), 3);
+
+  JournalSink sink;
+  ASSERT_TRUE(replayer.replay_prefix(sink, 1, report));
+  EXPECT_EQ(report.weeks_complete, 1);
+  EXPECT_EQ(sink.lines, direct_journal(1));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gorilla::study

@@ -1,0 +1,11 @@
+// Lint self-test fixture: must trip raw-ofstream and nothing else.
+// A durable write bypassing util::ColumnArchive::save_file / write_all —
+// no atomic rename, no fsync, invisible to the fault-injection harness.
+#include <fstream>
+#include <string>
+
+bool dump_report(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(out);
+}

@@ -168,7 +168,7 @@ TEST(ByteWriterTest, PatchBackfillsChecksumStyleFields) {
 TEST(StreamBridgeTest, WriteAllThenReadExactRoundTrips) {
   std::stringstream ss;
   const std::vector<std::uint8_t> out = {0x00, 0xff, 0x10, 0x20};
-  write_all(ss, out);
+  EXPECT_TRUE(write_all(ss, out));
   std::vector<std::uint8_t> in(4);
   EXPECT_TRUE(read_exact(ss, in));
   EXPECT_EQ(in, out);
@@ -177,7 +177,7 @@ TEST(StreamBridgeTest, WriteAllThenReadExactRoundTrips) {
 TEST(StreamBridgeTest, ReadExactRefusesShortStreams) {
   std::stringstream ss;
   const std::vector<std::uint8_t> out = {1, 2};
-  write_all(ss, out);
+  EXPECT_TRUE(write_all(ss, out));
   std::vector<std::uint8_t> in(3);
   EXPECT_FALSE(read_exact(ss, in));
 }

@@ -120,7 +120,7 @@ ColumnArchive make_archive() {
 TEST(ColumnArchiveTest, StreamRoundTripPreservesEverything) {
   const ColumnArchive archive = make_archive();
   std::stringstream ss;
-  archive.save(ss);
+  ASSERT_TRUE(archive.save(ss));
   const auto loaded = ColumnArchive::load(ss);
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->header, archive.header);
@@ -158,7 +158,7 @@ TEST(ColumnArchiveTest, MissingFileLoadsAsNullopt) {
 
 TEST(ColumnArchiveTest, BadMagicRejected) {
   std::stringstream ss;
-  make_archive().save(ss);
+  ASSERT_TRUE(make_archive().save(ss));
   std::string bytes = ss.str();
   bytes[0] ^= 0x20;
   std::stringstream corrupt(bytes);
@@ -167,7 +167,7 @@ TEST(ColumnArchiveTest, BadMagicRejected) {
 
 TEST(ColumnArchiveTest, TruncationRejectedAtEveryLength) {
   std::stringstream ss;
-  make_archive().save(ss);
+  ASSERT_TRUE(make_archive().save(ss));
   const std::string bytes = ss.str();
   // Any strict prefix must fail to load — never a silent partial archive.
   for (std::size_t len = 0; len < bytes.size(); ++len) {

@@ -20,6 +20,10 @@
 //                   ThreadPool::submit (captures must be spelled out so the
 //                   reviewer can check the determinism-merge contract at
 //                   the call site)
+//   raw-ofstream    std::ofstream outside the sanctioned artifact-write
+//                   path (util/columnar.cpp save_file + util/bytes.cpp
+//                   write_all) — raw streams skip the atomic tmp+rename,
+//                   fsync, and fault-injection seam
 //
 // A finding on a line containing "NOLINT(<rule>)" is suppressed; waivers
 // are expected to carry a justifying comment.
@@ -417,6 +421,26 @@ void rule_worker_capture(const SourceFile& f, std::vector<Finding>& findings) {
   }
 }
 
+// --- rule: raw-ofstream ----------------------------------------------------
+
+/// Durable artifacts must reach disk through ColumnArchive::save_file /
+/// util::write_all: that path owns the atomic tmp-write + rename, the
+/// fsync, and the FaultPlan injection seam, so a raw std::ofstream
+/// anywhere else is a write that crash-safety tests cannot see.
+void rule_raw_ofstream(const SourceFile& f, std::vector<Finding>& findings) {
+  if (path_contains(f.path, "util/columnar.cpp") ||
+      path_contains(f.path, "util/bytes.cpp")) {
+    return;  // the sanctioned artifact-write path
+  }
+  static const std::regex ofstream_re(R"(\b(basic_)?ofstream\b)");
+  add_regex_findings(f, ofstream_re, "raw-ofstream",
+                     "raw std::ofstream; durable writes go through "
+                     "util::ColumnArchive::save_file / util::write_all "
+                     "(atomic rename + fsync + fault-injection seam), or "
+                     "carry a justified NOLINT(raw-ofstream) waiver",
+                     findings);
+}
+
 // --- driver ----------------------------------------------------------------
 
 bool load(const fs::path& p, SourceFile& f) {
@@ -461,6 +485,7 @@ std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
     rule_float_eq(f, findings);
     rule_parse_optional(f, findings);
     rule_worker_capture(f, findings);
+    rule_raw_ofstream(f, findings);
   }
   return findings;
 }
