@@ -33,6 +33,15 @@ cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
 echo "== [2/5] gorilla_lint (tree + self-test) =="
+# Parallel analysis over the whole tree first — the summary line on stderr
+# reports wall time, cache hits, and the job count; the DOT artifact and
+# warm cache land in build/release for inspection. Then the ctest battery
+# (self-test fixtures, layering mini-trees) on top.
+./build/release/tools/gorilla_lint/gorilla_lint \
+  --jobs "$jobs" \
+  --cache build/release/gorilla_lint.cache \
+  --dot build/release/include_graph.dot \
+  src tools
 ctest --test-dir build/release -L lint --output-on-failure
 
 if [[ "$fast" -eq 1 ]]; then

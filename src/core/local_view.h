@@ -18,7 +18,10 @@
 #include <vector>
 
 #include "net/registry.h"
-#include "telemetry/flow.h"
+// Published downward interface (DESIGN.md §3f): the §6 forensics read a
+// vantage's FlowCollector and hand back telemetry::VolumeSeries by value,
+// so the flow vocabulary is part of this header's contract.
+#include "telemetry/flow.h"  // NOLINT(layer-break)
 #include "util/time.h"
 
 namespace gorilla::core {

@@ -80,7 +80,7 @@ struct SystemVariables {
 /// quoting and whitespace, as ntpq is).
 // Text-level splitter over an already-validated payload: garbage yields an
 // empty map, there is no failure to signal.
-[[nodiscard]] std::map<std::string, std::string> parse_variable_list(  // NOLINT(parse-optional)
+[[nodiscard]] std::map<std::string, std::string> parse_variable_list(
     const std::string& text);
 
 /// Splits a rendered variable list into response fragments (M bit/offset

@@ -5,6 +5,9 @@
 #include "net/packet.h"
 #include "ntp/mode6.h"
 #include "ntp/sysinfo.h"
+// Published downward interface (DESIGN.md §3f): probe observations are
+// emitted into the study event vocabulary.
+#include "study/events.h"  // NOLINT(layer-break)
 
 namespace gorilla::scan {
 

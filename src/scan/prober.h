@@ -19,8 +19,13 @@
 #include "sim/impairment.h"
 #include "sim/sharded_executor.h"
 #include "sim/world.h"
-#include "study/events.h"
 #include "util/time.h"
+
+// The sink is only taken by reference here; prober.cpp includes the study
+// event vocabulary (waived).
+namespace gorilla::study {
+class EventSink;
+}  // namespace gorilla::study
 
 namespace gorilla::scan {
 

@@ -7,6 +7,11 @@
 #include "net/ethernet.h"
 #include "sim/scanner.h"
 #include "sim/sharded_executor.h"
+// Published downward interface (DESIGN.md §3f): attack traffic is reported
+// in the telemetry vocabulary (flow records, labels, darknet geometry).
+#include "telemetry/darknet.h"  // NOLINT(layer-break)
+#include "telemetry/flow.h"     // NOLINT(layer-break)
+#include "telemetry/traffic.h"  // NOLINT(layer-break)
 
 namespace gorilla::sim {
 

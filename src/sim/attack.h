@@ -26,13 +26,20 @@
 #include "ntp/monlist.h"
 #include "sim/impairment.h"
 #include "sim/world.h"
-#include "study/collector_sink.h"
-#include "study/event_buffer.h"
-#include "study/events.h"
-#include "telemetry/darknet.h"
-#include "telemetry/flow.h"
-#include "telemetry/traffic.h"
+// Published downward interface (DESIGN.md §3f): the engine buffers typed
+// study events and its legacy AttackSinks alias *is* study::CollectorSink,
+// so these types cross the layer boundary by value, by design.
+#include "study/collector_sink.h"  // NOLINT(layer-break)
+#include "study/event_buffer.h"    // NOLINT(layer-break)
+#include "study/events.h"          // NOLINT(layer-break)
 #include "util/rng.h"
+
+// Geometry collectors are only passed by pointer; attack.cpp includes the
+// telemetry headers it reads from (waived).
+namespace gorilla::telemetry {
+class DarknetTelescope;
+class FlowCollector;
+}  // namespace gorilla::telemetry
 
 namespace gorilla::sim {
 

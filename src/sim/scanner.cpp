@@ -5,7 +5,14 @@
 
 #include "net/ethernet.h"
 #include "ntp/mode7.h"
-#include "study/collector_sink.h"
+// Published downward interface (DESIGN.md §3f): sim emits into the study
+// event vocabulary and consults collector geometry; the types cross the
+// layer boundary by design, so the upward includes live here, waived, not
+// in scanner.h.
+#include "study/collector_sink.h"  // NOLINT(layer-break)
+#include "study/events.h"          // NOLINT(layer-break)
+#include "telemetry/darknet.h"     // NOLINT(layer-break)
+#include "telemetry/flow.h"        // NOLINT(layer-break)
 
 namespace gorilla::sim {
 

@@ -16,10 +16,17 @@
 #include "sim/impairment.h"
 #include "sim/sharded_executor.h"
 #include "sim/world.h"
-#include "study/events.h"
-#include "telemetry/darknet.h"
-#include "telemetry/flow.h"
 #include "util/rng.h"
+
+// The interface only passes collectors by pointer/reference, so the upward
+// layers stay out of this header; scanner.cpp includes them (waived).
+namespace gorilla::study {
+class EventSink;
+}  // namespace gorilla::study
+namespace gorilla::telemetry {
+class DarknetTelescope;
+class FlowCollector;
+}  // namespace gorilla::telemetry
 
 namespace gorilla::sim {
 

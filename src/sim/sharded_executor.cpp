@@ -30,10 +30,12 @@ void ShardedExecutor::parallel_for(
         run_shard_with_retry(fn, index, b, e);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(mu);
-        if (!first_error) first_error = std::current_exception();
+        // Executor-internal completion plumbing, held under mu — not shard
+        // output. The buffered-output contract applies to the shard fn.
+        if (!first_error) first_error = std::current_exception();  // NOLINT(shard-mutation)
       }
       const std::lock_guard<std::mutex> lock(mu);
-      if (--remaining == 0) cv.notify_one();
+      if (--remaining == 0) cv.notify_one();  // NOLINT(shard-mutation): counter under mu
     });
   }
   std::unique_lock<std::mutex> lock(mu);

@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "study/events.h"
-#include "telemetry/darknet.h"
-#include "telemetry/flow.h"
-#include "telemetry/traffic.h"
+// The bridge's whole job is routing events into the telemetry collectors,
+// and it is header-only (see above) — the upward includes are its contract.
+#include "telemetry/darknet.h"  // NOLINT(layer-break)
+#include "telemetry/flow.h"     // NOLINT(layer-break)
+#include "telemetry/traffic.h"  // NOLINT(layer-break)
 
 namespace gorilla::study {
 

@@ -16,8 +16,10 @@
 #include <cstdint>
 
 #include "net/ipv4.h"
-#include "telemetry/flow.h"
-#include "telemetry/traffic.h"
+// Published downward interface (DESIGN.md §3f): event payloads carry the
+// telemetry vocabulary (FlowRecord, ProtocolClass, LabeledAttack) by value.
+#include "telemetry/flow.h"     // NOLINT(layer-break)
+#include "telemetry/traffic.h"  // NOLINT(layer-break)
 #include "util/time.h"
 
 namespace gorilla::scan {

@@ -213,7 +213,11 @@ class ByteWriter {
   }
 
   void bytes(std::span<const std::uint8_t> data) {
-    out_.insert(out_.end(), data.begin(), data.end());
+    // Element-wise append rather than a ranged insert: GCC 12's -O2/-O3
+    // object-size analysis misjudges insert-from-span as an overflowing
+    // memmove and fails the strict build (-Werror=stringop-overflow).
+    out_.reserve(out_.size() + data.size());
+    for (const std::uint8_t b : data) out_.push_back(b);
   }
 
   void fill(std::size_t n, std::uint8_t value = 0) {

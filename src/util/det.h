@@ -8,7 +8,7 @@
 // "byte-identical" artifact silently shifts. `tools/gorilla_lint` therefore
 // rejects range-for over unordered containers outside util/; code that
 // needs an order must take it through these helpers (or prove the fold is
-// order-independent and carry a NOLINT(unordered-iter) waiver).
+// order-independent and carry an unordered-iter waiver).
 #pragma once
 
 #include <algorithm>

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "study/events.h"
+#include "telemetry/darknet.h"
+#include "telemetry/flow.h"
+
 namespace gorilla::sim {
 namespace {
 

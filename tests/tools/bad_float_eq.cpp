@@ -1,4 +1,13 @@
 // gorilla_lint self-test fixture: must trip exactly [float-eq].
 // Not compiled into any target — scanned by `gorilla_lint --self-test`.
+//
+// Covers the literal spellings the v1 regexes missed: suffixed (1.0f,
+// 1.0F), negated (-0.5), exponent-only (1e9), and digit-separated
+// (2'000.5) floating-point literals, on both sides of ==/!=.
 bool is_unset(double v) { return v == 0.0; }
 bool is_unit(double v) { return 1.0 == v; }
+bool is_full(float v) { return v != 1.0f; }
+bool is_suffixed(float v) { return 1.0F == v; }
+bool is_neg_half(double v) { return v == -0.5; }
+bool is_giant(double v) { return v == 1e9; }
+bool is_cap(double v) { return 2'000.5 == v; }

@@ -1,0 +1,9 @@
+// gorilla_lint self-test fixture: must trip exactly [layer-break].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+//
+// LINT-LAYER: sim
+// This file plays a sim-layer source; its include reaches one rank up
+// into study, violating the layer DAG (DESIGN.md "Static analysis v2").
+#include "study/events.h"
+
+namespace fixture {}

@@ -1,0 +1,8 @@
+// gorilla_lint self-test fixture: must trip exactly [layer-cycle].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+//
+// A file including itself is the smallest include cycle; the graph pass
+// must reject it even though the edge is rank-legal (tools -> tools).
+#include "tools/bad_layer_cycle.cpp"
+
+namespace fixture {}

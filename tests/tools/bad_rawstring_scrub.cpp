@@ -1,0 +1,22 @@
+// gorilla_lint self-test fixture for the v2 lexer's scrubber, with exact
+// expectations pinned by LINT-EXPECT markers (scanned by --self-test).
+//
+// The v1 scrubber knew nothing about raw string literals (their bodies
+// leaked into the code channel — the memcpy and == 1.0 below would have
+// been false positives) and treated a digit separator as a char-literal
+// quote (swallowing the real v == 3.5 finding after it — a false
+// negative). The v2 lexer must blank the former and report the latter.
+#include <string>
+
+namespace fixture {
+
+inline std::string doc() {
+  return R"x(tolerance: value == 1.0 means exact; memcpy(dst, src, n))x";
+}
+
+inline bool at_limit(double v) {
+  const double cap = 2'000.5;
+  return cap < v && v == 3.5;  // LINT-EXPECT[float-eq]
+}
+
+}  // namespace fixture

@@ -1,0 +1,39 @@
+// gorilla_lint self-test fixture: must trip exactly [shard-mutation].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+//
+// The worker lambda spells out its captures (so worker-capture stays
+// quiet) but folds into a plain vector through a by-reference capture —
+// a cross-shard write the determinism contract forbids (DESIGN.md §3d
+// rule 2). The EventBuffer capture is a sanctioned shard-result type and
+// must NOT be reported.
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct EventBuffer {
+  void clear() {}
+};
+
+struct Executor {
+  template <typename Fn>
+  void parallel_for(std::size_t n, std::size_t chunk, Fn fn) {
+    for (std::size_t b = 0; b < n; b += chunk) {
+      fn(b, b + chunk < n ? b + chunk : n);
+    }
+  }
+};
+
+inline void fold(Executor& executor, const std::vector<long>& xs) {
+  std::vector<long> partials;
+  EventBuffer events;
+  executor.parallel_for(
+      xs.size(), 64,
+      [&partials, &events, &xs](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) partials.push_back(xs[i]);
+        events.clear();
+      });
+  (void)partials;
+}
+
+}  // namespace fixture

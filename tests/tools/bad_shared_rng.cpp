@@ -1,0 +1,33 @@
+// gorilla_lint self-test fixture: must trip exactly [shared-rng].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+//
+// One shared Rng drawn from inside a worker lambda makes the draw order
+// depend on thread scheduling; the contract is a per-shard substream
+// (DESIGN.md §3d rule 1). The substream derivation must NOT be reported;
+// the direct shared draw must.
+#include <cstddef>
+#include <cstdint>
+
+namespace fixture {
+
+struct Rng {
+  Rng substream(std::uint64_t) { return *this; }
+  double uniform_double() { return 0.5; }
+};
+
+struct Executor {
+  template <typename Fn>
+  void run_ordered(std::size_t n, Fn fn) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+  }
+};
+
+inline void spin(Executor& executor, Rng& rng) {
+  executor.run_ordered(4, [&rng](std::size_t day) {
+    Rng local = rng.substream(day);
+    (void)local.uniform_double();
+    (void)rng.uniform_double();
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// gorilla_lint self-test fixture: must trip exactly [stale-waiver].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+//
+// The waiver below excuses a float comparison that no longer exists; a
+// NOLINT suppressing nothing is itself a finding.
+namespace fixture {
+
+inline bool ready(int epoch) {
+  return epoch > 0;  // NOLINT(float-eq)
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Layering mini-tree (clean): net (rank 1) includes util (rank 0) — a
+// legal downward edge.
+#pragma once
+
+#include "util/clock.h"
+
+namespace mini {
+struct Socket {
+  Clock opened;
+};
+}  // namespace mini

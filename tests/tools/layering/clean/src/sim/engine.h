@@ -1,0 +1,11 @@
+// Layering mini-tree (clean): sim (rank 2) includes net (rank 1) — a
+// legal downward edge.
+#pragma once
+
+#include "net/socket.h"
+
+namespace mini {
+struct Engine {
+  Socket wire;
+};
+}  // namespace mini

@@ -1,0 +1,11 @@
+// Layering mini-tree (clean): study (rank 3) includes sim (rank 2) — a
+// legal downward edge; the whole tree is a DAG and must lint clean.
+#pragma once
+
+#include "sim/engine.h"
+
+namespace mini {
+struct Driver {
+  Engine engine;
+};
+}  // namespace mini

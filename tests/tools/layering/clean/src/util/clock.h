@@ -1,0 +1,8 @@
+// Layering mini-tree (clean): rank-0 leaf with no project includes.
+#pragma once
+
+namespace mini {
+struct Clock {
+  long ticks = 0;
+};
+}  // namespace mini

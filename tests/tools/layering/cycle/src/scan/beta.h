@@ -1,0 +1,11 @@
+// Layering mini-tree (cycle): the back edge completing the sim <-> scan
+// include cycle (each edge same-rank and individually legal).
+#pragma once
+
+#include "sim/alpha.h"
+
+namespace mini {
+struct Beta {
+  int alpha_uses = 0;
+};
+}  // namespace mini

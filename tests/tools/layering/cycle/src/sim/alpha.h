@@ -1,0 +1,12 @@
+// Layering mini-tree (cycle): sim and scan share rank 2, so each edge is
+// rank-legal — but together they form an include cycle the lint must
+// report as layer-cycle.
+#pragma once
+
+#include "scan/beta.h"
+
+namespace mini {
+struct Alpha {
+  int beta_uses = 0;
+};
+}  // namespace mini

@@ -1,0 +1,9 @@
+// Layering mini-tree (skiplayer): an ordinary rank-3 header; the break
+// is in util/clock.h, which includes this file from below.
+#pragma once
+
+namespace mini {
+struct Driver {
+  int days = 0;
+};
+}  // namespace mini

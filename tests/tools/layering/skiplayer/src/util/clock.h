@@ -1,0 +1,11 @@
+// Layering mini-tree (skiplayer): util (rank 0) reaching up into study
+// (rank 3) — the lint must report layer-break on this include.
+#pragma once
+
+#include "study/driver.h"
+
+namespace mini {
+struct Clock {
+  Driver owner;
+};
+}  // namespace mini

@@ -1,0 +1,134 @@
+// Unit tests for the gorilla-lint C++ lexer (tools/lint/lexer.h): token
+// classification, raw-string and digit-separator handling, the scrubbed
+// view, float-literal classification, and include extraction.
+#include "tools/lint/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gorilla::lint {
+namespace {
+
+std::vector<TokenKind> kinds(const LexedSource& src) {
+  std::vector<TokenKind> out;
+  out.reserve(src.tokens.size());
+  for (const Token& t : src.tokens) out.push_back(t.kind);
+  return out;
+}
+
+const Token* first_of(const LexedSource& src, TokenKind kind) {
+  for (const Token& t : src.tokens) {
+    if (t.kind == kind) return &t;
+  }
+  return nullptr;
+}
+
+TEST(Lexer, ClassifiesBasicTokens) {
+  const LexedSource src = lex("int x = 42; // note\n");
+  const std::vector<TokenKind> got = kinds(src);
+  const std::vector<TokenKind> want = {TokenKind::kIdentifier,
+                                       TokenKind::kIdentifier,
+                                       TokenKind::kPunct, TokenKind::kNumber,
+                                       TokenKind::kPunct, TokenKind::kComment};
+  EXPECT_EQ(got, want);
+}
+
+TEST(Lexer, RawStringWithDelimiterIsOneToken) {
+  const LexedSource src = lex(R"src(auto s = R"x(a " b )" c)x";)src");
+  const Token* raw = first_of(src, TokenKind::kRawString);
+  ASSERT_NE(raw, nullptr);
+  EXPECT_EQ(src.view(*raw), R"y(R"x(a " b )" c)x")y");
+}
+
+TEST(Lexer, RawStringBodyIsScrubbed) {
+  const std::string code =
+      "auto s = R\"x(memcpy and == 1.0 live here)x\";\nint after = 2;\n";
+  const LexedSource src = lex(code);
+  const std::string clean = scrub(src);
+  EXPECT_EQ(clean.find("memcpy"), std::string::npos);
+  EXPECT_EQ(clean.find("1.0"), std::string::npos);
+  EXPECT_NE(clean.find("after"), std::string::npos);
+  EXPECT_EQ(clean.size(), code.size());  // offsets preserved
+}
+
+TEST(Lexer, EncodingPrefixedLiterals) {
+  const LexedSource src = lex("auto a = u8\"x\"; auto b = L'y'; "
+                              "auto c = LR\"(z)\";");
+  EXPECT_NE(first_of(src, TokenKind::kString), nullptr);
+  EXPECT_NE(first_of(src, TokenKind::kCharLiteral), nullptr);
+  EXPECT_NE(first_of(src, TokenKind::kRawString), nullptr);
+}
+
+TEST(Lexer, DigitSeparatorStaysInsideNumber) {
+  const LexedSource src = lex("long n = 1'000'000; bool b = n > 2;");
+  const Token* num = first_of(src, TokenKind::kNumber);
+  ASSERT_NE(num, nullptr);
+  EXPECT_EQ(src.view(*num), "1'000'000");
+  // The separator must not open a char literal and swallow the rest.
+  EXPECT_EQ(first_of(src, TokenKind::kCharLiteral), nullptr);
+  const std::string clean = scrub(src);
+  EXPECT_NE(clean.find("b = n > 2"), std::string::npos);
+}
+
+TEST(Lexer, SplicedLineCommentContinues) {
+  const LexedSource src = lex("// first \\\nstill comment\nint x;\n");
+  ASSERT_FALSE(src.tokens.empty());
+  EXPECT_EQ(src.tokens[0].kind, TokenKind::kComment);
+  const std::string clean = scrub(src);
+  EXPECT_EQ(clean.find("still comment"), std::string::npos);
+  EXPECT_NE(clean.find("int x"), std::string::npos);
+}
+
+TEST(Lexer, UnterminatedStringStopsAtNewline) {
+  const LexedSource src = lex("auto s = \"oops\nint x = 1;\n");
+  const Token* str = first_of(src, TokenKind::kString);
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(src.view(*str), "\"oops");
+  EXPECT_NE(scrub(src).find("int x = 1"), std::string::npos);
+}
+
+TEST(Lexer, LineMapping) {
+  const LexedSource src = lex("one\ntwo\nthree\n");
+  EXPECT_EQ(src.line_of(0), 1u);
+  EXPECT_EQ(src.line_of(4), 2u);
+  EXPECT_EQ(src.line_of(8), 3u);
+  EXPECT_EQ(src.line_text(2), "two");
+}
+
+TEST(IsFloatLiteral, Classification) {
+  EXPECT_TRUE(is_float_literal("1.0"));
+  EXPECT_TRUE(is_float_literal("1.0f"));
+  EXPECT_TRUE(is_float_literal(".5"));
+  EXPECT_TRUE(is_float_literal("1e9"));
+  EXPECT_TRUE(is_float_literal("3E-2"));
+  EXPECT_TRUE(is_float_literal("2'000.5"));
+  EXPECT_TRUE(is_float_literal("0x1.8p3"));
+  EXPECT_TRUE(is_float_literal("0x1p3"));
+  EXPECT_FALSE(is_float_literal("42"));
+  EXPECT_FALSE(is_float_literal("1'000'000"));
+  EXPECT_FALSE(is_float_literal("0x1e"));   // hex digit, not an exponent
+  EXPECT_FALSE(is_float_literal("0x800'1b"));
+  EXPECT_FALSE(is_float_literal("1ull"));
+}
+
+TEST(FindIncludes, QuotedAngledAndCommentedOut) {
+  const std::string code =
+      "#include \"util/clock.h\"\n"
+      "#include <vector>\n"
+      "// #include \"study/driver.h\"\n"
+      "  #  include \"net/socket.h\"\n";
+  const LexedSource src = lex(code);
+  const std::vector<IncludeDirective> incs = find_includes(src, scrub(src));
+  ASSERT_EQ(incs.size(), 3u);
+  EXPECT_EQ(incs[0].target, "util/clock.h");
+  EXPECT_FALSE(incs[0].angled);
+  EXPECT_EQ(incs[1].target, "vector");
+  EXPECT_TRUE(incs[1].angled);
+  EXPECT_EQ(incs[2].target, "net/socket.h");
+  EXPECT_EQ(incs[2].line, 4u);
+}
+
+}  // namespace
+}  // namespace gorilla::lint

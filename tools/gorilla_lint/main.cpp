@@ -1,572 +1,18 @@
 // gorilla_lint — self-hosted static checks for the gorilla tree.
 //
-// Token/regex-level (no libclang): the rules are deliberately shallow and
-// the conventions they enforce are deliberately mechanical, so a few
-// hundred lines of plain C++ can hold the whole tree to them. Registered
-// under ctest (label "lint"); see DESIGN.md, "Static analysis &
-// determinism rules".
-//
-// Rules:
-//   raw-decode      byte<->integer conversion (memcpy, reinterpret_cast,
-//                   shift-combine on a subscript) outside util/bytes.{h,cpp}
-//   wall-clock      nondeterminism sources (system_clock, std::rand,
-//                   random_device, time(nullptr), ...) anywhere in src/
-//   unordered-iter  range-for over a std::unordered_{map,set} variable
-//                   outside util/ (use util::sorted_* or carry a waiver)
-//   float-eq        ==/!= against a floating-point literal
-//   parse-optional  a parse_* function whose return type is not optional
-//   worker-capture  blanket [&]-capture on the worker lambda handed to
-//                   ShardedExecutor::run_ordered/parallel_for or
-//                   ThreadPool::submit (captures must be spelled out so the
-//                   reviewer can check the determinism-merge contract at
-//                   the call site)
-//   raw-ofstream    std::ofstream outside the sanctioned artifact-write
-//                   path (util/columnar.cpp save_file + util/bytes.cpp
-//                   write_all) — raw streams skip the atomic tmp+rename,
-//                   fsync, and fault-injection seam
-//
-// A finding on a line containing "NOLINT(<rule>)" is suppressed; waivers
-// are expected to carry a justifying comment.
-//
-// Usage:
-//   gorilla_lint <dir-or-file>...      lint the tree (exit 1 on findings)
-//   gorilla_lint --self-test <dir>     each <dir>/bad_<rule>.cpp must trip
-//                                      exactly rule <rule>
-
-#include <algorithm>
-#include <cctype>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <regex>
-#include <set>
-#include <sstream>
+// v2: the analysis moved into the tools/lint library — a real C++ lexer
+// (raw strings, digit separators, encoding prefixes), the single-file
+// rules, the include-graph pass (layer-break / layer-cycle against the
+// DESIGN §3f DAG), and the stale-waiver pass — with parallel per-file
+// analysis, a content-hash cache, baselines, and JSON output. This file
+// is only the CLI entry point; run with no arguments for usage, and see
+// DESIGN.md "Static analysis v2" for the rule catalogue.
 #include <string>
 #include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct SourceFile {
-  fs::path path;
-  std::string raw;        // as on disk
-  std::string scrubbed;   // comments and string/char literals blanked
-  std::vector<std::size_t> line_starts;  // offset of each line in raw
-  std::map<std::size_t, std::set<std::string>> waivers;  // line -> rules
-};
-
-struct Finding {
-  fs::path path;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
-
-std::size_t line_of(const SourceFile& f, std::size_t offset) {
-  const auto it = std::upper_bound(f.line_starts.begin(), f.line_starts.end(),
-                                   offset);
-  return static_cast<std::size_t>(it - f.line_starts.begin());
-}
-
-bool waived(const SourceFile& f, std::size_t line, const std::string& rule) {
-  const auto it = f.waivers.find(line);
-  return it != f.waivers.end() && it->second.count(rule) != 0;
-}
-
-/// Blank comments and string/char literals with spaces (newlines kept so
-/// offsets still map to lines); collect NOLINT(rule) waivers per line.
-void scrub(SourceFile& f) {
-  const std::string& in = f.raw;
-  std::string out(in.size(), ' ');
-  f.line_starts.push_back(0);
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    if (in[i] == '\n') f.line_starts.push_back(i + 1);
-  }
-
-  static const std::regex nolint_re(R"(NOLINT\(([a-z][a-z0-9-]*)\))");
-  for (auto it = std::sregex_iterator(in.begin(), in.end(), nolint_re);
-       it != std::sregex_iterator(); ++it) {
-    f.waivers[line_of(f, static_cast<std::size_t>(it->position()))].insert(
-        (*it)[1].str());
-  }
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State st = State::kCode;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (st) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          st = State::kLineComment;
-        } else if (c == '/' && next == '*') {
-          st = State::kBlockComment;
-          ++i;
-        } else if (c == '"') {
-          st = State::kString;
-        } else if (c == '\'') {
-          st = State::kChar;
-        } else {
-          out[i] = c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          st = State::kCode;
-          out[i] = c;
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          st = State::kCode;
-          ++i;
-        } else if (c == '\n') {
-          out[i] = c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '"') {
-          st = State::kCode;
-        } else if (c == '\n') {
-          out[i] = c;  // unterminated; keep line mapping
-          st = State::kCode;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          st = State::kCode;
-        } else if (c == '\n') {
-          out[i] = c;
-          st = State::kCode;
-        }
-        break;
-    }
-    if (c == '\n') out[i] = '\n';
-  }
-  f.scrubbed = out;
-}
-
-bool path_contains(const fs::path& p, const std::string& needle) {
-  return p.generic_string().find(needle) != std::string::npos;
-}
-
-void add_regex_findings(const SourceFile& f, const std::regex& re,
-                        const std::string& rule, const std::string& message,
-                        std::vector<Finding>& findings) {
-  for (auto it = std::sregex_iterator(f.scrubbed.begin(), f.scrubbed.end(), re);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t line =
-        line_of(f, static_cast<std::size_t>(it->position()));
-    if (waived(f, line, rule)) continue;
-    findings.push_back({f.path, line, rule, message + ": '" + it->str() + "'"});
-  }
-}
-
-// --- rule: raw-decode ------------------------------------------------------
-
-void rule_raw_decode(const SourceFile& f, std::vector<Finding>& findings) {
-  if (path_contains(f.path, "util/bytes.h") ||
-      path_contains(f.path, "util/bytes.cpp")) {
-    return;  // the one sanctioned home of byte<->integer conversion
-  }
-  static const std::regex memcpy_re(R"(\bmem(cpy|move)\s*\()");
-  static const std::regex reinterpret_re(R"(\breinterpret_cast\b)");
-  static const std::regex shift_re(R"(\]\s*(<<|>>)\s*[0-9])");
-  add_regex_findings(f, memcpy_re, "raw-decode",
-                     "raw byte copy; use util::ByteReader/ByteWriter",
-                     findings);
-  add_regex_findings(f, reinterpret_re, "raw-decode",
-                     "reinterpret_cast; byte<->char bridging lives in "
-                     "util/bytes.cpp (read_exact/write_all)",
-                     findings);
-  add_regex_findings(f, shift_re, "raw-decode",
-                     "shift-combine on a subscript; use util::load_* or "
-                     "util::ByteReader",
-                     findings);
-}
-
-// --- rule: wall-clock ------------------------------------------------------
-
-void rule_wall_clock(const SourceFile& f, std::vector<Finding>& findings) {
-  static const std::regex clock_re(
-      R"(\b(system_clock|steady_clock|high_resolution_clock|random_device|gettimeofday|localtime|gmtime)\b)");
-  static const std::regex rand_re(R"(\b(std::)?s?rand\s*\()");
-  static const std::regex time_re(R"(\btime\s*\(\s*(NULL|nullptr|0)\s*\))");
-  add_regex_findings(f, clock_re, "wall-clock",
-                     "wall-clock / ambient randomness; simulations take "
-                     "SimTime and seeded Rng",
-                     findings);
-  add_regex_findings(f, rand_re, "wall-clock",
-                     "C PRNG; use the seeded util Rng", findings);
-  add_regex_findings(f, time_re, "wall-clock",
-                     "wall-clock read; simulations take SimTime", findings);
-}
-
-// --- rule: unordered-iter --------------------------------------------------
-
-/// Names of variables declared with an unordered container type, collected
-/// across every scanned file (members are declared in headers and iterated
-/// in .cpp files).
-std::set<std::string> collect_unordered_names(
-    const std::vector<SourceFile>& files) {
-  std::set<std::string> names;
-  for (const auto& f : files) {
-    const std::string& s = f.scrubbed;
-    for (std::size_t pos = 0;;) {
-      const std::size_t hit = std::min(s.find("unordered_map", pos),
-                                       s.find("unordered_set", pos));
-      if (hit == std::string::npos) break;
-      std::size_t i = hit + std::string("unordered_map").size();
-      pos = i;
-      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
-        ++i;
-      if (i >= s.size() || s[i] != '<') continue;
-      int depth = 0;
-      for (; i < s.size(); ++i) {  // walk the balanced template argument list
-        if (s[i] == '<') ++depth;
-        if (s[i] == '>' && --depth == 0) {
-          ++i;
-          break;
-        }
-      }
-      while (i < s.size() && (std::isspace(static_cast<unsigned char>(s[i])) ||
-                              s[i] == '&'))
-        ++i;
-      std::string name;
-      while (i < s.size() &&
-             (std::isalnum(static_cast<unsigned char>(s[i])) || s[i] == '_'))
-        name.push_back(s[i++]);
-      while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i])))
-        ++i;
-      // A declaration introduces the name and then initializes, terminates,
-      // or (for a parameter) closes the list.
-      if (!name.empty() && i < s.size() &&
-          (s[i] == ';' || s[i] == '=' || s[i] == '{' || s[i] == '(' ||
-           s[i] == ',' || s[i] == ')')) {
-        names.insert(name);
-      }
-    }
-  }
-  return names;
-}
-
-void rule_unordered_iter(const SourceFile& f,
-                         const std::set<std::string>& names,
-                         std::vector<Finding>& findings) {
-  if (path_contains(f.path, "util/")) return;  // util::sorted_* lives here
-  const std::string& s = f.scrubbed;
-  static const std::regex for_re(R"(\bfor\s*\()");
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), for_re);
-       it != std::sregex_iterator(); ++it) {
-    // Find the ':' of a range-for at parenthesis depth 1 (ignoring '::').
-    std::size_t i = static_cast<std::size_t>(it->position() + it->length());
-    int depth = 1;
-    std::size_t colon = std::string::npos;
-    std::size_t close = std::string::npos;
-    for (; i < s.size() && depth > 0; ++i) {
-      const char c = s[i];
-      if (c == '(') ++depth;
-      if (c == ')' && --depth == 0) close = i;
-      if (c == ';') break;  // classic for loop, not a range-for
-      if (c == ':' && depth == 1) {
-        if ((i > 0 && s[i - 1] == ':') || (i + 1 < s.size() && s[i + 1] == ':')) {
-          continue;  // '::' qualifier
-        }
-        if (colon == std::string::npos) colon = i;
-      }
-    }
-    if (colon == std::string::npos || close == std::string::npos) continue;
-    const std::string range = s.substr(colon + 1, close - colon - 1);
-    if (range.find("sorted_keys") != std::string::npos ||
-        range.find("sorted_items") != std::string::npos ||
-        range.find("sorted_values") != std::string::npos) {
-      continue;  // sanctioned deterministic wrappers (util/det.h)
-    }
-    for (const auto& name : names) {
-      static const std::string word_chars =
-          "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
-      std::size_t at = range.find(name);
-      bool whole_word = false;
-      while (at != std::string::npos && !whole_word) {
-        const bool left_ok =
-            at == 0 || word_chars.find(range[at - 1]) == std::string::npos;
-        const std::size_t end = at + name.size();
-        const bool right_ok = end >= range.size() ||
-                              word_chars.find(range[end]) == std::string::npos;
-        whole_word = left_ok && right_ok;
-        at = range.find(name, at + 1);
-      }
-      if (!whole_word) continue;
-      const std::size_t for_line =
-          line_of(f, static_cast<std::size_t>(it->position()));
-      const std::size_t range_line = line_of(f, colon + 1);
-      if (waived(f, for_line, "unordered-iter") ||
-          waived(f, range_line, "unordered-iter")) {
-        continue;
-      }
-      findings.push_back(
-          {f.path, for_line, "unordered-iter",
-           "range-for over unordered container '" + name +
-               "'; iterate util::sorted_keys/sorted_items or prove the fold "
-               "order-independent and carry a NOLINT(unordered-iter) waiver"});
-      break;  // one finding per loop
-    }
-  }
-}
-
-// --- rule: float-eq --------------------------------------------------------
-
-void rule_float_eq(const SourceFile& f, std::vector<Finding>& findings) {
-  static const std::regex lhs_re(R"(([0-9]+\.[0-9]*|\.[0-9]+)(e[+-]?[0-9]+)?f?\s*[=!]=)");
-  static const std::regex rhs_re(R"([=!]=\s*[+-]?([0-9]+\.[0-9]*|\.[0-9]+))");
-  add_regex_findings(f, lhs_re, "float-eq",
-                     "exact floating-point equality; compare against an "
-                     "epsilon or restructure",
-                     findings);
-  add_regex_findings(f, rhs_re, "float-eq",
-                     "exact floating-point equality; compare against an "
-                     "epsilon or restructure",
-                     findings);
-}
-
-// --- rule: parse-optional --------------------------------------------------
-
-void rule_parse_optional(const SourceFile& f, std::vector<Finding>& findings) {
-  const std::string& s = f.scrubbed;
-  static const std::regex parse_re(R"(\bparse_[A-Za-z0-9_]+\s*\()");
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), parse_re);
-       it != std::sregex_iterator(); ++it) {
-    const std::size_t at = static_cast<std::size_t>(it->position());
-    // Statement prefix: everything back to the previous ; { } or #.
-    std::size_t start = at;
-    while (start > 0 && s[start - 1] != ';' && s[start - 1] != '{' &&
-           s[start - 1] != '}' && s[start - 1] != '#') {
-      --start;
-    }
-    std::string prefix = s.substr(start, at - start);
-    while (!prefix.empty() &&
-           std::isspace(static_cast<unsigned char>(prefix.back()))) {
-      prefix.pop_back();
-    }
-    if (prefix.find("optional") != std::string::npos) continue;  // compliant
-    // A call site, not a declaration: operator or keyword before the name.
-    if (prefix.empty()) continue;
-    const char last = prefix.back();
-    if (std::string("=(,!<>|&+-*/?:").find(last) != std::string::npos) continue;
-    if (prefix.find("return") != std::string::npos ||
-        prefix.find("throw") != std::string::npos ||
-        prefix.find("co_return") != std::string::npos) {
-      continue;
-    }
-    const std::size_t line = line_of(f, at);
-    if (waived(f, line, "parse-optional")) continue;
-    findings.push_back({f.path, line, "parse-optional",
-                        "parse_* must signal failure via std::optional "
-                        "(truncated or malformed input is not a value)"});
-  }
-}
-
-// --- rule: worker-capture --------------------------------------------------
-
-/// The first lambda in a run_ordered()/parallel_for()/submit() call is the
-/// one that runs on pool threads (produce / the shard body / the submitted
-/// task); a blanket by-reference capture there puts silent shared-state
-/// mutation one keystroke away. The sanctioned merge path is run_ordered's
-/// consume callback, which runs on the calling thread — this rule only
-/// inspects the worker lambda. `submit` covers ThreadPool::submit and, by
-/// the same token, any future worker-dispatch entry point using that name
-/// (e.g. the day-shard produce lambdas AttackEngine::run_days hands to the
-/// executor are already caught via run_ordered).
-void rule_worker_capture(const SourceFile& f, std::vector<Finding>& findings) {
-  const std::string& s = f.scrubbed;
-  static const std::regex call_re(R"(\b(run_ordered|parallel_for|submit)\b)");
-  for (auto it = std::sregex_iterator(s.begin(), s.end(), call_re);
-       it != std::sregex_iterator(); ++it) {
-    // Walk forward to the first lambda-introducer '[' (one preceded, spaces
-    // aside, by '(' ',' '{' or '='; a subscript follows an identifier or a
-    // closing bracket instead). Stop at the first ';' — past the end of the
-    // statement this call belongs to, and in a declaration/definition of
-    // run_ordered/parallel_for themselves, before any body lambda.
-    for (std::size_t i = static_cast<std::size_t>(it->position() + it->length());
-         i < s.size() && s[i] != ';'; ++i) {
-      if (s[i] != '[') continue;
-      std::size_t j = i;
-      while (j > 0 && std::isspace(static_cast<unsigned char>(s[j - 1]))) --j;
-      const char prev = j > 0 ? s[j - 1] : '\0';
-      if (prev != '(' && prev != ',' && prev != '{' && prev != '=') break;
-      const std::size_t close = s.find(']', i);
-      if (close == std::string::npos) break;
-      std::string caps = s.substr(i + 1, close - i - 1);
-      caps.erase(std::remove_if(caps.begin(), caps.end(),
-                                [](unsigned char c) { return std::isspace(c); }),
-                 caps.end());
-      if (caps == "&" || caps.rfind("&,", 0) == 0) {
-        const std::size_t line = line_of(f, i);
-        if (!waived(f, line, "worker-capture")) {
-          findings.push_back(
-              {f.path, line, "worker-capture",
-               "blanket [&] capture on a worker lambda; spell out every "
-               "capture so shard-disjoint mutation (DESIGN.md §3d rule 2) is "
-               "checkable at the call site"});
-        }
-      }
-      break;  // only the first (worker) lambda of each call is inspected
-    }
-  }
-}
-
-// --- rule: raw-ofstream ----------------------------------------------------
-
-/// Durable artifacts must reach disk through ColumnArchive::save_file /
-/// util::write_all: that path owns the atomic tmp-write + rename, the
-/// fsync, and the FaultPlan injection seam, so a raw std::ofstream
-/// anywhere else is a write that crash-safety tests cannot see.
-void rule_raw_ofstream(const SourceFile& f, std::vector<Finding>& findings) {
-  if (path_contains(f.path, "util/columnar.cpp") ||
-      path_contains(f.path, "util/bytes.cpp")) {
-    return;  // the sanctioned artifact-write path
-  }
-  static const std::regex ofstream_re(R"(\b(basic_)?ofstream\b)");
-  add_regex_findings(f, ofstream_re, "raw-ofstream",
-                     "raw std::ofstream; durable writes go through "
-                     "util::ColumnArchive::save_file / util::write_all "
-                     "(atomic rename + fsync + fault-injection seam), or "
-                     "carry a justified NOLINT(raw-ofstream) waiver",
-                     findings);
-}
-
-// --- driver ----------------------------------------------------------------
-
-bool load(const fs::path& p, SourceFile& f) {
-  std::ifstream in(p, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  f.path = p;
-  f.raw = buf.str();
-  scrub(f);
-  return true;
-}
-
-std::vector<fs::path> collect_sources(const std::vector<std::string>& roots) {
-  std::vector<fs::path> out;
-  for (const auto& root : roots) {
-    fs::path p(root);
-    if (fs::is_regular_file(p)) {
-      out.push_back(p);
-      continue;
-    }
-    if (!fs::is_directory(p)) continue;
-    for (const auto& e : fs::recursive_directory_iterator(p)) {
-      if (!e.is_regular_file()) continue;
-      const auto ext = e.path().extension().string();
-      if (ext == ".h" || ext == ".cpp" || ext == ".cc" || ext == ".hpp") {
-        out.push_back(e.path());
-      }
-    }
-  }
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
-std::vector<Finding> run_rules(const std::vector<SourceFile>& files) {
-  std::vector<Finding> findings;
-  const auto unordered_names = collect_unordered_names(files);
-  for (const auto& f : files) {
-    rule_raw_decode(f, findings);
-    rule_wall_clock(f, findings);
-    rule_unordered_iter(f, unordered_names, findings);
-    rule_float_eq(f, findings);
-    rule_parse_optional(f, findings);
-    rule_worker_capture(f, findings);
-    rule_raw_ofstream(f, findings);
-  }
-  return findings;
-}
-
-int lint_tree(const std::vector<std::string>& roots) {
-  std::vector<SourceFile> files;
-  for (const auto& p : collect_sources(roots)) {
-    SourceFile f;
-    if (load(p, f)) files.push_back(std::move(f));
-  }
-  const auto findings = run_rules(files);
-  for (const auto& fd : findings) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", fd.path.string().c_str(),
-                 fd.line, fd.rule.c_str(), fd.message.c_str());
-  }
-  std::fprintf(stderr, "gorilla_lint: %zu file(s), %zu finding(s)\n",
-               files.size(), findings.size());
-  return findings.empty() ? 0 : 1;
-}
-
-/// Each fixtures/bad_<rule>.cpp must trip rule <rule> (underscores in the
-/// file name map to dashes) and trip nothing else.
-int self_test(const std::string& fixtures_dir) {
-  int failures = 0;
-  std::size_t fixtures = 0;
-  for (const auto& p : collect_sources({fixtures_dir})) {
-    const std::string stem = p.stem().string();
-    if (stem.rfind("bad_", 0) != 0) continue;
-    ++fixtures;
-    std::string expected = stem.substr(4);
-    std::replace(expected.begin(), expected.end(), '_', '-');
-    SourceFile f;
-    if (!load(p, f)) {
-      std::fprintf(stderr, "FAIL %s: unreadable\n", p.string().c_str());
-      ++failures;
-      continue;
-    }
-    const auto findings = run_rules({f});
-    bool tripped = false;
-    bool others = false;
-    for (const auto& fd : findings) {
-      if (fd.rule == expected) {
-        tripped = true;
-      } else {
-        others = true;
-        std::fprintf(stderr, "FAIL %s: unexpected [%s] at line %zu\n",
-                     p.string().c_str(), fd.rule.c_str(), fd.line);
-      }
-    }
-    if (!tripped) {
-      std::fprintf(stderr, "FAIL %s: rule [%s] did not fire\n",
-                   p.string().c_str(), expected.c_str());
-    }
-    if (!tripped || others) ++failures;
-  }
-  if (fixtures == 0) {
-    std::fprintf(stderr, "gorilla_lint --self-test: no bad_<rule> fixtures "
-                         "under %s\n", fixtures_dir.c_str());
-    return 1;
-  }
-  std::fprintf(stderr, "gorilla_lint --self-test: %zu fixture(s), %d failure(s)\n",
-               fixtures, failures);
-  return failures == 0 ? 0 : 1;
-}
-
-}  // namespace
+#include "tools/lint/lint.h"
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  if (args.empty()) {
-    std::fprintf(stderr,
-                 "usage: gorilla_lint <dir-or-file>...\n"
-                 "       gorilla_lint --self-test <fixtures-dir>\n");
-    return 2;
-  }
-  if (args[0] == "--self-test") {
-    if (args.size() != 2) {
-      std::fprintf(stderr, "--self-test takes exactly one directory\n");
-      return 2;
-    }
-    return self_test(args[1]);
-  }
-  return lint_tree(args);
+  return gorilla::lint::run_cli(
+      std::vector<std::string>(argv + 1, argv + argc));
 }

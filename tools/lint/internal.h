@@ -1,0 +1,106 @@
+// Shared internals of the gorilla-lint analysis passes (not installed API).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tools/lint/lexer.h"
+#include "tools/lint/lint.h"
+
+namespace gorilla::lint {
+
+/// FNV-1a 64-bit — the content/context hash the file cache is keyed on.
+inline std::uint64_t fnv1a(std::string_view data,
+                           std::uint64_t h = 0xcbf29ce484222325ULL) {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Self-test / fixture directives read from comments:
+///   LINT-LAYER: <name>     assigns a layer to a file outside src/<layer>/
+///   LINT-EXPECT[<rule>]    exact-match expectation used by --self-test
+struct FileDirectives {
+  std::string layer;
+  std::vector<std::pair<std::size_t, std::string>> expects;  // (line, rule)
+};
+
+/// Context-free per-file facts; cacheable keyed on the content hash alone.
+struct FileSummary {
+  std::vector<std::string> unordered_names;  ///< declared unordered_{map,set}s
+  std::vector<IncludeDirective> includes;
+  std::map<std::size_t, std::set<std::string>> waivers;  ///< line -> rules
+  FileDirectives directives;
+};
+
+/// Per-file rule output; cacheable keyed on (content hash, context hash).
+struct FileResults {
+  std::vector<Finding> findings;  ///< post-waiver single-file findings
+  std::set<std::pair<std::size_t, std::string>> used_waivers;
+};
+
+/// One document moving through the pipeline.
+struct SourceFile {
+  std::string path;
+  std::string raw;
+  std::uint64_t content_hash = 0;
+  bool lexed = false;
+  LexedSource lex;
+  std::string scrubbed;
+  FileSummary summary;
+  FileResults results;
+  /// Waivers consumed by the cross-file passes (layer-break, layer-cycle);
+  /// recomputed every run, merged with results.used_waivers for stale-waiver.
+  std::set<std::pair<std::size_t, std::string>> graph_used_waivers;
+  bool summary_from_cache = false;
+  bool results_from_cache = false;
+};
+
+/// Ensures `f.lex`/`f.scrubbed` are populated (idempotent).
+void ensure_lexed(SourceFile& f);
+
+/// Builds FileSummary from the lexed source (waivers, directives, includes,
+/// unordered-container names).
+void build_summary(SourceFile& f);
+
+/// Runs every single-file rule plus unordered-iter against the global
+/// container-name set; fills f.results.
+void run_file_rules(SourceFile& f, const std::set<std::string>& unordered_names);
+
+/// The include-graph pass: per-include layer-DAG rank checks, file-level
+/// and directory-level cycle rejection, and the DOT artifact. Appends
+/// findings (already waiver-filtered; usage recorded in
+/// graph_used_waivers) and returns the DOT text.
+std::string run_graph_pass(std::vector<SourceFile>& files,
+                           std::vector<Finding>& findings);
+
+/// stale-waiver: every (line, rule) waiver no pass consumed.
+void run_stale_waiver_pass(std::vector<SourceFile>& files,
+                           std::vector<Finding>& findings);
+
+/// Layer rank per the DESIGN §3f DAG:
+///   util(0) -> net,ntp,dns(1) -> core,scan,sim(2) -> study(3)
+///   -> telemetry(4) -> bench,tools,tests,examples(5).
+/// Returns -1 for unknown names.
+int layer_rank(const std::string& layer);
+
+/// Layer of a file: LINT-LAYER directive if present, else the last path
+/// component that names a known layer. Empty if none.
+std::string file_layer(const SourceFile& f);
+
+/// Layer of an include target: its first path component when that names a
+/// known layer (quoted includes in this tree are rooted at src/).
+std::string include_layer(const std::string& target);
+
+/// Human-readable DAG, used in finding messages and docs.
+inline constexpr const char* kLayerDag =
+    "util -> {net,ntp,dns} -> {core,scan,sim} -> study -> telemetry -> "
+    "bench/tools";
+
+}  // namespace gorilla::lint

@@ -1,0 +1,288 @@
+#include "tools/lint/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gorilla::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Encoding prefixes that may precede a string or char literal.
+bool is_encoding_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string text) { src_.text = std::move(text); }
+
+  LexedSource run() {
+    const std::string& s = src_.text;
+    src_.line_starts.push_back(0);
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == '\n') src_.line_starts.push_back(i + 1);
+    }
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '/' && peek(i + 1) == '/') {
+        i = lex_line_comment(i);
+      } else if (c == '/' && peek(i + 1) == '*') {
+        i = lex_block_comment(i);
+      } else if (c == '"') {
+        i = lex_string(i, i);
+      } else if (c == '\'') {
+        i = lex_char(i, i);
+      } else if (is_digit(c) || (c == '.' && is_digit(peek(i + 1)))) {
+        i = lex_number(i);
+      } else if (is_ident_start(c)) {
+        i = lex_identifier_or_prefixed_literal(i);
+      } else {
+        add(TokenKind::kPunct, i, 1);
+        ++i;
+      }
+    }
+    return std::move(src_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t i) const {
+    return i < src_.text.size() ? src_.text[i] : '\0';
+  }
+
+  void add(TokenKind kind, std::size_t offset, std::size_t length) {
+    src_.tokens.push_back(Token{kind, offset, length});
+  }
+
+  /// A `//` comment runs to the end of line; a trailing backslash splices
+  /// the next physical line into it ([lex.phases] line splicing).
+  std::size_t lex_line_comment(std::size_t start) {
+    const std::string& s = src_.text;
+    std::size_t i = start + 2;
+    while (i < s.size()) {
+      if (s[i] == '\n') {
+        std::size_t back = i;
+        while (back > start && s[back - 1] == '\r') --back;
+        if (back > start && s[back - 1] == '\\') {
+          ++i;  // spliced: the comment continues on the next line
+          continue;
+        }
+        break;
+      }
+      ++i;
+    }
+    add(TokenKind::kComment, start, i - start);
+    return i;
+  }
+
+  std::size_t lex_block_comment(std::size_t start) {
+    const std::string& s = src_.text;
+    std::size_t i = start + 2;
+    while (i < s.size() && !(s[i] == '*' && peek(i + 1) == '/')) ++i;
+    i = i < s.size() ? i + 2 : s.size();  // unterminated: to end of file
+    add(TokenKind::kComment, start, i - start);
+    return i;
+  }
+
+  /// `start` is the opening quote; `token_start` includes any prefix.
+  /// Unterminated strings end at the newline (error tolerance).
+  std::size_t lex_string(std::size_t start, std::size_t token_start) {
+    const std::string& s = src_.text;
+    std::size_t i = start + 1;
+    while (i < s.size() && s[i] != '"' && s[i] != '\n') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      ++i;
+    }
+    if (i < s.size() && s[i] == '"') ++i;
+    add(TokenKind::kString, token_start, i - token_start);
+    return i;
+  }
+
+  std::size_t lex_char(std::size_t start, std::size_t token_start) {
+    const std::string& s = src_.text;
+    std::size_t i = start + 1;
+    while (i < s.size() && s[i] != '\'' && s[i] != '\n') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      ++i;
+    }
+    if (i < s.size() && s[i] == '\'') ++i;
+    add(TokenKind::kCharLiteral, token_start, i - token_start);
+    return i;
+  }
+
+  /// `start` is the opening quote of R"delim( ... )delim".
+  /// Unterminated raw strings run to end of file.
+  std::size_t lex_raw_string(std::size_t start, std::size_t token_start) {
+    const std::string& s = src_.text;
+    std::size_t i = start + 1;
+    std::string delim;
+    while (i < s.size() && s[i] != '(' && s[i] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(s[i++]);
+    }
+    if (i >= s.size() || s[i] != '(') {
+      // Malformed opener; treat as an ordinary string from the quote.
+      return lex_string(start, token_start);
+    }
+    ++i;  // past '('
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = s.find(closer, i);
+    i = end == std::string::npos ? s.size() : end + closer.size();
+    add(TokenKind::kRawString, token_start, i - token_start);
+    return i;
+  }
+
+  /// pp-number: digits, identifier characters, '.', digit separators
+  /// (a `'` followed by an alphanumeric), and exponent signs after
+  /// [eEpP]. Covers 1'000'000, 0x800'1b, 1e-9, 1.5f, 0x1.8p3.
+  std::size_t lex_number(std::size_t start) {
+    const std::string& s = src_.text;
+    std::size_t i = start + 1;
+    while (i < s.size()) {
+      const char c = s[i];
+      if (is_ident(c) || c == '.') {
+        ++i;
+      } else if (c == '\'' && i + 1 < s.size() && is_ident(s[i + 1])) {
+        i += 2;  // digit separator
+      } else if ((c == '+' || c == '-') &&
+                 (s[i - 1] == 'e' || s[i - 1] == 'E' || s[i - 1] == 'p' ||
+                  s[i - 1] == 'P')) {
+        ++i;
+      } else {
+        break;
+      }
+    }
+    add(TokenKind::kNumber, start, i - start);
+    return i;
+  }
+
+  std::size_t lex_identifier_or_prefixed_literal(std::size_t start) {
+    const std::string& s = src_.text;
+    std::size_t i = start + 1;
+    while (i < s.size() && is_ident(s[i])) ++i;
+    const std::string_view id(s.data() + start, i - start);
+    if (i < s.size()) {
+      const bool raw = id == "R" || (id.size() >= 2 && id.back() == 'R' &&
+                                     is_encoding_prefix(id.substr(0, id.size() - 1)));
+      if (s[i] == '"' && raw) return lex_raw_string(i, start);
+      if (s[i] == '"' && is_encoding_prefix(id)) return lex_string(i, start);
+      if (s[i] == '\'' && is_encoding_prefix(id)) return lex_char(i, start);
+    }
+    add(TokenKind::kIdentifier, start, i - start);
+    return i;
+  }
+
+  LexedSource src_;
+};
+
+}  // namespace
+
+std::size_t LexedSource::line_of(std::size_t offset) const {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  return static_cast<std::size_t>(it - line_starts.begin());
+}
+
+std::string_view LexedSource::line_text(std::size_t line) const {
+  if (line == 0 || line > line_starts.size()) return {};
+  const std::size_t begin = line_starts[line - 1];
+  std::size_t end = line < line_starts.size() ? line_starts[line] : text.size();
+  while (end > begin && (text[end - 1] == '\n' || text[end - 1] == '\r')) --end;
+  return std::string_view(text).substr(begin, end - begin);
+}
+
+LexedSource lex(std::string text) { return Lexer(std::move(text)).run(); }
+
+std::string scrub(const LexedSource& src) {
+  std::string out = src.text;
+  for (const Token& t : src.tokens) {
+    if (t.kind != TokenKind::kComment && t.kind != TokenKind::kString &&
+        t.kind != TokenKind::kRawString && t.kind != TokenKind::kCharLiteral) {
+      continue;
+    }
+    for (std::size_t i = t.offset; i < t.offset + t.length; ++i) {
+      if (out[i] != '\n') out[i] = ' ';
+    }
+  }
+  return out;
+}
+
+bool is_float_literal(std::string_view number) {
+  std::string digits;
+  digits.reserve(number.size());
+  for (const char c : number) {
+    if (c != '\'') digits.push_back(c);
+  }
+  if (digits.size() >= 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    // Hex: floating only with a binary exponent (0x1.8p3); 0x1e is an int.
+    return digits.find('p') != std::string::npos ||
+           digits.find('P') != std::string::npos;
+  }
+  if (digits.find('.') != std::string::npos) return true;
+  // Decimal exponent: 1e9, 3E-2. The char after e/E must begin an exponent.
+  for (std::size_t i = 1; i < digits.size(); ++i) {
+    if ((digits[i] == 'e' || digits[i] == 'E') && i + 1 < digits.size()) {
+      const char n = digits[i + 1];
+      if (is_digit(n) || n == '+' || n == '-') return true;
+    }
+  }
+  return false;
+}
+
+std::vector<IncludeDirective> find_includes(const LexedSource& src,
+                                            const std::string& scrubbed) {
+  std::vector<IncludeDirective> out;
+  for (std::size_t line = 1; line <= src.line_starts.size(); ++line) {
+    const std::size_t begin = src.line_starts[line - 1];
+    const std::size_t end = line < src.line_starts.size()
+                                ? src.line_starts[line]
+                                : scrubbed.size();
+    // Directive shape checked on the scrubbed view: `#`, `include`, and the
+    // opening delimiter must all be real code on this line.
+    std::size_t i = begin;
+    while (i < end && (scrubbed[i] == ' ' || scrubbed[i] == '\t')) ++i;
+    if (i >= end || scrubbed[i] != '#') continue;
+    ++i;
+    while (i < end && (scrubbed[i] == ' ' || scrubbed[i] == '\t')) ++i;
+    static constexpr std::string_view kInclude = "include";
+    if (end - i < kInclude.size() ||
+        std::string_view(scrubbed.data() + i, kInclude.size()) != kInclude) {
+      continue;
+    }
+    i += kInclude.size();
+    // From here on the raw text is authoritative: the scrub blanks the
+    // quoted form (it is a string token), delimiter included.
+    while (i < end && (src.text[i] == ' ' || src.text[i] == '\t')) ++i;
+    if (i >= end) continue;
+    const bool angled = src.text[i] == '<';
+    const char open = angled ? '<' : '"';
+    const char close = angled ? '>' : '"';
+    if (src.text[i] != open) continue;
+    ++i;
+    std::string target;
+    while (i < end && src.text[i] != close && src.text[i] != '\n') {
+      target.push_back(src.text[i++]);
+    }
+    if (i < end && src.text[i] == close && !target.empty()) {
+      out.push_back(IncludeDirective{line, std::move(target), angled});
+    }
+  }
+  return out;
+}
+
+}  // namespace gorilla::lint

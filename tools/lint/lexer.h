@@ -1,0 +1,89 @@
+// A real C++ lexer for gorilla-lint (tools/lint).
+//
+// gorilla_lint v1 blanked comments and literals with a hand-rolled state
+// machine that knew nothing about raw string literals or digit separators:
+// `R"x(...)x"` bodies could leak into the "code" channel (false positives)
+// and a `'` digit separator flipped the char-literal state and swallowed
+// the rest of the line (false negatives). This lexer tokenizes the actual
+// C++ lexical grammar the tree uses — line/block comments, encoding
+// prefixes (u8/u/U/L, with and without R), raw string literals with
+// delimiters, char literals, pp-numbers with digit separators and
+// exponents — so every analysis pass shares one accurate view of what is
+// code and what is not.
+//
+// Error tolerance: lexing never fails. Unterminated literals and comments
+// extend to end of line (strings/chars) or end of file (block comments,
+// raw strings), matching how a human reads broken code, and offsets always
+// map back to lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gorilla::lint {
+
+enum class TokenKind {
+  kIdentifier,   ///< identifiers and keywords
+  kNumber,       ///< pp-number: 1'000'000, 0x800'1b, 1e9, 1.5f, 0x1p3
+  kString,       ///< "..." including encoding prefixes
+  kRawString,    ///< R"delim(...)delim" including encoding prefixes
+  kCharLiteral,  ///< '...' including encoding prefixes
+  kComment,      ///< // and /* */ comments, text included
+  kPunct,        ///< a single punctuation character
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kPunct;
+  std::size_t offset = 0;  ///< byte offset into the source text
+  std::size_t length = 0;
+};
+
+/// A lexed translation unit: the raw text, its token stream, and the
+/// line-start offsets every pass uses to map findings to line numbers.
+struct LexedSource {
+  std::string text;
+  std::vector<Token> tokens;
+  std::vector<std::size_t> line_starts;  ///< offset of each line, 0-based elem
+
+  /// 1-based line containing `offset`.
+  [[nodiscard]] std::size_t line_of(std::size_t offset) const;
+
+  [[nodiscard]] std::string_view view(const Token& t) const {
+    return std::string_view(text).substr(t.offset, t.length);
+  }
+
+  /// Raw text of the 1-based line, without the trailing newline.
+  [[nodiscard]] std::string_view line_text(std::size_t line) const;
+};
+
+/// Tokenizes `text`. Never fails; see the error-tolerance note above.
+[[nodiscard]] LexedSource lex(std::string text);
+
+/// The scrubbed view the regex-level rules run on: comments and
+/// string/char literal tokens are blanked with spaces (newlines inside
+/// them preserved, so offsets still map to the same lines), everything
+/// else — including numbers with digit separators — is byte-identical to
+/// the source.
+[[nodiscard]] std::string scrub(const LexedSource& src);
+
+/// True if a kNumber token spells a floating-point literal (has a decimal
+/// point, a decimal exponent, or a hex-float binary exponent). Digit
+/// separators are ignored; `0x1e` is correctly an integer.
+[[nodiscard]] bool is_float_literal(std::string_view number);
+
+struct IncludeDirective {
+  std::size_t line = 0;    ///< 1-based
+  std::string target;      ///< path between the quotes/brackets
+  bool angled = false;     ///< <...> rather than "..."
+};
+
+/// Extracts #include directives. Directive recognition uses the scrubbed
+/// view (so commented-out includes are ignored) while the target path is
+/// read from the raw text (the scrub blanks string bodies).
+[[nodiscard]] std::vector<IncludeDirective> find_includes(
+    const LexedSource& src, const std::string& scrubbed);
+
+}  // namespace gorilla::lint
