@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "util/fault.h"
+#include "util/mem_stats.h"
 
 namespace gorilla::bench {
 
@@ -78,6 +79,12 @@ Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
           parse_positive(value("--checkpoint"), "--checkpoint", 1l << 16));
     } else if (arg == "--resume") {
       opt.resume = true;
+    } else if (arg == "--mem-report") {
+      opt.mem_report = true;
+      // atexit so every bench reports after its last deallocation-free
+      // moment, with no per-bench plumbing; stderr keeps stdout stable.
+      std::atexit(
+          [] { util::MemStats::instance().report(stderr); });
     } else if (arg == "--faults") {
       const char* spec = value("--faults");
       const auto plan = util::FaultPlan::parse(spec);
@@ -92,7 +99,8 @@ Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
       std::printf(
           "usage: %s [--scale N] [--seed N] [--quick] [--jobs N]\n"
           "          [--record PATH] [--replay PATH] [--csv DIR]\n"
-          "          [--checkpoint WEEKS] [--resume] [--faults SPEC]\n",
+          "          [--checkpoint WEEKS] [--resume] [--faults SPEC]\n"
+          "          [--mem-report]\n",
           argv[0]);
       std::exit(0);
     }

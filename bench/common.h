@@ -55,6 +55,10 @@ struct Options {
   /// through those weeks, and continue live — stdout is byte-identical to
   /// an uninterrupted run.
   bool resume = false;
+  /// --mem-report: at exit, print the util::MemStats registry (per-
+  /// subsystem live/peak bytes + process peak RSS) to stderr. Stderr so
+  /// stdout stays byte-comparable across flag combinations.
+  bool mem_report = false;
 };
 
 /// Writes a CSV artifact into opt.csv_dir when set (no-op otherwise);

@@ -104,6 +104,25 @@ void BM_MonitorObserve(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitorObserve)->Arg(100)->Arg(10000);
 
+void BM_MonlistDump(benchmark::State& state) {
+  // dump() is the §4 victimology hot loop: every weekly probe renders every
+  // responding amplifier's table. Populate with distinct last_seen values
+  // (the common case — the recency list is already totally ordered, so the
+  // tie-break sort never fires) and measure the render.
+  ntp::MonitorTable table;
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    table.observe(net::Ipv4Address{0x0a000000u + i}, 123, 7, 2,
+                  static_cast<util::SimTime>(i + 1));
+  }
+  const net::Ipv4Address local(10, 0, 0, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.dump(100000, local));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MonlistDump)->Arg(6)->Arg(60)->Arg(600);
+
 void BM_ReadvarRoundTrip(benchmark::State& state) {
   ntp::SystemVariables vars;
   vars.version = "ntpd 4.2.6p5@1.2349-o Tue May 10 2011";

@@ -10,6 +10,9 @@
 #   - replay wall time            (--replay study.bin)
 # and asserts stdout is byte-identical across all four runs — the engine's
 # determinism contract (DESIGN.md §3d) makes every mode a pure speedup.
+# The sequential run also records its peak RSS (peak_rss_kb), so the file
+# carries the memory trajectory alongside the perf trajectory —
+# scripts/check.sh gates fig03 RSS regressions against the latest run.
 #
 # The replay column is the simulate-once/analyze-many headline: every
 # analysis after the first skips world build + simulation entirely.
@@ -48,6 +51,25 @@ time_to() {
   awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b - a) / 1e9 }'
 }
 
+# Wall time (s) and peak RSS (KB) of a command, stdout to $1; prints
+# "<seconds> <rss_kb>". Peak RSS comes from getrusage(RUSAGE_CHILDREN) in a
+# fresh python process per run — the container image carries no
+# /usr/bin/time, and ru_maxrss is the same kernel counter it would read.
+measure_to() {
+  local out="$1"
+  shift
+  python3 - "$out" "$@" <<'PY' 2>>"$work/stderr.log"
+import resource, subprocess, sys, time
+t0 = time.monotonic()
+with open(sys.argv[1], "wb") as f:
+    rc = subprocess.run(sys.argv[2:], stdout=f, stderr=sys.stderr).returncode
+dt = time.monotonic() - t0
+if rc != 0:
+    sys.exit(rc)
+print("%.3f %d" % (dt, resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss))
+PY
+}
+
 entries=""
 for bench in "${benches[@]}"; do
   bin="$bench_dir/$bench"
@@ -57,8 +79,8 @@ for bench in "${benches[@]}"; do
   fi
   echo "== $bench =="
 
-  seq_s=$(time_to "$work/$bench.jobs1.txt" "$bin" --jobs 1)
-  echo "   --jobs 1        ${seq_s}s"
+  read -r seq_s seq_rss_kb <<<"$(measure_to "$work/$bench.jobs1.txt" "$bin" --jobs 1)"
+  echo "   --jobs 1        ${seq_s}s  (peak RSS $((seq_rss_kb / 1024)) MB)"
   par_s=$(time_to "$work/$bench.jobsN.txt" "$bin" --jobs "$jobs")
   echo "   --jobs $jobs        ${par_s}s"
   rec_s=$(time_to "$work/$bench.record.txt" "$bin" --jobs 1 --record "$work/$bench.study")
@@ -90,6 +112,7 @@ for bench in "${benches[@]}"; do
       \"record_s\": $rec_s, \"replay_s\": $rep_s,
       \"replay_speedup\": $replay_speedup,
       \"artifact_bytes\": $artifact_bytes,
+      \"peak_rss_kb\": $seq_rss_kb,
       \"identical_stdout\": true }"
 done
 

@@ -13,6 +13,10 @@
 #   5. TSan build of the engine/thread-pool tests; the sharded executor's
 #      worker-thread discipline (DESIGN.md §3d) is vetted under
 #      ThreadSanitizer even on hosts where thread speedup is impossible.
+#   6. Memory gate: fig03 at --scale 40, failing when its peak RSS
+#      regresses >10% against the latest fig03 peak_rss_kb recorded in
+#      BENCH_engine.json (scripts/bench.sh writes it). Skipped with a note
+#      when no baseline exists yet.
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer passes (release build + tests + lint only)
@@ -27,12 +31,12 @@ fi
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "== [1/5] Release build (strict warnings) + tests =="
+echo "== [1/6] Release build (strict warnings) + tests =="
 cmake --preset release >/dev/null
 cmake --build --preset release -j "$jobs"
 ctest --preset release -j "$jobs"
 
-echo "== [2/5] gorilla_lint (tree + self-test) =="
+echo "== [2/6] gorilla_lint (tree + self-test) =="
 # Parallel analysis over the whole tree first — the summary line on stderr
 # reports wall time, cache hits, and the job count; the DOT artifact and
 # warm cache land in build/release for inspection. Then the ctest battery
@@ -44,25 +48,72 @@ echo "== [2/5] gorilla_lint (tree + self-test) =="
   src tools
 ctest --test-dir build/release -L lint --output-on-failure
 
+# The memory gate runs in --fast mode too: RSS regressions are exactly the
+# kind of change a quick pre-merge pass should catch, and one fig03 run is
+# cheap next to the sanitizer builds.
+mem_gate() {
+  echo "== [mem] fig03 --scale 40 peak-RSS gate =="
+  local baseline_kb
+  baseline_kb=$(python3 - <<'PY'
+import json
+best = 0
+try:
+    with open("BENCH_engine.json") as f:
+        doc = json.load(f)
+    for run in doc.get("runs", []):
+        for e in run.get("entries", []):
+            if e.get("bench") == "fig03_amplifier_counts" and e.get("peak_rss_kb"):
+                best = e["peak_rss_kb"]  # latest run wins
+except (FileNotFoundError, json.JSONDecodeError):
+    pass
+print(best)
+PY
+)
+  if [[ "$baseline_kb" -eq 0 ]]; then
+    echo "   no fig03 peak_rss_kb baseline in BENCH_engine.json — skipping"
+    echo "   (run scripts/bench.sh once to record one)"
+    return 0
+  fi
+  local rss_kb
+  rss_kb=$(python3 - build/release/bench/fig03_amplifier_counts <<'PY'
+import resource, subprocess, sys
+rc = subprocess.run([sys.argv[1], "--scale", "40"],
+                    stdout=subprocess.DEVNULL).returncode
+if rc != 0:
+    sys.exit(rc)
+print(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+PY
+)
+  local limit_kb=$((baseline_kb + baseline_kb / 10))
+  echo "   peak RSS ${rss_kb} KB (baseline ${baseline_kb} KB, limit ${limit_kb} KB)"
+  if [[ "$rss_kb" -gt "$limit_kb" ]]; then
+    echo "check.sh: FAIL — fig03 peak RSS regressed >10% over the" \
+         "BENCH_engine.json baseline" >&2
+    exit 1
+  fi
+}
+
 if [[ "$fast" -eq 1 ]]; then
-  echo "== [3/5] skipped (--fast) =="
-  echo "== [4/5] skipped (--fast) =="
-  echo "== [5/5] skipped (--fast) =="
+  echo "== [3/6] skipped (--fast) =="
+  echo "== [4/6] skipped (--fast) =="
+  echo "== [5/6] skipped (--fast) =="
+  mem_gate
   echo "check.sh: OK (fast)"
   exit 0
 fi
 
-echo "== [3/5] ASan+UBSan build + tests =="
+echo "== [3/6] ASan+UBSan build + tests =="
 cmake --preset asan-ubsan >/dev/null
 cmake --build --preset asan-ubsan -j "$jobs"
 ctest --preset asan-ubsan -j "$jobs"
 
-echo "== [4/5] fault-injection suite under ASan+UBSan =="
+echo "== [4/6] fault-injection suite under ASan+UBSan =="
 ctest --test-dir build/asan-ubsan -L fault --output-on-failure
 
-echo "== [5/5] TSan build + engine/thread-pool tests =="
+echo "== [5/6] TSan build + engine/thread-pool tests =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j "$jobs"
 ctest --preset tsan -j "$jobs"
 
+mem_gate
 echo "check.sh: OK"

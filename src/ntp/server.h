@@ -70,7 +70,13 @@ struct ResponseSummary {
 
 class NtpServer {
  public:
-  explicit NtpServer(NtpServerConfig config) : config_(std::move(config)) {}
+  /// `monitor_arena` (optional) backs the monitor table's slab storage;
+  /// sim::World passes one shared arena for the whole detailed population
+  /// so hundreds of thousands of tables stay dense (DESIGN.md §3g).
+  explicit NtpServer(NtpServerConfig config,
+                     util::Arena* monitor_arena = nullptr)
+      : config_(std::move(config)),
+        monitor_(kMonlistMaxEntries, monitor_arena) {}
 
   /// Handles one datagram addressed to this server at time `now`. Every
   /// request — even a dropped one — is recorded in the monitor table, which

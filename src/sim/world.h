@@ -24,6 +24,7 @@
 #include "net/pbl.h"
 #include "net/registry.h"
 #include "ntp/server.h"
+#include "util/arena.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -194,6 +195,9 @@ class World {
   std::vector<std::uint32_t> merit_amplifiers_;
   std::vector<std::uint32_t> csu_amplifiers_;
   std::vector<std::uint32_t> frgp_amplifiers_;
+  /// Backs every detailed server's monitor-table slabs (DESIGN.md §3g).
+  /// Declared before detailed_ so the tables die before their storage.
+  util::Arena monitor_arena_;
   std::vector<ntp::NtpServer> detailed_;
 };
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "study/events.h"
+#include "util/mem_stats.h"
 
 namespace gorilla::study {
 
@@ -55,7 +56,13 @@ class EventBuffer final : public EventSink {
   }
 
   /// Re-emits every buffered event into `sink`, preserving total order.
+  /// Replay is the natural batch boundary, so the buffer reports its
+  /// footprint into the "study.event_buffer" gauge here (the gauge tracks
+  /// the largest single shard buffer, which is what bounds a worker).
   void replay_into(EventSink& sink) const {
+    static auto& gauge =
+        util::MemStats::instance().counter("study.event_buffer");
+    gauge.observe(footprint_bytes());
     std::size_t gi = 0, li = 0, fi = 0, di = 0;
     for (const auto tag : tape_) {
       switch (tag) {
@@ -84,6 +91,16 @@ class EventBuffer final : public EventSink {
 
   [[nodiscard]] std::size_t size() const noexcept { return tape_.size(); }
   [[nodiscard]] bool empty() const noexcept { return tape_.empty(); }
+
+  /// Bytes of buffered-event storage (capacities, not sizes — what the
+  /// allocator actually holds).
+  [[nodiscard]] std::size_t footprint_bytes() const noexcept {
+    return tape_.capacity() * sizeof(std::uint8_t) +
+           global_.capacity() * sizeof(GlobalBytes) +
+           labels_.capacity() * sizeof(telemetry::LabeledAttack) +
+           flows_.capacity() * sizeof(Flow) +
+           darknet_.capacity() * sizeof(DarknetScan);
+  }
 
  private:
   enum Tag : std::uint8_t { kGlobalBytes, kAttackLabel, kFlow, kDarknetScan };

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "scan/prober.h"
+#include "util/mem_stats.h"
 
 namespace gorilla::study {
 
@@ -196,6 +197,18 @@ void Recorder::on_monlist_summary(const scan::MonlistSampleSummary& summary) {
 void Recorder::on_sample_end(int week) {
   tag(kTagEnd);
   end_.put_zigzag(week);
+  // Week boundary: report the accumulated column bytes into the memory
+  // registry (gauge — the recorder only ever grows until to_archive()).
+  static auto& gauge = util::MemStats::instance().counter("study.recorder");
+  gauge.observe(column_bytes());
+}
+
+std::size_t Recorder::column_bytes() const noexcept {
+  return tape_.size() + global_.size() + label_.size() + flow_.size() +
+         dark_.size() + begin_.size() + obs_.size() + sum_.size() +
+         end_.size() + tbl_addr_.size() + tbl_local_.size() + tbl_avg_.size() +
+         tbl_seen_.size() + tbl_restr_.size() + tbl_count_.size() +
+         tbl_port_.size() + tbl_mode_.size() + tbl_ver_.size();
 }
 
 util::ColumnArchive Recorder::to_archive() {

@@ -83,6 +83,8 @@ class Recorder final : public EventSink {
  private:
   void tag(std::uint8_t t);
   void flush_run();
+  /// Total encoded bytes across every column (the recorder's footprint).
+  [[nodiscard]] std::size_t column_bytes() const noexcept;
 
   StudyHeader header_;
   util::ColumnWriter tape_, global_, label_, flow_, dark_, begin_, obs_,

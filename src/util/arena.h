@@ -1,0 +1,207 @@
+// Slab/arena allocator with size-class recycling for compact structures.
+//
+// The monitor-table spine allocates hundreds of thousands of small slot
+// slabs with world lifetime; giving each its own malloc costs an
+// allocation header per slab and scatters them across the heap. An Arena
+// carves them out of large blocks instead: allocation is a bump pointer,
+// and the whole spine stays dense.
+//
+// Blocks are never returned to the OS before the arena dies, but callers
+// MAY hand storage back with recycle(): freed allocations go on exact-size
+// free lists (sizes are canonicalized to 16-byte multiples, and the
+// callers draw from small growth ladders, so the class count stays tiny)
+// and the next allocate() of that size reuses them. That is what lets one
+// monitor table's post-expiry shrink feed another table's growth — the
+// cross-table reuse malloc gave the node-based tables — while keeping
+// bump-pointer locality for the steady state.
+//
+// Thread-safe by a mutex around allocate()/recycle(): callers hold
+// slab-granular storage, so arena calls are rare (one per slab resize, not
+// one per entry), and the §3d parallel seeding path (disjoint servers,
+// shared world arena) stays race-free.
+//
+// Accounting: each block charges one MemStats::Counter::add per block (a
+// relaxed atomic), so per-subsystem live/peak bytes are exact at block
+// granularity for free. Recycled storage stays "live" — the arena still
+// owns it — which is exactly the retained-footprint number the scale-1
+// planning needs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "util/mem_stats.h"
+
+namespace gorilla::util {
+
+class Arena {
+ public:
+  /// `stats` (optional) receives one add() per block allocated and the
+  /// matching sub()s on destruction; it must outlive the arena (the
+  /// MemStats registry's counters are process-lived, so that is the
+  /// normal case). `request_stats` (optional) additionally tracks
+  /// *outstanding requests* — allocate() adds the canonical size,
+  /// recycle() subtracts it — so its peak is the callers' true live
+  /// high-water mark and the gap to the block counter is the arena's
+  /// overhead (bump slack + idle free-list storage).
+  explicit Arena(MemStats::Counter* stats = nullptr,
+                 std::size_t block_bytes = kDefaultBlockBytes,
+                 MemStats::Counter* request_stats = nullptr)
+      : stats_(stats), request_stats_(request_stats),
+        block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    if (stats_ != nullptr) stats_->sub(allocated_bytes_);
+    if (request_stats_ != nullptr) request_stats_->sub(outstanding_bytes_);
+  }
+
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{256} * 1024;
+  /// Every allocation is rounded up to this granule: recycled storage must
+  /// hold a free-list link, and canonical sizes keep the class count small.
+  static constexpr std::size_t kGranule = 16;
+
+  /// Bytes of raw storage, 16-byte aligned (`align` must not exceed
+  /// kGranule). Never returns nullptr. Reuse order: an exact-size
+  /// recycled block, else the smallest larger recycled block (best fit,
+  /// remainder split back onto its own free list — during a synchronized
+  /// growth wave every table frees rung N while demanding rung N+1, and
+  /// splitting keeps that storage in play instead of stranding it), else
+  /// the bump pointer advances.
+  [[nodiscard]] void* allocate(std::size_t bytes, std::size_t align) {
+    (void)align;
+    const std::size_t size = canonical(bytes);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (request_stats_ != nullptr) {
+      request_stats_->add(size);
+      outstanding_bytes_ += size;
+    }
+    FreeList* best = nullptr;
+    for (auto& fl : free_lists_) {
+      if (fl.head == nullptr || fl.size < size) continue;
+      if (fl.size == size) {
+        best = &fl;
+        break;
+      }
+      if (best == nullptr || fl.size < best->size) best = &fl;
+    }
+    if (best != nullptr) {
+      void* out = best->head;
+      best->head = *static_cast<void**>(out);
+      if (best->size > size) {
+        push_free(static_cast<std::byte*>(out) + size, best->size - size);
+      }
+      return out;
+    }
+    std::size_t offset = (cursor_ + kGranule - 1) & ~(kGranule - 1);
+    if (current_ == nullptr || offset + size > current_size_) {
+      refill(size + kGranule);
+      offset = (cursor_ + kGranule - 1) & ~(kGranule - 1);
+    }
+    cursor_ = offset + size;
+    return current_ + offset;
+  }
+
+  /// Returns an allocation of `bytes` (the size passed to allocate()) to
+  /// the matching size-class free list for reuse.
+  void recycle(void* ptr, std::size_t bytes) noexcept {
+    const std::size_t size = canonical(bytes);
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (request_stats_ != nullptr) {
+      request_stats_->sub(size);
+      outstanding_bytes_ -= size;
+    }
+    push_free(ptr, size);
+  }
+
+  /// `count` default-initialized objects of trivially-destructible T (the
+  /// arena never runs destructors; recycled storage is re-initialized
+  /// here).
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is never destroyed element-wise");
+    static_assert(alignof(T) <= kGranule);
+    T* out = static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+    for (std::size_t i = 0; i < count; ++i) new (out + i) T();
+    return out;
+  }
+
+  /// recycle() for an allocate_array<T>() allocation.
+  template <typename T>
+  void recycle_array(T* ptr, std::size_t count) noexcept {
+    recycle(static_cast<void*>(ptr), sizeof(T) * count);
+  }
+
+  /// Total block bytes currently owned (what MemStats sees as live).
+  [[nodiscard]] std::size_t allocated_bytes() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return allocated_bytes_;
+  }
+
+  /// Blocks owned (diagnostic; one malloc each over the arena's lifetime).
+  [[nodiscard]] std::size_t block_count() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return blocks_.size();
+  }
+
+ private:
+  struct FreeList {
+    std::size_t size;
+    void* head;
+  };
+
+  [[nodiscard]] static constexpr std::size_t canonical(
+      std::size_t bytes) noexcept {
+    const std::size_t up = (bytes + kGranule - 1) & ~(kGranule - 1);
+    return up == 0 ? kGranule : up;
+  }
+
+  /// Links `ptr` (a canonical-size block) onto its size class. Called
+  /// under mutex_.
+  void push_free(void* ptr, std::size_t size) {
+    for (auto& fl : free_lists_) {
+      if (fl.size == size) {
+        *static_cast<void**>(ptr) = fl.head;
+        fl.head = ptr;
+        return;
+      }
+    }
+    *static_cast<void**>(ptr) = nullptr;
+    free_lists_.push_back(FreeList{size, ptr});
+  }
+
+  /// Starts a fresh block of at least `min_bytes` (oversize requests get a
+  /// dedicated block). Called under mutex_.
+  void refill(std::size_t min_bytes) {
+    const std::size_t size = min_bytes > block_bytes_ ? min_bytes
+                                                      : block_bytes_;
+    blocks_.push_back(std::make_unique<std::byte[]>(size));
+    current_ = blocks_.back().get();
+    current_size_ = size;
+    cursor_ = 0;
+    allocated_bytes_ += size;
+    if (stats_ != nullptr) stats_->add(size);
+  }
+
+  MemStats::Counter* stats_;
+  MemStats::Counter* request_stats_;
+  std::size_t block_bytes_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<std::byte[]>> blocks_;
+  std::vector<FreeList> free_lists_;
+  std::byte* current_ = nullptr;
+  std::size_t current_size_ = 0;
+  std::size_t cursor_ = 0;
+  std::size_t allocated_bytes_ = 0;
+  std::size_t outstanding_bytes_ = 0;
+};
+
+}  // namespace gorilla::util

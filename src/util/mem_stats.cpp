@@ -1,0 +1,83 @@
+#include "util/mem_stats.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <new>
+
+#include "util/format.h"
+
+namespace gorilla::util {
+
+MemStats& MemStats::instance() {
+  // Never destroyed: counters are handed out as process-lifetime references
+  // and --mem-report registers an atexit hook that may fire after static
+  // destructors run. Placement-new into static storage keeps the registry
+  // alive through shutdown without a heap allocation.
+  alignas(MemStats) static unsigned char storage[sizeof(MemStats)];
+  static MemStats* stats = new (storage) MemStats;
+  return *stats;
+}
+
+MemStats::Counter& MemStats::counter(const std::string& subsystem) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& entry : entries_) {
+    if (entry->name == subsystem) return entry->counter;
+  }
+  entries_.push_back(std::make_unique<Entry>());
+  entries_.back()->name = subsystem;
+  return entries_.back()->counter;
+}
+
+std::vector<MemStats::Row> MemStats::rows() const {
+  std::vector<Row> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      out.push_back(Row{entry->name, entry->counter.live(),
+                        entry->counter.peak()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Row& a, const Row& b) { return a.subsystem < b.subsystem; });
+  return out;
+}
+
+std::uint64_t MemStats::peak_rss_bytes() {
+  // VmHWM ("high water mark") is the kernel's own peak-RSS accounting; it
+  // survives frees, so reading it at report time is exact.
+  std::ifstream status("/proc/self/status");
+  if (!status.is_open()) return 0;
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::uint64_t kb = 0;
+    for (const char c : line) {
+      if (c >= '0' && c <= '9') {
+        kb = kb * 10 + static_cast<std::uint64_t>(c - '0');
+      } else if (kb != 0) {
+        break;
+      }
+    }
+    return kb * 1024;
+  }
+  return 0;
+}
+
+void MemStats::report(std::FILE* out) const {
+  std::fprintf(out, "[mem] %-28s %12s %12s\n", "subsystem", "live", "peak");
+  for (const Row& row : rows()) {
+    std::fprintf(out, "[mem] %-28s %12s %12s\n", row.subsystem.c_str(),
+                 bytes_str(static_cast<double>(row.live_bytes)).c_str(),
+                 bytes_str(static_cast<double>(row.peak_bytes)).c_str());
+  }
+  const std::uint64_t rss = peak_rss_bytes();
+  if (rss != 0) {
+    std::fprintf(out, "[mem] %-28s %12s %12s\n", "process peak RSS (VmHWM)",
+                 "", bytes_str(static_cast<double>(rss)).c_str());
+  }
+}
+
+}  // namespace gorilla::util

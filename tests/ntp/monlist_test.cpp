@@ -18,8 +18,8 @@ TEST(MonitorTableTest, ObserveCreatesSlot) {
   MonitorTable table;
   table.observe(net::Ipv4Address(1, 2, 3, 4), 123, 3, 4, 50);
   EXPECT_EQ(table.size(), 1u);
-  const auto* slot = table.find(net::Ipv4Address(1, 2, 3, 4));
-  ASSERT_NE(slot, nullptr);
+  const auto slot = table.find(net::Ipv4Address(1, 2, 3, 4));
+  ASSERT_TRUE(slot.has_value());
   EXPECT_EQ(slot->count, 1u);
   EXPECT_EQ(slot->first_seen, 50);
   EXPECT_EQ(slot->last_seen, 50);
@@ -31,8 +31,8 @@ TEST(MonitorTableTest, RepeatObservationsUpdateInPlace) {
   table.observe(client, 1000, 3, 4, 10);
   table.observe(client, 2000, 7, 2, 70);
   EXPECT_EQ(table.size(), 1u);
-  const auto* slot = table.find(client);
-  ASSERT_NE(slot, nullptr);
+  const auto slot = table.find(client);
+  ASSERT_TRUE(slot.has_value());
   EXPECT_EQ(slot->count, 2u);
   EXPECT_EQ(slot->port, 2000);   // last packet wins
   EXPECT_EQ(slot->mode, 7);
@@ -94,8 +94,8 @@ TEST(MonitorTableTest, EvictsLeastRecentlySeenAtCapacity) {
   table.observe(net::Ipv4Address(1, 0, 0, 3), 3, 3, 4, 30);
   table.observe(net::Ipv4Address(1, 0, 0, 4), 4, 3, 4, 40);  // evicts .1
   EXPECT_EQ(table.size(), 3u);
-  EXPECT_EQ(table.find(net::Ipv4Address(1, 0, 0, 1)), nullptr);
-  EXPECT_NE(table.find(net::Ipv4Address(1, 0, 0, 4)), nullptr);
+  EXPECT_FALSE(table.find(net::Ipv4Address(1, 0, 0, 1)).has_value());
+  EXPECT_TRUE(table.find(net::Ipv4Address(1, 0, 0, 4)).has_value());
 }
 
 TEST(MonitorTableTest, ReobservationRefreshesEvictionOrder) {
@@ -104,8 +104,8 @@ TEST(MonitorTableTest, ReobservationRefreshesEvictionOrder) {
   table.observe(net::Ipv4Address(1, 0, 0, 2), 2, 3, 4, 20);
   table.observe(net::Ipv4Address(1, 0, 0, 1), 1, 3, 4, 30);  // refresh .1
   table.observe(net::Ipv4Address(1, 0, 0, 3), 3, 3, 4, 40);  // evicts .2
-  EXPECT_NE(table.find(net::Ipv4Address(1, 0, 0, 1)), nullptr);
-  EXPECT_EQ(table.find(net::Ipv4Address(1, 0, 0, 2)), nullptr);
+  EXPECT_TRUE(table.find(net::Ipv4Address(1, 0, 0, 1)).has_value());
+  EXPECT_FALSE(table.find(net::Ipv4Address(1, 0, 0, 2)).has_value());
 }
 
 TEST(MonitorTableTest, CapacityIs600ByDefault) {
@@ -116,8 +116,8 @@ TEST(MonitorTableTest, CapacityIs600ByDefault) {
   }
   EXPECT_EQ(table.size(), 600u);
   // The earliest 100 clients were recycled.
-  EXPECT_EQ(table.find(net::Ipv4Address{0x01000000u}), nullptr);
-  EXPECT_NE(table.find(net::Ipv4Address{0x01000000u + 699}), nullptr);
+  EXPECT_FALSE(table.find(net::Ipv4Address{0x01000000u}).has_value());
+  EXPECT_TRUE(table.find(net::Ipv4Address{0x01000000u + 699}).has_value());
 }
 
 TEST(MonitorTableTest, ObserveManyMatchesRepeatedObserve) {

@@ -76,8 +76,8 @@ TEST(NtpServerTest, UnsynchronizedServerReportsLeapAndStratum16) {
 TEST(NtpServerTest, TimeQueryIsMonitored) {
   NtpServer server(base_config());
   server.handle(time_query(), 1000);
-  const auto* slot = server.monitor().find(kClientAddr);
-  ASSERT_NE(slot, nullptr);
+  const auto slot = server.monitor().find(kClientAddr);
+  ASSERT_TRUE(slot.has_value());
   EXPECT_EQ(slot->mode, 3);
 }
 
@@ -121,7 +121,7 @@ TEST(NtpServerTest, NoQueryServerStaysSilentButRecords) {
   EXPECT_EQ(resp.total_packets, 0u);
   EXPECT_TRUE(resp.packets.empty());
   // But the probe was still monitored — remediated servers keep witnessing.
-  EXPECT_NE(server.monitor().find(kClientAddr), nullptr);
+  EXPECT_TRUE(server.monitor().find(kClientAddr).has_value());
 }
 
 TEST(NtpServerTest, ImplementationMismatchGetsTinyError) {

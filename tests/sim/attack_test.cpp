@@ -99,8 +99,8 @@ TEST_F(AttackEngineTest, AttacksLeaveMonitorTableEvidence) {
     for (const auto amp : rec.amplifiers) {
       const auto* server = world_.detailed(amp);
       ASSERT_NE(server, nullptr);
-      const auto* slot = server->monitor().find(rec.victim);
-      if (slot != nullptr) {
+      const auto slot = server->monitor().find(rec.victim);
+      if (slot.has_value()) {
         EXPECT_EQ(slot->mode, 7);
         EXPECT_GE(slot->count, rec.triggers_per_amplifier);
         ++witnessed;

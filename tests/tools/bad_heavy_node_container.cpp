@@ -1,0 +1,10 @@
+// gorilla_lint self-test fixture: must trip exactly [heavy-node-container].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct PerClientState {  // LINT-COMPACT
+  std::vector<std::uint32_t> flat_index;            // fine: contiguous
+  std::map<std::uint32_t, std::uint64_t> counts;    // LINT-EXPECT[heavy-node-container]
+};

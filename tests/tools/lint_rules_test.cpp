@@ -178,5 +178,41 @@ TEST(Analyze, DeterministicAcrossJobCounts) {
   }
 }
 
+TEST(HeavyNodeContainer, FlagsNodeContainersOnlyInsideCompactTypes) {
+  const std::vector<Finding> fs = run(
+      "src/ntp/x.h",
+      "struct Compact {  // LINT-COMPACT\n"
+      "  std::map<int, int> counts;\n"
+      "  std::unordered_set<int> seen;\n"
+      "  std::vector<int> flat;\n"
+      "};\n"
+      "struct Unmarked {\n"
+      "  std::map<int, int> fine_here;\n"
+      "};\n");
+  EXPECT_EQ(count_rule(fs, "heavy-node-container"), 2u);
+}
+
+TEST(HeavyNodeContainer, IgnoresLookalikeNamesAndComments) {
+  const std::vector<Finding> fs = run(
+      "src/ntp/x.h",
+      "struct Compact {  // LINT-COMPACT\n"
+      "  MonitorDelta delta;          // 'list'-free user type\n"
+      "  std::vector<int> monlist;    // identifier containing 'list'\n"
+      "  Bitset<64> set_bits;         // identifier containing 'set'\n"
+      "  // a std::map<int,int> in a comment is not a member\n"
+      "};\n");
+  EXPECT_EQ(count_rule(fs, "heavy-node-container"), 0u);
+}
+
+TEST(HeavyNodeContainer, WaiverSuppressesAndIsConsumed) {
+  const std::vector<Finding> fs = run(
+      "src/ntp/x.h",
+      "struct Compact {  // LINT-COMPACT\n"
+      "  std::map<int, int> cold;  // NOLINT(heavy-node-container) -- cold\n"
+      "};\n");
+  EXPECT_EQ(count_rule(fs, "heavy-node-container"), 0u);
+  EXPECT_EQ(count_rule(fs, "stale-waiver"), 0u);
+}
+
 }  // namespace
 }  // namespace gorilla::lint

@@ -1,0 +1,63 @@
+#include "util/mem_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace gorilla::util {
+namespace {
+
+TEST(MemStatsTest, CounterTracksLiveAndPeak) {
+  MemStats::Counter c;
+  c.add(100);
+  c.add(50);
+  EXPECT_EQ(c.live(), 150u);
+  EXPECT_EQ(c.peak(), 150u);
+  c.sub(120);
+  EXPECT_EQ(c.live(), 30u);
+  EXPECT_EQ(c.peak(), 150u);  // peak never falls
+  c.add(10);
+  EXPECT_EQ(c.live(), 40u);
+  EXPECT_EQ(c.peak(), 150u);
+}
+
+TEST(MemStatsTest, ObserveIsAGauge) {
+  MemStats::Counter c;
+  c.observe(500);
+  c.observe(200);  // gauge overwrites live...
+  EXPECT_EQ(c.live(), 200u);
+  EXPECT_EQ(c.peak(), 500u);  // ...but the high-water mark stays
+}
+
+TEST(MemStatsTest, RegistryHandsOutStableCounters) {
+  auto& a = MemStats::instance().counter("test.mem_stats.alpha");
+  auto& again = MemStats::instance().counter("test.mem_stats.alpha");
+  EXPECT_EQ(&a, &again);  // same name, same counter — references are cached
+  a.add(777);
+  bool found = false;
+  for (const auto& row : MemStats::instance().rows()) {
+    if (row.subsystem == "test.mem_stats.alpha") {
+      found = true;
+      EXPECT_GE(row.peak_bytes, 777u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MemStatsTest, RowsAreSortedByName) {
+  (void)MemStats::instance().counter("test.mem_stats.bbb");
+  (void)MemStats::instance().counter("test.mem_stats.aaa");
+  const auto rows = MemStats::instance().rows();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].subsystem, rows[i].subsystem);
+  }
+}
+
+TEST(MemStatsTest, PeakRssIsPlausible) {
+  const std::uint64_t rss = MemStats::peak_rss_bytes();
+  // /proc is available on every platform this repo builds on; a test
+  // process certainly uses more than 1 MB and less than 1 TB.
+  EXPECT_GT(rss, std::uint64_t{1} << 20);
+  EXPECT_LT(rss, std::uint64_t{1} << 40);
+}
+
+}  // namespace
+}  // namespace gorilla::util

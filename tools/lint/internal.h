@@ -26,9 +26,13 @@ inline std::uint64_t fnv1a(std::string_view data,
 /// Self-test / fixture directives read from comments:
 ///   LINT-LAYER: <name>     assigns a layer to a file outside src/<layer>/
 ///   LINT-EXPECT[<rule>]    exact-match expectation used by --self-test
+///   LINT-COMPACT           marks a struct/class as a compact (flat-storage)
+///                          type; heavy-node-container rejects node-based
+///                          std containers among its members
 struct FileDirectives {
   std::string layer;
   std::vector<std::pair<std::size_t, std::string>> expects;  // (line, rule)
+  std::vector<std::size_t> compact_marks;  ///< lines with a compact-type mark
 };
 
 /// Context-free per-file facts; cacheable keyed on the content hash alone.

@@ -505,6 +505,46 @@ void rule_shared_rng(SourceFile& f, Sink& sink) {
   }
 }
 
+// --- rule: heavy-node-container --------------------------------------------
+
+/// Node-based std containers inside a struct/class marked `// LINT-COMPACT`.
+/// The mark documents a flat-storage contract (DESIGN.md §3g): the type is
+/// instantiated at population scale, so per-element heap nodes — maps,
+/// sets, lists — would silently undo the memory spine. Members must be
+/// flat (arrays, vectors, open-addressing indices, intrusive links).
+void rule_heavy_node_container(SourceFile& f, Sink& sink) {
+  if (f.summary.directives.compact_marks.empty()) return;
+  static const std::regex node_container_re(
+      R"(\b(multimap|multiset|unordered_map|unordered_set|unordered_multimap|unordered_multiset|forward_list|map|set|list)\s*<)");
+  const std::string& s = f.scrubbed;
+  for (const std::size_t mark_line : f.summary.directives.compact_marks) {
+    if (mark_line == 0 || mark_line > f.lex.line_starts.size()) continue;
+    // The mark sits on (or just above) the `struct X {` line: take the
+    // first '{' at or after the marked line and lint its balanced body.
+    const std::size_t from = f.lex.line_starts[mark_line - 1];
+    const std::size_t open = s.find('{', from);
+    if (open == std::string::npos) continue;
+    int depth = 1;
+    std::size_t close = open + 1;
+    for (; close < s.size() && depth > 0; ++close) {
+      if (s[close] == '{') ++depth;
+      if (s[close] == '}') --depth;
+    }
+    const std::string body = s.substr(open + 1, close - open - 1);
+    for (auto it =
+             std::sregex_iterator(body.begin(), body.end(), node_container_re);
+         it != std::sregex_iterator(); ++it) {
+      sink.add(f.lex.line_of(open + 1 + static_cast<std::size_t>(
+                                            it->position())),
+               "heavy-node-container",
+               "node-based std::" + (*it)[1].str() +
+                   " inside a LINT-COMPACT type; compact types hold flat "
+                   "storage (slabs, vectors, open addressing, intrusive "
+                   "links — DESIGN.md §3g)");
+    }
+  }
+}
+
 // --- summary collection ----------------------------------------------------
 
 /// Names of variables declared with an unordered container type; members
@@ -567,6 +607,9 @@ void build_summary(SourceFile& f) {
   static const std::regex nolint_re(R"(NOLINT\(([a-z][a-z0-9-]*)\))");
   static const std::regex layer_re(R"(LINT-LAYER:\s*([a-z][a-z0-9_]*))");
   static const std::regex expect_re(R"(LINT-EXPECT\[([a-z][a-z0-9-]*)\])");
+  // End-anchored: the mark is a trailing `// LINT-COMPACT` comment, so a
+  // prose mention mid-sentence (e.g. in this tool's own docs) is not a mark.
+  static const std::regex compact_re(R"(LINT-COMPACT\s*(\*/)?\s*$)");
   for (const Token& t : f.lex.tokens) {
     if (t.kind != TokenKind::kComment) continue;
     const std::string text(f.lex.view(t));
@@ -588,6 +631,11 @@ void build_summary(SourceFile& f) {
           {line_at(static_cast<std::size_t>(it->position())),
            (*it)[1].str()});
     }
+    for (auto it = std::sregex_iterator(text.begin(), text.end(), compact_re);
+         it != std::sregex_iterator(); ++it) {
+      f.summary.directives.compact_marks.push_back(
+          line_at(static_cast<std::size_t>(it->position())));
+    }
   }
   f.summary.includes = find_includes(f.lex, f.scrubbed);
   f.summary.unordered_names = collect_unordered_names(f);
@@ -607,6 +655,7 @@ void run_file_rules(SourceFile& f,
   rule_raw_ofstream(f, sink);
   rule_shard_mutation(f, sink);
   rule_shared_rng(f, sink);
+  rule_heavy_node_container(f, sink);
 }
 
 }  // namespace gorilla::lint
