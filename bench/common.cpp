@@ -213,6 +213,9 @@ void StudyPipeline::run() {
   study::EventBus bus;
   bus.subscribe(&collectors);
   bus.subscribe(&analyses);
+  for (study::EventSink* sink : extra_sinks) {
+    if (sink != nullptr) bus.subscribe(sink);
+  }
 
   if (darknet && impairment.any()) {
     darknet->set_capture_loss(impairment.request_loss, impairment.seed);
@@ -364,7 +367,7 @@ void StudyPipeline::run_replayed(study::EventBus& bus) {
   study::Replayer replayer;
   if (!replayer.load(opt_.replay)) {
     std::fprintf(stderr, "failed to load study recording: %s\n",
-                 opt_.replay.c_str());
+                 study::Replayer::describe_load_failure(opt_.replay).c_str());
     std::exit(2);
   }
   if (!(replayer.header() == make_header())) {
@@ -451,7 +454,7 @@ void RegionalRun::run(int from_day, int to_day) {
     study::Replayer replayer;
     if (!replayer.load(opt_.replay)) {
       std::fprintf(stderr, "failed to load study recording: %s\n",
-                   opt_.replay.c_str());
+                   study::Replayer::describe_load_failure(opt_.replay).c_str());
       std::exit(2);
     }
     if (!(replayer.header() == header)) {

@@ -115,6 +115,12 @@ struct StudyPipeline {
   std::function<void(int week, const scan::AmplifierObservation&)>
       extra_visitor;
 
+  /// Extra sinks subscribed to the bus for the duration of run() — the hook
+  /// replay backends (study::DetectorSink, study::PcapExportSink, ...) use
+  /// to ride a LIVE run and prove live-vs-replay byte identity. Sinks must
+  /// outlive run(); set before calling run().
+  std::vector<study::EventSink*> extra_sinks;
+
   /// Runs attacks+scans day-by-day and probes weekly (15 samples) — or
   /// replays a recorded stream when the options carry --replay.
   void run();

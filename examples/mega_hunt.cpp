@@ -90,6 +90,14 @@ int main(int argc, char** argv) {
   for (const auto& pkt : response.packets) {
     pcap.write(pkt);
   }
+  // The writer's ok() is sticky; a full disk or unwritable path must fail
+  // the process, not silently drop the evidence file.
+  pcap_file.flush();
+  if (!pcap.ok() || !pcap_file.good()) {
+    std::fprintf(stderr, "FAILED to write evidence pcap: %s\n",
+                 pcap_path.c_str());
+    return 1;
+  }
   std::printf("evidence pcap: %s (%llu packets%s)\n", pcap_path.c_str(),
               static_cast<unsigned long long>(pcap.packets_written()),
               response.truncated ? ", reply truncated to cap" : "");

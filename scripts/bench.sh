@@ -137,6 +137,35 @@ if [[ -x "$lint_bin" ]]; then
       \"cold_s\": $lint_cold_s, \"warm_s\": $lint_warm_s }"
 fi
 
+# Multi-backend replay timing: the fig03 artifact recorded above replayed
+# through gorilla_replay, detector-only and then full fan-out
+# (detector+pcap+csv) — the per-sink analyze-many cost the replay layer
+# adds on top of the raw replay column.
+replay_bin="$build_dir/tools/gorilla_replay/gorilla_replay"
+replay_json="null"
+if [[ -x "$replay_bin" && -f "$work/fig03_amplifier_counts.study" ]]; then
+  echo "== gorilla_replay =="
+  artifact="$work/fig03_amplifier_counts.study"
+  det_s=$(time_to "$work/greplay.det.txt" \
+    "$replay_bin" --artifact "$artifact" --sinks detector \
+    --out "$work/greplay_det")
+  echo "   detector        ${det_s}s"
+  fan_s=$(time_to "$work/greplay.fan.txt" \
+    "$replay_bin" --artifact "$artifact" --sinks detector,pcap,csv \
+    --jobs "$jobs" --out "$work/greplay_fan")
+  echo "   detector,pcap,csv (--jobs $jobs)  ${fan_s}s"
+  if ! cmp -s "$work/greplay_det/detector.txt" \
+              "$work/greplay_fan/detector.txt"; then
+    echo "bench.sh: FAIL — gorilla_replay detector output differs across" \
+         "sink fan-outs" >&2
+    exit 1
+  fi
+  pcap_bytes=$(wc -c <"$work/greplay_fan/attacks.pcap")
+  replay_json="{ \"artifact\": \"fig03_amplifier_counts\", \"jobs\": $jobs,
+      \"detector_s\": $det_s, \"fanout_s\": $fan_s,
+      \"pcap_bytes\": $pcap_bytes }"
+fi
+
 # One labeled run per invocation (BENCH_LABEL=... names it); previous runs
 # are preserved so the file carries the perf trajectory across changes —
 # e.g. the GORCOLv2 CRC/atomic-write run is directly comparable to the
@@ -147,6 +176,7 @@ cat >"$work/run.json" <<EOF
   "host_cores": $cores,
   "jobs": $jobs,
   "lint": $lint_json,
+  "gorilla_replay": $replay_json,
   "entries": [$entries
   ] }
 EOF

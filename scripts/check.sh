@@ -17,6 +17,10 @@
 #      regresses >10% against the latest fig03 peak_rss_kb recorded in
 #      BENCH_engine.json (scripts/bench.sh writes it). Skipped with a note
 #      when no baseline exists yet.
+#   7. Replay-backend gate: record fig03 at --scale 4, replay the artifact
+#      through the detector+pcap sinks with gorilla_replay, re-run the same
+#      study live (--live) and diff the two detector reports byte-for-byte
+#      — the multi-backend replay determinism contract (DESIGN.md §3h).
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer passes (release build + tests + lint only)
@@ -93,11 +97,42 @@ PY
   fi
 }
 
+# Replay-backend gate (runs in --fast mode too — it is one small record +
+# two replays): a recorded fig03 study replayed through the detector and
+# pcap sinks must render the detector report byte-identically to the same
+# sink riding the live bus, and the exported capture must be non-empty.
+replay_gate() {
+  echo "== [replay] fig03 --scale 4 record -> detector+pcap replay gate =="
+  local work
+  work="$(mktemp -d)"
+  ./build/release/bench/fig03_amplifier_counts --quick --scale 4 \
+    --record "$work/study.bin" >/dev/null
+  ./build/release/tools/gorilla_replay/gorilla_replay \
+    --artifact "$work/study.bin" \
+    --sinks detector,pcap --out "$work/replayed" 2>"$work/replay.log"
+  ./build/release/tools/gorilla_replay/gorilla_replay \
+    --artifact "$work/study.bin" \
+    --live --sinks detector --out "$work/live" 2>>"$work/replay.log"
+  if ! cmp -s "$work/live/detector.txt" "$work/replayed/detector.txt"; then
+    echo "check.sh: FAIL — replayed detector report differs from the live" \
+         "bus (see $work)" >&2
+    exit 1
+  fi
+  if [[ ! -s "$work/replayed/attacks.pcap" ]]; then
+    echo "check.sh: FAIL — replay produced no pcap capture" >&2
+    exit 1
+  fi
+  echo "   detector report byte-identical live vs replayed;" \
+       "pcap $(wc -c <"$work/replayed/attacks.pcap") bytes"
+  rm -rf "$work"
+}
+
 if [[ "$fast" -eq 1 ]]; then
   echo "== [3/6] skipped (--fast) =="
   echo "== [4/6] skipped (--fast) =="
   echo "== [5/6] skipped (--fast) =="
   mem_gate
+  replay_gate
   echo "check.sh: OK (fast)"
   exit 0
 fi
@@ -116,4 +151,5 @@ cmake --build --preset tsan -j "$jobs"
 ctest --preset tsan -j "$jobs"
 
 mem_gate
+replay_gate
 echo "check.sh: OK"

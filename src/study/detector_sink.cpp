@@ -1,0 +1,112 @@
+#include "study/detector_sink.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/packet.h"
+#include "util/mem_stats.h"
+
+namespace gorilla::study {
+
+namespace {
+
+/// Shortest round-trippable decimal for a double — render() must be a pure
+/// function of the bit pattern, so no locale- or precision-lossy paths.
+std::string exact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+DetectorSink::DetectorSink(const DetectorSinkConfig& config)
+    : config_(config) {
+  const util::SimTime span = config_.window_end - config_.window_start;
+  if (span > 0 && config_.bucket_seconds > 0) {
+    buckets_.assign(
+        static_cast<std::size_t>((span + config_.bucket_seconds - 1) /
+                                 config_.bucket_seconds),
+        0.0);
+  }
+  static auto& gauge = util::MemStats::instance().counter("study.detector");
+  gauge.observe(buckets_.size() * sizeof(double));
+}
+
+void DetectorSink::on_flow(const telemetry::FlowRecord& f, int /*vantage*/) {
+  ++flows_seen_;
+  if (buckets_.empty()) return;
+  // NTP traffic only — the sink detects the paper's NTP attack episodes.
+  if (f.protocol != 17 ||
+      (f.src_port != net::kNtpPort && f.dst_port != net::kNtpPort)) {
+    return;
+  }
+  // Identical arithmetic to FlowCollector::volume_series so a batch series
+  // built from the same flows, in the same order, sums to the same bits.
+  const util::SimTime start = config_.window_start;
+  const util::SimTime end = config_.window_end;
+  const util::SimTime bucket_seconds = config_.bucket_seconds;
+  const util::SimTime f_first = std::max(f.first, start);
+  const util::SimTime f_last = std::min(std::max(f.last, f.first), end - 1);
+  if (f_first > f_last) return;
+  const double span =
+      static_cast<double>(std::max<util::SimTime>(1, f.last - f.first + 1));
+  const double rate = static_cast<double>(f.bytes) / span;  // bytes/sec
+  std::size_t b = static_cast<std::size_t>((f_first - start) / bucket_seconds);
+  util::SimTime cursor = f_first;
+  const std::size_t n = buckets_.size();
+  while (cursor <= f_last && b < n) {
+    const util::SimTime bucket_end =
+        start + static_cast<util::SimTime>(b + 1) * bucket_seconds;
+    const util::SimTime seg_end = std::min<util::SimTime>(f_last + 1, bucket_end);
+    buckets_[b] += rate * static_cast<double>(seg_end - cursor);
+    cursor = seg_end;
+    ++b;
+  }
+  ++flows_binned_;
+}
+
+void DetectorSink::on_attack_label(const telemetry::LabeledAttack& label) {
+  if (label.vector != config_.truth_vector) return;
+  if (label.start < config_.window_start || label.start >= config_.window_end) {
+    return;
+  }
+  // Labels carry only the onset; truth is a point interval, which the
+  // overlap scorer treats as "a detection covering the onset counts".
+  truth_.push_back({label.start, label.start});
+}
+
+void DetectorSink::finish() {
+  if (finished_) return;
+  finished_ = true;
+  telemetry::StreamingDetector detector(
+      config_.window_start, config_.bucket_seconds, config_.detector);
+  for (const double bucket_bytes : buckets_) detector.push(bucket_bytes);
+  detector.finish();
+  attacks_ = detector.take_attacks();
+  quality_ = telemetry::score_detections(attacks_, truth_);
+}
+
+std::string DetectorSink::render() const {
+  std::string out;
+  out += "detector window=[" + std::to_string(config_.window_start) + "," +
+         std::to_string(config_.window_end) + ") bucket_seconds=" +
+         std::to_string(config_.bucket_seconds) + " buckets=" +
+         std::to_string(buckets_.size()) + " flows_seen=" +
+         std::to_string(flows_seen_) + " flows_binned=" +
+         std::to_string(flows_binned_) + "\n";
+  for (const auto& a : attacks_) {
+    out += "attack start=" + std::to_string(a.start) + " end=" +
+           std::to_string(a.end) + " peak_bps=" + exact(a.peak_bps) +
+           " volume_bytes=" + exact(a.volume_bytes) + "\n";
+  }
+  out += "quality truth=" + std::to_string(quality_.truth_count) +
+         " detected=" + std::to_string(quality_.detected_count) +
+         " matched_truth=" + std::to_string(quality_.matched_truth) +
+         " matched_detected=" + std::to_string(quality_.matched_detected) +
+         " recall=" + exact(quality_.recall()) + " precision=" +
+         exact(quality_.precision()) + "\n";
+  return out;
+}
+
+}  // namespace gorilla::study

@@ -1,0 +1,92 @@
+// PcapExportSink: export selected attack windows as standard pcap — a
+// replay backend over net::PcapWriter (ROADMAP "Multi-backend replay").
+//
+// For every monitor-table entry that §4.2's filter classifies as a DDoS
+// victim (core::derive_attack), whose witnessed interval overlaps a
+// selected window, the sink synthesizes the on-wire exchange the amplifier
+// took part in: one spoofed MON_GETLIST_1 request (victim → amplifier:123)
+// followed by the full chained monlist response (amplifier:123 → victim) —
+// the 48-byte-in / up-to-100-datagram-out geometry every BAF number in §3
+// follows from. The capture opens in tcpdump/Wireshark and round-trips
+// through net::PcapReader + ntp::reassemble_monlist (tested).
+//
+// Windows come either from the caller (explicit [start,end) intervals) or
+// automatically from the recorded truth: NTP attack labels at or above
+// `auto_min_peak_bps`, padded by `auto_pad_seconds`. Labels precede the
+// probe observations that witness them on the tape (the stream is in time
+// order), so auto windows are always selected before they are needed.
+//
+// Failure discipline: net::PcapWriter's ok() is sticky, and the sink folds
+// the output stream's state into its own ok(). Drivers must propagate
+// !ok() to a nonzero process exit.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "core/monlist_analysis.h"
+#include "net/pcap.h"
+#include "study/events.h"
+
+namespace gorilla::study {
+
+struct PcapWindow {
+  util::SimTime start = 0;
+  util::SimTime end = 0;  ///< exclusive
+};
+
+struct PcapExportSinkConfig {
+  /// Explicit windows; when empty, windows are auto-selected from NTP
+  /// attack labels with peak_bps >= auto_min_peak_bps.
+  std::vector<PcapWindow> windows;
+  double auto_min_peak_bps = 0.0;
+  util::SimTime auto_pad_seconds = 3600;
+  /// Cap on request/response exchanges written (a full-table response is
+  /// up to 100 datagrams; the cap bounds the capture, never the scan).
+  std::uint64_t max_exchanges = 4096;
+  ntp::Implementation impl = ntp::Implementation::kXntpd;
+};
+
+class PcapExportSink final : public EventSink {
+ public:
+  /// `out` must outlive the sink and be a binary stream.
+  PcapExportSink(std::ostream& out, const PcapExportSinkConfig& config);
+
+  [[nodiscard]] bool wants_labels() const override { return true; }
+
+  void on_attack_label(const telemetry::LabeledAttack& label) override;
+  void on_probe_observation(int week,
+                            const scan::AmplifierObservation& obs) override;
+
+  [[nodiscard]] std::uint64_t windows_selected() const noexcept {
+    return windows_.size();
+  }
+  [[nodiscard]] std::uint64_t exchanges_written() const noexcept {
+    return exchanges_;
+  }
+  [[nodiscard]] std::uint64_t exchanges_skipped() const noexcept {
+    return skipped_;
+  }
+  [[nodiscard]] std::uint64_t packets_written() const noexcept {
+    return writer_.packets_written();
+  }
+
+  /// Sticky: every pcap byte so far reached the stream intact.
+  [[nodiscard]] bool ok() const noexcept {
+    return writer_.ok() && out_.good();
+  }
+
+ private:
+  [[nodiscard]] bool in_window(util::SimTime start, util::SimTime end) const;
+
+  std::ostream& out_;
+  net::PcapWriter writer_;
+  PcapExportSinkConfig config_;
+  std::vector<PcapWindow> windows_;
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t skipped_ = 0;
+  bool auto_windows_ = false;
+};
+
+}  // namespace gorilla::study

@@ -1,5 +1,7 @@
 #include "study/recorder.h"
 
+#include <algorithm>
+#include <fstream>
 #include <utility>
 
 #include "scan/prober.h"
@@ -306,6 +308,43 @@ bool Replayer::load_prefix(const std::string& path, ReplayReport& report) {
   report.clean = container.complete;
   archive_ = std::move(*archive);
   return true;
+}
+
+std::string Replayer::describe_load_failure(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return "cannot open '" + path + "'";
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  const std::size_t got = static_cast<std::size_t>(in.gcount());
+  const std::string prefix(magic, std::min<std::size_t>(got, 7));
+  if (got < sizeof(magic) || prefix != "GORCOLv") {
+    return "'" + path + "' is not a GORCOL artifact (bad magic)";
+  }
+  const char v = magic[7];
+  if (v != '1' && v != '2') {
+    return "'" + path + "' is container version GORCOLv" + std::string(1, v) +
+           "; this build reads GORCOLv1 and GORCOLv2";
+  }
+  util::ArchiveReadReport container;
+  auto archive = util::ColumnArchive::load_file_prefix(path, &container);
+  if (!archive) {
+    if (container.crc_failures > 0) {
+      return "'" + path + "': study header failed its checksum";
+    }
+    return "'" + path + "': truncated before the study header (offset " +
+           std::to_string(container.truncated_at.value_or(0)) + ")";
+  }
+  StudyHeader h;
+  if (!decode_header(archive->header, h)) {
+    util::ColumnReader r(archive->header);
+    const std::uint32_t version = r.get_u32();
+    if (r.ok() && version != 1) {
+      return "'" + path + "': study header version " +
+             std::to_string(version) + " unsupported (this build reads 1)";
+    }
+    return "'" + path + "': malformed study header";
+  }
+  return "'" + path + "' loads cleanly";
 }
 
 namespace {

@@ -126,6 +126,13 @@ class Replayer {
   /// replay_prefix() later fills in its stream-level fields.
   [[nodiscard]] bool load_prefix(const std::string& path, ReplayReport& report);
 
+  /// One-line diagnosis of why load()/load_prefix() refused `path`:
+  /// missing file, foreign or wrong-version container magic, container
+  /// damage before the study header, or an unsupported StudyHeader
+  /// version. For CLI error messages — never asserts, best-effort re-read.
+  [[nodiscard]] static std::string describe_load_failure(
+      const std::string& path);
+
   [[nodiscard]] const StudyHeader& header() const noexcept { return header_; }
 
   /// Dispatches the entire stream into `sink` in recorded order.

@@ -4,60 +4,65 @@
 
 namespace gorilla::telemetry {
 
-std::vector<DetectedAttack> detect_attacks(const VolumeSeries& series,
-                                           const DetectorConfig& config) {
-  std::vector<DetectedAttack> out;
-  if (series.bytes.empty() || series.bucket_seconds <= 0) return out;
+void StreamingDetector::finalize(std::size_t end_bucket) {
+  current_.end =
+      start_ + static_cast<util::SimTime>(end_bucket) * bucket_seconds_;
+  if (current_.end - current_.start >= config_.min_duration &&
+      current_.volume_bytes >= config_.min_volume_bytes) {
+    attacks_.push_back(current_);
+  }
+  in_attack_ = false;
+}
 
-  double baseline = series.rate_bps(0);
-  bool in_attack = false;
-  int quiet_buckets = 0;
-  DetectedAttack current;
+void StreamingDetector::push(double bucket_bytes) {
+  if (bucket_seconds_ <= 0 || finished_) return;
+  const double rate =
+      bucket_bytes * 8.0 / static_cast<double>(bucket_seconds_);
+  // The batch detector seeds its baseline from the first bucket's rate.
+  if (buckets_ == 0) baseline_ = rate;
+  const std::size_t b = buckets_++;
+  const double threshold =
+      baseline_ * config_.threshold_factor + config_.floor_bps;
+  const bool exceeds = rate > threshold;
 
-  auto finalize = [&](std::size_t end_bucket) {
-    current.end = series.start +
-                  static_cast<util::SimTime>(end_bucket) *
-                      series.bucket_seconds;
-    if (current.end - current.start >= config.min_duration &&
-        current.volume_bytes >= config.min_volume_bytes) {
-      out.push_back(current);
-    }
-    in_attack = false;
-  };
-
-  for (std::size_t b = 0; b < series.bytes.size(); ++b) {
-    const double rate = series.rate_bps(b);
-    const double threshold =
-        baseline * config.threshold_factor + config.floor_bps;
-    const bool exceeds = rate > threshold;
-
-    if (!in_attack && exceeds) {
-      in_attack = true;
-      quiet_buckets = 0;
-      current = DetectedAttack{};
-      current.start = series.start +
-                      static_cast<util::SimTime>(b) * series.bucket_seconds;
-    }
-    if (in_attack) {
-      if (exceeds) {
-        quiet_buckets = 0;
-        current.peak_bps = std::max(current.peak_bps, rate);
-        current.volume_bytes += series.bytes[b];
-      } else {
-        ++quiet_buckets;
-        if (quiet_buckets >= config.end_hysteresis_buckets) {
-          finalize(b - static_cast<std::size_t>(quiet_buckets) + 1);
-        }
+  if (!in_attack_ && exceeds) {
+    in_attack_ = true;
+    quiet_buckets_ = 0;
+    current_ = DetectedAttack{};
+    current_.start = start_ + static_cast<util::SimTime>(b) * bucket_seconds_;
+  }
+  if (in_attack_) {
+    if (exceeds) {
+      quiet_buckets_ = 0;
+      current_.peak_bps = std::max(current_.peak_bps, rate);
+      current_.volume_bytes += bucket_bytes;
+    } else {
+      ++quiet_buckets_;
+      if (quiet_buckets_ >= config_.end_hysteresis_buckets) {
+        finalize(b - static_cast<std::size_t>(quiet_buckets_) + 1);
       }
     }
-    if (!in_attack || !exceeds) {
-      // The baseline learns from non-attack buckets only.
-      baseline = (1.0 - config.baseline_alpha) * baseline +
-                 config.baseline_alpha * rate;
-    }
   }
-  if (in_attack) finalize(series.bytes.size());
-  return out;
+  if (!in_attack_ || !exceeds) {
+    // The baseline learns from non-attack buckets only.
+    baseline_ = (1.0 - config_.baseline_alpha) * baseline_ +
+                config_.baseline_alpha * rate;
+  }
+}
+
+void StreamingDetector::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (in_attack_) finalize(buckets_);
+}
+
+std::vector<DetectedAttack> detect_attacks(const VolumeSeries& series,
+                                           const DetectorConfig& config) {
+  if (series.bytes.empty() || series.bucket_seconds <= 0) return {};
+  StreamingDetector detector(series.start, series.bucket_seconds, config);
+  for (const double bucket_bytes : series.bytes) detector.push(bucket_bytes);
+  detector.finish();
+  return detector.take_attacks();
 }
 
 DetectionQuality score_detections(const std::vector<DetectedAttack>& detections,

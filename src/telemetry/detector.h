@@ -37,6 +37,48 @@ struct DetectorConfig {
   double min_volume_bytes = 0.0;
 };
 
+/// Incremental (AMON-style) detector: buckets are pushed one at a time and
+/// state is O(1) — an EWMA baseline, the hysteresis counter, and the one
+/// open episode. `detect_attacks` is a thin batch wrapper over this class,
+/// so streaming consumers (study::DetectorSink) and batch consumers produce
+/// bit-identical episodes from the same bucket sequence.
+class StreamingDetector {
+ public:
+  StreamingDetector(util::SimTime start, util::SimTime bucket_seconds,
+                    const DetectorConfig& config = {})
+      : config_(config), start_(start), bucket_seconds_(bucket_seconds) {}
+
+  /// Feeds the next bucket's byte volume. Buckets must arrive in time
+  /// order; bucket `i` covers [start + i*bucket_seconds, ... + bucket_seconds).
+  void push(double bucket_bytes);
+
+  /// Closes any open episode at the current stream position. Idempotent;
+  /// call once after the last push.
+  void finish();
+
+  [[nodiscard]] const std::vector<DetectedAttack>& attacks() const noexcept {
+    return attacks_;
+  }
+  [[nodiscard]] std::vector<DetectedAttack> take_attacks() noexcept {
+    return std::move(attacks_);
+  }
+  [[nodiscard]] std::size_t buckets_seen() const noexcept { return buckets_; }
+
+ private:
+  void finalize(std::size_t end_bucket);
+
+  DetectorConfig config_;
+  util::SimTime start_ = 0;
+  util::SimTime bucket_seconds_ = 0;
+  std::vector<DetectedAttack> attacks_;
+  DetectedAttack current_;
+  double baseline_ = 0.0;
+  std::size_t buckets_ = 0;
+  int quiet_buckets_ = 0;
+  bool in_attack_ = false;
+  bool finished_ = false;
+};
+
 /// Scans a bucketized volume series and returns detected attack episodes in
 /// time order. The baseline only learns from non-attack buckets, so a long
 /// attack does not teach the detector to ignore itself.

@@ -95,17 +95,26 @@ std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
     }
     offset += sizeof(crc_raw);
   }
+  // The header survived (and, for v2, checked out). From here on the prefix
+  // loader always has something to return: a file torn at the section count
+  // — e.g. a recording killed before week 0 was flushed — yields a valid
+  // header-only archive, not a load failure.
+  report.header_ok = true;
 
   std::uint8_t count_raw[4];
   if (!read_exact(in, count_raw)) {
     report.truncated_at = offset;
-    return std::nullopt;
+    if (strict) return std::nullopt;
+    return archive;
   }
   ByteReader cr(count_raw);
   const std::uint32_t count = cr.u32le();
-  if (count > kMaxSections) return std::nullopt;
+  if (count > kMaxSections) {
+    if (strict) return std::nullopt;
+    report.truncated_at = offset;
+    return archive;
+  }
   offset += sizeof(count_raw);
-  report.header_ok = true;
 
   for (std::uint32_t s = 0; s < count; ++s) {
     std::uint8_t name_len_raw[1];

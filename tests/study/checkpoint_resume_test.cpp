@@ -207,6 +207,103 @@ TEST(ReplayerPrefixTest, TruncatedArtifactReplaysOnlyWholeWeeks) {
   std::remove(path.c_str());
 }
 
+/// Fails the test on ANY delivered event — for proving a sink is never
+/// invoked.
+struct MustNotDeliverSink final : EventSink {
+  [[nodiscard]] bool wants_flows() const override { return true; }
+  [[nodiscard]] bool wants_labels() const override { return true; }
+  void on_global_bytes(int, telemetry::ProtocolClass, double) override {
+    ADD_FAILURE() << "on_global_bytes delivered";
+  }
+  void on_attack_label(const telemetry::LabeledAttack&) override {
+    ADD_FAILURE() << "on_attack_label delivered";
+  }
+  void on_flow(const telemetry::FlowRecord&, int) override {
+    ADD_FAILURE() << "on_flow delivered";
+  }
+  void on_darknet_scan(net::Ipv4Address, int, std::uint64_t, bool) override {
+    ADD_FAILURE() << "on_darknet_scan delivered";
+  }
+  void on_sample_begin(int, const util::Date&) override {
+    ADD_FAILURE() << "on_sample_begin delivered";
+  }
+  void on_probe_observation(int, const scan::AmplifierObservation&) override {
+    ADD_FAILURE() << "on_probe_observation delivered";
+  }
+  void on_monlist_summary(const scan::MonlistSampleSummary&) override {
+    ADD_FAILURE() << "on_monlist_summary delivered";
+  }
+  void on_sample_end(int) override { ADD_FAILURE() << "on_sample_end"; }
+};
+
+TEST(ReplayerPrefixTest, ZeroCompleteWeeksNeverInvokesTheSink) {
+  // The torn-at-week-0 edge: the artifact holds events but no
+  // on_sample_end marker, so there is no week-aligned prefix to deliver.
+  // replay_prefix must return a clean empty report without a single sink
+  // call.
+  Recorder recorder(test_header());
+  recorder.on_sample_begin(0, util::Date{2013, 11, 1});
+  recorder.on_global_bytes(0, telemetry::ProtocolClass::kNtp, 1e9);
+  telemetry::FlowRecord flow;
+  flow.src = net::Ipv4Address(192, 0, 2, 1);
+  flow.bytes = 1234;
+  recorder.on_flow(flow, kAllVantages);
+  const std::string path = testing::TempDir() + "prefix_week0.study";
+  ASSERT_TRUE(recorder.save(path));
+
+  Replayer replayer;
+  ReplayReport report;
+  ASSERT_TRUE(replayer.load_prefix(path, report));
+  EXPECT_EQ(replayer.complete_weeks(), 0);
+
+  MustNotDeliverSink sink;
+  EXPECT_TRUE(replayer.replay_prefix(sink, -1, report));
+  EXPECT_EQ(report.events, 0u);
+  EXPECT_EQ(report.weeks_complete, 0);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayerPrefixTest, HeaderOnlyFileLoadsAndReplaysEmpty) {
+  // A file torn before (or inside) the section count still carries a whole
+  // verified study header; load_prefix accepts it and replay_prefix yields
+  // a clean empty report without touching the sink.
+  Recorder recorder(test_header());
+  emit_week(recorder, 0);
+  const std::string path = testing::TempDir() + "prefix_headeronly.study";
+  ASSERT_TRUE(recorder.save(path));
+  std::string full;
+  {
+    std::ifstream in(path, std::ios::binary);
+    full.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  // v2 layout: magic(8) + u32 header len + header + u32 CRC + u32 count.
+  const std::uint32_t header_len =
+      static_cast<std::uint32_t>(static_cast<unsigned char>(full[8])) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(full[9])) << 8) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(full[10])) << 16) |
+      (static_cast<std::uint32_t>(static_cast<unsigned char>(full[11])) << 24);
+  const std::size_t crc_end = 12 + header_len + 4;
+  for (const std::size_t len : {crc_end, crc_end + 2, crc_end + 4}) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(len));
+    }
+    Replayer replayer;
+    ReplayReport report;
+    ASSERT_TRUE(replayer.load_prefix(path, report)) << "len " << len;
+    EXPECT_FALSE(report.clean) << "len " << len;
+    EXPECT_EQ(replayer.header(), test_header()) << "len " << len;
+    EXPECT_EQ(replayer.complete_weeks(), 0) << "len " << len;
+
+    MustNotDeliverSink sink;
+    EXPECT_TRUE(replayer.replay_prefix(sink, -1, report)) << "len " << len;
+    EXPECT_EQ(report.events, 0u) << "len " << len;
+    EXPECT_EQ(report.weeks_complete, 0) << "len " << len;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(ReplayerPrefixTest, ReplayPrefixHonorsWeekCap) {
   Recorder recorder(test_header());
   for (int w = 0; w < 3; ++w) emit_week(recorder, w);

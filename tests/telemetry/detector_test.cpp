@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.h"
+
 namespace gorilla::telemetry {
 namespace {
 
@@ -110,6 +112,54 @@ TEST(DetectorTest, AttackRunningToEndOfSeriesIsFinalized) {
   const auto detections = detect_attacks(series_of(bytes), quiet_config());
   ASSERT_EQ(detections.size(), 1u);
   EXPECT_EQ(detections[0].end, 100 * 300);
+}
+
+TEST(StreamingDetectorTest, PushByPushMatchesBatchBitForBit) {
+  // detect_attacks is a wrapper over StreamingDetector; feeding buckets one
+  // at a time must produce bit-identical episodes — the property the
+  // replay DetectorSink's live-vs-replay byte identity rests on.
+  util::Rng rng(0xd37ec7);
+  std::vector<double> bytes;
+  bytes.reserve(500);
+  for (int i = 0; i < 500; ++i) {
+    double v = rng.uniform01() * 2000.0;
+    if (i % 97 < 5) v += 1e6;                   // bursts
+    if (i > 300 && i < 320) v += 5e5 * rng.uniform01();  // ragged attack
+    bytes.push_back(v);
+  }
+  const auto series = series_of(bytes, 300, 86400);
+  DetectorConfig cfg = quiet_config();
+  cfg.min_duration = 600;
+
+  const auto batch = detect_attacks(series, cfg);
+  StreamingDetector streaming(series.start, series.bucket_seconds, cfg);
+  for (const double b : bytes) streaming.push(b);
+  streaming.finish();
+
+  ASSERT_EQ(streaming.attacks().size(), batch.size());
+  EXPECT_FALSE(batch.empty());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streaming.attacks()[i].start, batch[i].start) << i;
+    EXPECT_EQ(streaming.attacks()[i].end, batch[i].end) << i;
+    EXPECT_EQ(streaming.attacks()[i].peak_bps, batch[i].peak_bps) << i;
+    EXPECT_EQ(streaming.attacks()[i].volume_bytes, batch[i].volume_bytes)
+        << i;
+  }
+  EXPECT_EQ(streaming.buckets_seen(), bytes.size());
+}
+
+TEST(StreamingDetectorTest, FinishIsIdempotentAndClosesOpenAttack) {
+  StreamingDetector detector(0, 300, quiet_config());
+  for (int i = 0; i < 20; ++i) detector.push(100.0);
+  detector.push(1e9);
+  detector.push(1e9);
+  detector.finish();
+  ASSERT_EQ(detector.attacks().size(), 1u);
+  EXPECT_EQ(detector.attacks()[0].end, 22 * 300);
+  detector.finish();                // idempotent
+  detector.push(1e9);               // pushes after finish are ignored
+  EXPECT_EQ(detector.attacks().size(), 1u);
+  EXPECT_EQ(detector.buckets_seen(), 22u);
 }
 
 TEST(ScoreDetectionsTest, PerfectMatch) {

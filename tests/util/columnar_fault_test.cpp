@@ -115,6 +115,29 @@ TEST(ColumnarV2Test, EveryTruncationYieldsAValidSectionPrefixOrNothing) {
   }
 }
 
+TEST(ColumnarV2Test, TruncationAtSectionCountYieldsHeaderOnlyArchive) {
+  // A file torn right after the (verified) header — e.g. a recording killed
+  // before its first section flushed — is a valid header-only archive for
+  // the prefix loader, not a load failure. Bytes [19, 23) are the section
+  // count for make_archive()'s 3-byte header.
+  const std::string full = serialize(make_archive());
+  const std::size_t header_zone = 8 + 4 + make_archive().header.size() + 4;
+  for (std::size_t len = header_zone; len <= header_zone + 4; ++len) {
+    ArchiveReadReport report;
+    const auto loaded = parse_prefix(full.substr(0, len), report);
+    ASSERT_TRUE(loaded.has_value()) << "len " << len;
+    EXPECT_TRUE(report.header_ok) << "len " << len;
+    EXPECT_FALSE(report.complete) << "len " << len;
+    EXPECT_TRUE(loaded->sections.empty()) << "len " << len;
+    EXPECT_EQ(loaded->header, make_archive().header) << "len " << len;
+  }
+  // Strict load still rejects all of them.
+  for (std::size_t len = header_zone; len < header_zone + 4; ++len) {
+    std::istringstream strict_in(full.substr(0, len));
+    EXPECT_FALSE(ColumnArchive::load(strict_in).has_value()) << "len " << len;
+  }
+}
+
 TEST(ColumnarV1Test, LegacyArchiveStillLoads) {
   // Hand-built GORCOLv1: magic, u32le header length, header, u32le section
   // count, then per section u8 name length, name, u64be payload length,
