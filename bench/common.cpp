@@ -72,6 +72,14 @@ Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
                                                  1l << 16));
     } else if (arg == "--record") {
       opt.record = value("--record");
+    } else if (arg == "--artifact-version") {
+      opt.artifact_version = static_cast<int>(parse_positive(
+          value("--artifact-version"), "--artifact-version", 3));
+      if (opt.artifact_version < 2) {
+        std::fprintf(stderr, "--artifact-version must be 2 or 3 (writers "
+                             "emit GORCOLv2 or GORCOLv3; v1 is read-only)\n");
+        std::exit(2);
+      }
     } else if (arg == "--replay") {
       opt.replay = value("--replay");
     } else if (arg == "--checkpoint") {
@@ -99,8 +107,8 @@ Options parse_options(int argc, char** argv, std::uint32_t default_scale) {
       std::printf(
           "usage: %s [--scale N] [--seed N] [--quick] [--jobs N]\n"
           "          [--record PATH] [--replay PATH] [--csv DIR]\n"
-          "          [--checkpoint WEEKS] [--resume] [--faults SPEC]\n"
-          "          [--mem-report]\n",
+          "          [--artifact-version 2|3] [--checkpoint WEEKS]\n"
+          "          [--resume] [--faults SPEC] [--mem-report]\n",
           argv[0]);
       std::exit(0);
     }
@@ -235,6 +243,7 @@ void StudyPipeline::run() {
 int StudyPipeline::resume_prefix_weeks(study::EventBus& bus,
                                        int horizon_weeks) {
   study::Replayer replayer;
+  replayer.set_decode_jobs(opt_.jobs);
   study::ReplayReport report;
   if (!replayer.load_prefix(opt_.record, report)) {
     std::fprintf(stderr,
@@ -278,7 +287,7 @@ int StudyPipeline::resume_prefix_weeks(study::EventBus& bus,
 void StudyPipeline::run_simulated(
     study::EventBus& bus,
     const std::vector<telemetry::FlowCollector*>& vantages) {
-  study::Recorder recorder(make_header());
+  study::Recorder recorder(make_header(), opt_.artifact_version);
   const bool recording = !opt_.record.empty();
   if (recording) bus.subscribe(&recorder);
 
@@ -365,6 +374,7 @@ void StudyPipeline::run_simulated(
 
 void StudyPipeline::run_replayed(study::EventBus& bus) {
   study::Replayer replayer;
+  replayer.set_decode_jobs(opt_.jobs);
   if (!replayer.load(opt_.replay)) {
     std::fprintf(stderr, "failed to load study recording: %s\n",
                  study::Replayer::describe_load_failure(opt_.replay).c_str());
@@ -452,6 +462,7 @@ void RegionalRun::run(int from_day, int to_day) {
 
   if (!opt_.replay.empty()) {
     study::Replayer replayer;
+    replayer.set_decode_jobs(opt_.jobs);
     if (!replayer.load(opt_.replay)) {
       std::fprintf(stderr, "failed to load study recording: %s\n",
                    study::Replayer::describe_load_failure(opt_.replay).c_str());
@@ -470,7 +481,7 @@ void RegionalRun::run(int from_day, int to_day) {
       std::exit(2);
     }
   } else {
-    study::Recorder recorder(header);
+    study::Recorder recorder(header, opt_.artifact_version);
     const bool recording = !opt_.record.empty();
     if (recording) bus.subscribe(&recorder);
 

@@ -46,6 +46,11 @@ struct Options {
   int jobs = 1;
   std::string record;  ///< --record PATH: save the study's event stream
   std::string replay;  ///< --replay PATH: skip simulation, replay a stream
+  /// --artifact-version 2|3: container format for --record. 3 (default,
+  /// GORCOLv3) is delta-transformed and block-compressed; 2 keeps the
+  /// legacy uncompressed GORCOLv2 layout for size comparisons. Replay
+  /// reads any version regardless of this flag.
+  int artifact_version = 3;
   /// --checkpoint N: while recording, flush a durable snapshot of the
   /// stream every N complete sample weeks (atomic rename over the --record
   /// path). 0 = only the final save.

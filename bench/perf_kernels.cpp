@@ -1,7 +1,8 @@
 // Micro/meso performance benchmarks (google-benchmark) over the hot
 // kernels the reproduction pipeline leans on: prefix-trie lookups, mode 6/7
 // wire (de)serialization, monitor-table updates, checksum, the event queue,
-// and a full single-amplifier probe round trip.
+// the GORCOLv3 artifact codec (varint kernel, delta transform, block
+// codec), and a full single-amplifier probe round trip.
 #include <benchmark/benchmark.h>
 
 #include "net/packet.h"
@@ -15,6 +16,9 @@
 #include "sim/attack.h"
 #include "sim/event_queue.h"
 #include "sim/world.h"
+#include "util/block_codec.h"
+#include "util/bytes.h"
+#include "util/columnar.h"
 #include "util/rng.h"
 
 namespace gorilla {
@@ -190,6 +194,97 @@ void BM_EventQueueDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_EventQueueDrain)->Arg(1000)->Arg(100000);
+
+// --- GORCOLv3 artifact codec kernels (BM_ColumnarCodec family): the
+// varint decode kernel, the delta transform, and the block codec that
+// together set record/replay artifact throughput.
+
+void BM_ColumnarCodecVarintDecode(benchmark::State& state) {
+  // A realistic column: zigzagged small deltas with the occasional big
+  // outlier, decoded back with the shared unrolled kernel.
+  util::ColumnWriter w;
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  util::Rng rng(3);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    w.put_varint(rng.next() % (i % 97 == 0 ? (1ull << 40) : 1000));
+  }
+  const std::vector<std::uint8_t>& buf = w.buffer();
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    std::uint64_t sum = 0;
+    while (pos < buf.size()) {
+      std::uint64_t v = 0;
+      const int used = util::decode_varint(buf, pos, v);
+      if (used == 0) break;
+      pos += static_cast<std::size_t>(used);
+      sum += v;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_ColumnarCodecVarintDecode)->Arg(100000);
+
+void BM_ColumnarCodecDeltaTransform(benchmark::State& state) {
+  // The v3 encode-side transform on a monotone address column: delta +
+  // zigzag + varint append.
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<std::int64_t> addresses(n);
+  util::Rng rng(4);
+  std::int64_t cursor = 0;
+  for (auto& a : addresses) {
+    cursor += static_cast<std::int64_t>(rng.next() % 4096);
+    a = cursor;
+  }
+  for (auto _ : state) {
+    util::ColumnWriter w;
+    std::int64_t prev = 0;
+    for (const std::int64_t a : addresses) {
+      w.put_zigzag(a - prev);
+      prev = a;
+    }
+    benchmark::DoNotOptimize(w.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ColumnarCodecDeltaTransform)->Arg(100000);
+
+void BM_ColumnarCodecBlockCompress(benchmark::State& state) {
+  // Delta-transformed column bytes (what v3 actually feeds the codec).
+  util::ColumnWriter w;
+  util::Rng rng(5);
+  for (int i = 0; i < state.range(0); ++i) {
+    w.put_zigzag(static_cast<std::int64_t>(rng.next() % 64) - 32);
+  }
+  const std::vector<std::uint8_t>& raw = w.buffer();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::block_compress(raw).size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(raw.size()));
+}
+BENCHMARK(BM_ColumnarCodecBlockCompress)->Arg(300000);
+
+void BM_ColumnarCodecBlockDecompress(benchmark::State& state) {
+  util::ColumnWriter w;
+  util::Rng rng(6);
+  for (int i = 0; i < state.range(0); ++i) {
+    w.put_zigzag(static_cast<std::int64_t>(rng.next() % 64) - 32);
+  }
+  const std::vector<std::uint8_t> stored = util::block_compress(w.buffer());
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(util::block_decompress(stored, out));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_ColumnarCodecBlockDecompress)->Arg(300000);
 
 void BM_ServerProbeRoundTrip(benchmark::State& state) {
   ntp::NtpServerConfig cfg;

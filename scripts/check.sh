@@ -21,6 +21,10 @@
 #      through the detector+pcap sinks with gorilla_replay, re-run the same
 #      study live (--live) and diff the two detector reports byte-for-byte
 #      — the multi-backend replay determinism contract (DESIGN.md §3h).
+#   8. Compaction gate: the same fig03 study recorded as GORCOLv3 and as
+#      GORCOLv2 must land the v3 artifact at <=60% of the v2 bytes, with
+#      v3 replay stdout byte-identical to the live run at --jobs 1 and 3
+#      (DESIGN.md §3i).
 #
 # Usage: scripts/check.sh [--fast]
 #   --fast   skip the sanitizer passes (release build + tests + lint only)
@@ -127,12 +131,50 @@ replay_gate() {
   rm -rf "$work"
 }
 
+# Compaction gate (runs in --fast mode too): the same fig03 study recorded
+# as GORCOLv3 (default) and as uncompressed GORCOLv2 must show the v3
+# artifact at <=60% of the v2 bytes, and replaying the v3 artifact at
+# --jobs 1 and --jobs 3 must reproduce the live stdout byte-for-byte —
+# the format bump is pure compaction, never a semantic change
+# (DESIGN.md §3i).
+compaction_gate() {
+  echo "== [compaction] fig03 --scale 4 GORCOLv3-vs-v2 size + replay gate =="
+  local work
+  work="$(mktemp -d)"
+  ./build/release/bench/fig03_amplifier_counts --quick --scale 4 \
+    --record "$work/v3.study" >"$work/live.txt"
+  ./build/release/bench/fig03_amplifier_counts --quick --scale 4 \
+    --artifact-version 2 --record "$work/v2.study" >/dev/null
+  local v3_bytes v2_bytes limit_bytes
+  v3_bytes=$(wc -c <"$work/v3.study")
+  v2_bytes=$(wc -c <"$work/v2.study")
+  limit_bytes=$((v2_bytes * 60 / 100))
+  echo "   v3 ${v3_bytes} B vs v2 ${v2_bytes} B (limit ${limit_bytes} B)"
+  if [[ "$v3_bytes" -gt "$limit_bytes" ]]; then
+    echo "check.sh: FAIL — GORCOLv3 artifact exceeds 60% of the v2 size" >&2
+    exit 1
+  fi
+  local j
+  for j in 1 3; do
+    ./build/release/bench/fig03_amplifier_counts --quick --scale 4 \
+      --replay "$work/v3.study" --jobs "$j" >"$work/replay$j.txt"
+    if ! cmp -s "$work/live.txt" "$work/replay$j.txt"; then
+      echo "check.sh: FAIL — GORCOLv3 replay at --jobs $j differs from" \
+           "the live stdout (see $work)" >&2
+      exit 1
+    fi
+  done
+  echo "   replay stdout byte-identical to live at --jobs 1 and 3"
+  rm -rf "$work"
+}
+
 if [[ "$fast" -eq 1 ]]; then
   echo "== [3/6] skipped (--fast) =="
   echo "== [4/6] skipped (--fast) =="
   echo "== [5/6] skipped (--fast) =="
   mem_gate
   replay_gate
+  compaction_gate
   echo "check.sh: OK (fast)"
   exit 0
 fi
@@ -152,4 +194,5 @@ ctest --preset tsan -j "$jobs"
 
 mem_gate
 replay_gate
+compaction_gate
 echo "check.sh: OK"

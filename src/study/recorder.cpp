@@ -6,6 +6,7 @@
 
 #include "scan/prober.h"
 #include "util/mem_stats.h"
+#include "util/thread_pool.h"
 
 namespace gorilla::study {
 
@@ -72,15 +73,33 @@ constexpr const char* kSectionNames[] = {
     "end", "tbl.addr", "tbl.local", "tbl.avg", "tbl.seen", "tbl.restr",
     "tbl.count", "tbl.port", "tbl.mode", "tbl.ver"};
 
-const std::vector<std::uint8_t>& section_or_empty(
-    const util::ColumnArchive& archive, const char* name) {
-  static const std::vector<std::uint8_t> kEmpty;
-  const auto* bytes = archive.find(name);
-  return bytes != nullptr ? *bytes : kEmpty;
-}
-
 /// A do-nothing sink for validation/counting passes over a stream.
 struct NullSink final : EventSink {};
+
+/// Decoder-side mirror of the Recorder's v3 transform state.
+struct DecodeState {
+  std::int64_t global_day = 0, label_start = 0, flow_first = 0, dark_day = 0,
+               obs_index = 0, obs_addr = 0, obs_time = 0, tbl_addr = 0,
+               tbl_local = 0, tbl_seen = 0;
+  std::int64_t week_base = 0;
+  bool week_base_set = false;
+};
+
+std::int64_t get_delta(util::ColumnReader& r, std::int64_t& prev) {
+  prev += r.get_zigzag();
+  return prev;
+}
+
+int get_week(util::ColumnReader& r, bool transform, DecodeState& st) {
+  const std::int64_t v = r.get_zigzag();
+  if (!transform) return static_cast<int>(v);
+  if (!st.week_base_set) {
+    st.week_base = v;
+    st.week_base_set = true;
+    return static_cast<int>(v);
+  }
+  return static_cast<int>(st.week_base + v);
+}
 
 struct StreamStats {
   std::uint64_t events = 0;
@@ -111,17 +130,47 @@ void Recorder::flush_run() {
   run_len_ = 0;
 }
 
+void Recorder::put_delta(util::ColumnWriter& col, std::int64_t& prev,
+                         std::int64_t v) {
+  col.put_zigzag(v - prev);
+  prev = v;
+}
+
+void Recorder::put_week(util::ColumnWriter& col, int week) {
+  if (!transform_) {
+    col.put_zigzag(week);
+    return;
+  }
+  // Frame of reference: the first week id on the tape anchors the frame;
+  // later ones store only the (tiny) difference.
+  if (!week_base_set_) {
+    week_base_ = week;
+    week_base_set_ = true;
+    col.put_zigzag(week);
+    return;
+  }
+  col.put_zigzag(week - week_base_);
+}
+
 void Recorder::on_global_bytes(int day, telemetry::ProtocolClass p,
                                double bytes) {
   tag(kTagGlobal);
-  global_.put_zigzag(day);
+  if (transform_) {
+    put_delta(global_, prev_global_day_, day);
+  } else {
+    global_.put_zigzag(day);
+  }
   global_.put_u8(static_cast<std::uint8_t>(p));
   global_.put_f64(bytes);
 }
 
 void Recorder::on_attack_label(const telemetry::LabeledAttack& label) {
   tag(kTagLabel);
-  label_.put_zigzag(label.start);
+  if (transform_) {
+    put_delta(label_, prev_label_start_, label.start);
+  } else {
+    label_.put_zigzag(label.start);
+  }
   label_.put_u8(static_cast<std::uint8_t>(label.vector));
   label_.put_f64(label.peak_bps);
 }
@@ -138,43 +187,74 @@ void Recorder::on_flow(const telemetry::FlowRecord& flow, int vantage) {
   flow_.put_varint(flow.packets);
   flow_.put_varint(flow.bytes);
   flow_.put_varint(flow.payload_bytes);
-  flow_.put_zigzag(flow.first);
-  flow_.put_zigzag(flow.last);
+  if (transform_) {
+    put_delta(flow_, prev_flow_first_, flow.first);
+    flow_.put_zigzag(flow.last - flow.first);
+  } else {
+    flow_.put_zigzag(flow.first);
+    flow_.put_zigzag(flow.last);
+  }
 }
 
 void Recorder::on_darknet_scan(net::Ipv4Address scanner, int day,
                                std::uint64_t packets, bool benign) {
   tag(kTagDark);
   dark_.put_u32(scanner.value());
-  dark_.put_zigzag(day);
+  if (transform_) {
+    put_delta(dark_, prev_dark_day_, day);
+  } else {
+    dark_.put_zigzag(day);
+  }
   dark_.put_varint(packets);
   dark_.put_u8(benign ? 1 : 0);
 }
 
 void Recorder::on_sample_begin(int week, const util::Date& date) {
   tag(kTagBegin);
-  begin_.put_zigzag(week);
+  put_week(begin_, week);
   encode_date(begin_, date);
 }
 
 void Recorder::on_probe_observation(int week,
                                     const scan::AmplifierObservation& obs) {
   tag(kTagObs);
-  obs_.put_zigzag(week);
-  obs_.put_varint(obs.server_index);
-  obs_.put_u32(obs.address.value());
+  put_week(obs_, week);
+  if (transform_) {
+    // The weekly sweep walks servers in index order and stamps a
+    // monotone probe clock: deltas are tiny where absolutes were wide.
+    put_delta(obs_, prev_obs_index_, obs.server_index);
+    put_delta(obs_, prev_obs_addr_, obs.address.value());
+  } else {
+    obs_.put_varint(obs.server_index);
+    obs_.put_u32(obs.address.value());
+  }
   obs_.put_varint(obs.response_packets);
   obs_.put_varint(obs.response_udp_bytes);
   obs_.put_varint(obs.response_wire_bytes);
-  obs_.put_zigzag(obs.probe_time);
+  if (transform_) {
+    put_delta(obs_, prev_obs_time_, obs.probe_time);
+  } else {
+    obs_.put_zigzag(obs.probe_time);
+  }
   obs_.put_u8(obs.table_partial ? 1 : 0);
   obs_.put_zigzag(obs.attempts);
   obs_.put_varint(obs.table.size());
   for (const auto& e : obs.table) {
-    tbl_addr_.put_u32(e.address.value());
-    tbl_local_.put_u32(e.local_address.value());
+    if (transform_) {
+      // Dumps are sorted by last_seen (monotone within a dump) and the
+      // local address repeats for a whole dump — deltas collapse both.
+      put_delta(tbl_addr_, prev_tbl_addr_, e.address.value());
+      put_delta(tbl_local_, prev_tbl_local_, e.local_address.value());
+    } else {
+      tbl_addr_.put_u32(e.address.value());
+      tbl_local_.put_u32(e.local_address.value());
+    }
     tbl_avg_.put_varint(e.avg_interval);
-    tbl_seen_.put_varint(e.last_seen);
+    if (transform_) {
+      put_delta(tbl_seen_, prev_tbl_seen_, e.last_seen);
+    } else {
+      tbl_seen_.put_varint(e.last_seen);
+    }
     tbl_restr_.put_varint(e.restr);
     tbl_count_.put_varint(e.count);
     tbl_port_.put_u16(e.port);
@@ -185,7 +265,7 @@ void Recorder::on_probe_observation(int week,
 
 void Recorder::on_monlist_summary(const scan::MonlistSampleSummary& summary) {
   tag(kTagSummary);
-  sum_.put_zigzag(summary.week);
+  put_week(sum_, summary.week);
   encode_date(sum_, summary.date);
   sum_.put_varint(summary.probes_sent);
   sum_.put_varint(summary.responders);
@@ -198,7 +278,7 @@ void Recorder::on_monlist_summary(const scan::MonlistSampleSummary& summary) {
 
 void Recorder::on_sample_end(int week) {
   tag(kTagEnd);
-  end_.put_zigzag(week);
+  put_week(end_, week);
   // Week boundary: report the accumulated column bytes into the memory
   // registry (gauge — the recorder only ever grows until to_archive()).
   static auto& gauge = util::MemStats::instance().counter("study.recorder");
@@ -216,6 +296,7 @@ std::size_t Recorder::column_bytes() const noexcept {
 util::ColumnArchive Recorder::to_archive() {
   flush_run();
   util::ColumnArchive archive;
+  archive.version = artifact_version_;
   archive.header = encode_header(header_);
   archive.sections.emplace_back("tape", tape_.take_buffer());
   archive.sections.emplace_back("global", global_.take_buffer());
@@ -244,6 +325,7 @@ bool Recorder::save(const std::string& path) {
 
 util::ColumnArchive Recorder::snapshot_archive() const {
   util::ColumnArchive archive;
+  archive.version = artifact_version_;
   archive.header = encode_header(header_);
   // Copy the tape and materialize the pending RLE run into the copy so the
   // snapshot ends exactly at the last event seen; the live run keeps
@@ -293,6 +375,7 @@ bool Replayer::load_archive(util::ColumnArchive archive) {
     if (archive.find(name) == nullptr) return false;
   }
   archive_ = std::move(archive);
+  apply_decode_policy();
   return true;
 }
 
@@ -303,11 +386,22 @@ bool Replayer::load_prefix(const std::string& path, ReplayReport& report) {
   report.sections_ok = container.sections_ok;
   report.crc_failures = container.crc_failures;
   report.truncated_at = container.truncated_at;
+  report.partial_section = container.partial_section;
+  report.damaged_section = container.damaged_section;
+  report.bad_block = container.bad_block;
+  report.bad_block_offset = container.bad_block_offset;
   if (!archive) return false;
   if (!decode_header(archive->header, header_)) return false;
   report.clean = container.complete;
   archive_ = std::move(*archive);
+  apply_decode_policy();
   return true;
+}
+
+void Replayer::apply_decode_policy() {
+  if (decode_jobs_ <= 1) return;
+  util::ThreadPool pool(decode_jobs_);
+  archive_.inflate(&pool);
 }
 
 std::string Replayer::describe_load_failure(const std::string& path) {
@@ -321,9 +415,9 @@ std::string Replayer::describe_load_failure(const std::string& path) {
     return "'" + path + "' is not a GORCOL artifact (bad magic)";
   }
   const char v = magic[7];
-  if (v != '1' && v != '2') {
+  if (v != '1' && v != '2' && v != '3') {
     return "'" + path + "' is container version GORCOLv" + std::string(1, v) +
-           "; this build reads GORCOLv1 and GORCOLv2";
+           "; this build reads GORCOLv1 through GORCOLv3";
   }
   util::ArchiveReadReport container;
   auto archive = util::ColumnArchive::load_file_prefix(path, &container);
@@ -344,7 +438,27 @@ std::string Replayer::describe_load_failure(const std::string& path) {
     }
     return "'" + path + "': malformed study header";
   }
-  return "'" + path + "' loads cleanly";
+  if (container.complete) return "'" + path + "' loads cleanly";
+  // The strict load refused a damaged file the prefix loader can still
+  // mine — say exactly where the damage sits.
+  const std::string intact =
+      std::to_string(container.sections_ok) + " intact section(s)";
+  if (container.bad_block) {
+    // Block-granular verdict: a v3 compressed section damaged mid-stream.
+    const std::string kind =
+        container.crc_failures > 0 ? "failed its checksum" : "is torn";
+    return "'" + path + "': section '" + container.damaged_section +
+           "' compressed block " + std::to_string(*container.bad_block) +
+           " " + kind + " at offset " +
+           std::to_string(container.bad_block_offset.value_or(0)) + " (" +
+           intact + " precede it)";
+  }
+  if (container.crc_failures > 0) {
+    return "'" + path + "': a section failed its checksum after " + intact;
+  }
+  return "'" + path + "': truncated at offset " +
+         std::to_string(container.truncated_at.value_or(0)) + " after " +
+         intact;
 }
 
 namespace {
@@ -357,24 +471,29 @@ namespace {
 /// never fabricates an event.
 StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
                             std::uint64_t max_events, int max_weeks) {
-  util::ColumnReader tape(section_or_empty(archive, "tape"));
-  util::ColumnReader global(section_or_empty(archive, "global"));
-  util::ColumnReader label(section_or_empty(archive, "label"));
-  util::ColumnReader flow(section_or_empty(archive, "flow"));
-  util::ColumnReader dark(section_or_empty(archive, "dark"));
-  util::ColumnReader begin(section_or_empty(archive, "begin"));
-  util::ColumnReader obs_col(section_or_empty(archive, "obs"));
-  util::ColumnReader sum(section_or_empty(archive, "sum"));
-  util::ColumnReader end(section_or_empty(archive, "end"));
-  util::ColumnReader tbl_addr(section_or_empty(archive, "tbl.addr"));
-  util::ColumnReader tbl_local(section_or_empty(archive, "tbl.local"));
-  util::ColumnReader tbl_avg(section_or_empty(archive, "tbl.avg"));
-  util::ColumnReader tbl_seen(section_or_empty(archive, "tbl.seen"));
-  util::ColumnReader tbl_restr(section_or_empty(archive, "tbl.restr"));
-  util::ColumnReader tbl_count(section_or_empty(archive, "tbl.count"));
-  util::ColumnReader tbl_port(section_or_empty(archive, "tbl.port"));
-  util::ColumnReader tbl_mode(section_or_empty(archive, "tbl.mode"));
-  util::ColumnReader tbl_ver(section_or_empty(archive, "tbl.ver"));
+  util::ColumnReader tape = archive.column("tape");
+  util::ColumnReader global = archive.column("global");
+  util::ColumnReader label = archive.column("label");
+  util::ColumnReader flow = archive.column("flow");
+  util::ColumnReader dark = archive.column("dark");
+  util::ColumnReader begin = archive.column("begin");
+  util::ColumnReader obs_col = archive.column("obs");
+  util::ColumnReader sum = archive.column("sum");
+  util::ColumnReader end = archive.column("end");
+  util::ColumnReader tbl_addr = archive.column("tbl.addr");
+  util::ColumnReader tbl_local = archive.column("tbl.local");
+  util::ColumnReader tbl_avg = archive.column("tbl.avg");
+  util::ColumnReader tbl_seen = archive.column("tbl.seen");
+  util::ColumnReader tbl_restr = archive.column("tbl.restr");
+  util::ColumnReader tbl_count = archive.column("tbl.count");
+  util::ColumnReader tbl_port = archive.column("tbl.port");
+  util::ColumnReader tbl_mode = archive.column("tbl.mode");
+  util::ColumnReader tbl_ver = archive.column("tbl.ver");
+
+  // v3 columns are transform-encoded (deltas / frame-of-reference); this
+  // state mirrors the Recorder's, advanced in the same tape order.
+  const bool transform = archive.version >= 3;
+  DecodeState st;
 
   StreamStats stats;
   bool damaged = false;
@@ -395,7 +514,9 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
       }
       switch (t) {
         case kTagGlobal: {
-          const int day = static_cast<int>(global.get_zigzag());
+          const int day = static_cast<int>(
+              transform ? get_delta(global, st.global_day)
+                        : global.get_zigzag());
           const auto p = static_cast<telemetry::ProtocolClass>(global.get_u8());
           const double bytes = global.get_f64();
           if (!global.ok()) {
@@ -407,7 +528,8 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
         }
         case kTagLabel: {
           telemetry::LabeledAttack a;
-          a.start = label.get_zigzag();
+          a.start = transform ? get_delta(label, st.label_start)
+                              : label.get_zigzag();
           a.vector = static_cast<telemetry::AttackVector>(label.get_u8());
           a.peak_bps = label.get_f64();
           if (!label.ok()) {
@@ -429,8 +551,13 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
           f.packets = flow.get_varint();
           f.bytes = flow.get_varint();
           f.payload_bytes = flow.get_varint();
-          f.first = flow.get_zigzag();
-          f.last = flow.get_zigzag();
+          if (transform) {
+            f.first = get_delta(flow, st.flow_first);
+            f.last = f.first + flow.get_zigzag();
+          } else {
+            f.first = flow.get_zigzag();
+            f.last = flow.get_zigzag();
+          }
           if (!flow.ok()) {
             damaged = true;
             break;
@@ -440,7 +567,8 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
         }
         case kTagDark: {
           const net::Ipv4Address scanner(dark.get_u32());
-          const int day = static_cast<int>(dark.get_zigzag());
+          const int day = static_cast<int>(
+              transform ? get_delta(dark, st.dark_day) : dark.get_zigzag());
           const std::uint64_t packets = dark.get_varint();
           const bool benign = dark.get_u8() != 0;
           if (!dark.ok()) {
@@ -451,7 +579,7 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
           break;
         }
         case kTagBegin: {
-          const int week = static_cast<int>(begin.get_zigzag());
+          const int week = get_week(begin, transform, st);
           const util::Date date = decode_date(begin);
           if (!begin.ok()) {
             damaged = true;
@@ -461,13 +589,22 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
           break;
         }
         case kTagObs: {
-          const int week = static_cast<int>(obs_col.get_zigzag());
-          obs.server_index = static_cast<std::uint32_t>(obs_col.get_varint());
-          obs.address = net::Ipv4Address(obs_col.get_u32());
+          const int week = get_week(obs_col, transform, st);
+          if (transform) {
+            obs.server_index =
+                static_cast<std::uint32_t>(get_delta(obs_col, st.obs_index));
+            obs.address = net::Ipv4Address(
+                static_cast<std::uint32_t>(get_delta(obs_col, st.obs_addr)));
+          } else {
+            obs.server_index =
+                static_cast<std::uint32_t>(obs_col.get_varint());
+            obs.address = net::Ipv4Address(obs_col.get_u32());
+          }
           obs.response_packets = obs_col.get_varint();
           obs.response_udp_bytes = obs_col.get_varint();
           obs.response_wire_bytes = obs_col.get_varint();
-          obs.probe_time = obs_col.get_zigzag();
+          obs.probe_time = transform ? get_delta(obs_col, st.obs_time)
+                                     : obs_col.get_zigzag();
           obs.table_partial = obs_col.get_u8() != 0;
           obs.attempts = static_cast<int>(obs_col.get_zigzag());
           const std::uint64_t n = obs_col.get_varint();
@@ -479,12 +616,21 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
           obs.table.reserve(static_cast<std::size_t>(n));
           for (std::uint64_t e = 0; e < n; ++e) {
             ntp::MonitorEntry entry;
-            entry.address = net::Ipv4Address(tbl_addr.get_u32());
-            entry.local_address = net::Ipv4Address(tbl_local.get_u32());
+            if (transform) {
+              entry.address = net::Ipv4Address(static_cast<std::uint32_t>(
+                  get_delta(tbl_addr, st.tbl_addr)));
+              entry.local_address = net::Ipv4Address(
+                  static_cast<std::uint32_t>(
+                      get_delta(tbl_local, st.tbl_local)));
+            } else {
+              entry.address = net::Ipv4Address(tbl_addr.get_u32());
+              entry.local_address = net::Ipv4Address(tbl_local.get_u32());
+            }
             entry.avg_interval =
                 static_cast<std::uint32_t>(tbl_avg.get_varint());
-            entry.last_seen =
-                static_cast<std::uint32_t>(tbl_seen.get_varint());
+            entry.last_seen = static_cast<std::uint32_t>(
+                transform ? get_delta(tbl_seen, st.tbl_seen)
+                          : static_cast<std::int64_t>(tbl_seen.get_varint()));
             entry.restr = static_cast<std::uint32_t>(tbl_restr.get_varint());
             entry.count = static_cast<std::uint32_t>(tbl_count.get_varint());
             entry.port = tbl_port.get_u16();
@@ -501,7 +647,7 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
         }
         case kTagSummary: {
           scan::MonlistSampleSummary s;
-          s.week = static_cast<int>(sum.get_zigzag());
+          s.week = get_week(sum, transform, st);
           s.date = decode_date(sum);
           s.probes_sent = sum.get_varint();
           s.responders = sum.get_varint();
@@ -518,7 +664,7 @@ StreamStats dispatch_stream(const util::ColumnArchive& archive, EventSink& sink,
           break;
         }
         case kTagEnd: {
-          const int week = static_cast<int>(end.get_zigzag());
+          const int week = get_week(end, transform, st);
           if (!end.ok()) {
             damaged = true;
             break;

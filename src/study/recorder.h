@@ -42,9 +42,19 @@ struct StudyHeader {
 
 /// An EventSink that captures the full stream. Subscribe it to the bus
 /// alongside the live consumers, run the study, then save().
+///
+/// `artifact_version` picks the container the archive serializes as.
+/// 3 (default, GORCOLv3) applies per-column transforms before varint —
+/// delta-encoded addresses and monotone timestamps, frame-of-reference
+/// week ids — and block-compresses sections at save time. 2 reproduces
+/// the legacy GORCOLv2 encoding byte-for-byte (kept so tooling can
+/// compare artifact sizes across versions).
 class Recorder final : public EventSink {
  public:
-  explicit Recorder(const StudyHeader& header) : header_(header) {}
+  explicit Recorder(const StudyHeader& header, int artifact_version = 3)
+      : header_(header),
+        artifact_version_(artifact_version == 2 ? 2 : 3),
+        transform_(artifact_version != 2) {}
 
   // The recorder consumes everything: with it on the bus, producers build
   // flow/label events even when no live collector wants them. Those events
@@ -85,8 +95,15 @@ class Recorder final : public EventSink {
   void flush_run();
   /// Total encoded bytes across every column (the recorder's footprint).
   [[nodiscard]] std::size_t column_bytes() const noexcept;
+  /// v3 column transforms (no-ops under v2): delta against the previous
+  /// value of the same column, and frame-of-reference week ids (first week
+  /// on the tape is the base; later ones store the difference).
+  void put_delta(util::ColumnWriter& col, std::int64_t& prev, std::int64_t v);
+  void put_week(util::ColumnWriter& col, int week);
 
   StudyHeader header_;
+  int artifact_version_ = 3;
+  bool transform_ = true;
   util::ColumnWriter tape_, global_, label_, flow_, dark_, begin_, obs_,
       sum_, end_;
   // Monitor-table entry columns (one per MonitorEntry field).
@@ -94,6 +111,13 @@ class Recorder final : public EventSink {
       tbl_count_, tbl_port_, tbl_mode_, tbl_ver_;
   std::uint8_t run_tag_ = 0;
   std::uint64_t run_len_ = 0;
+  // Encoder-side transform state, mirrored by the replay decoder.
+  std::int64_t prev_global_day_ = 0, prev_label_start_ = 0,
+               prev_flow_first_ = 0, prev_dark_day_ = 0, prev_obs_index_ = 0,
+               prev_obs_addr_ = 0, prev_obs_time_ = 0, prev_tbl_addr_ = 0,
+               prev_tbl_local_ = 0, prev_tbl_seen_ = 0;
+  std::int64_t week_base_ = 0;
+  bool week_base_set_ = false;
 };
 
 /// What a prefix-tolerant load + replay recovered from a damaged (or
@@ -102,11 +126,18 @@ class Recorder final : public EventSink {
 /// after `crc_failures` checksum mismatches — then stream-level totals:
 /// how many events the longest valid prefix holds and how many COMPLETE
 /// sample weeks (terminated by on_sample_end) they span. `clean` means the
-/// artifact was whole: every section present and consistent.
+/// artifact was whole: every section present and consistent. For a v3
+/// artifact damaged inside a compressed section, the longest run of intact
+/// blocks was also kept (`partial_section`) and the first bad block is
+/// identified by section name, index, and absolute file offset.
 struct ReplayReport {
   std::size_t sections_ok = 0;
   std::size_t crc_failures = 0;
   std::optional<std::uint64_t> truncated_at;
+  bool partial_section = false;
+  std::string damaged_section;
+  std::optional<std::size_t> bad_block;
+  std::optional<std::uint64_t> bad_block_offset;
   std::uint64_t events = 0;
   int weeks_complete = 0;
   bool clean = false;
@@ -135,6 +166,20 @@ class Replayer {
 
   [[nodiscard]] const StudyHeader& header() const noexcept { return header_; }
 
+  /// Container version of the loaded artifact (1/2/3).
+  [[nodiscard]] int artifact_version() const noexcept {
+    return archive_.version;
+  }
+
+  /// Opt-in parallel per-section decompress: with jobs > 1, the next
+  /// successful load inflates every compressed section across `jobs`
+  /// worker threads instead of streaming block-by-block during replay.
+  /// Purely a speed/memory trade — replay output is byte-identical for
+  /// any value. Call before load()/load_prefix().
+  void set_decode_jobs(int jobs) noexcept {
+    decode_jobs_ = jobs < 1 ? 1 : jobs;
+  }
+
   /// Dispatches the entire stream into `sink` in recorded order.
   /// False when the artifact is truncated or internally inconsistent
   /// (the sink may have received a prefix of the stream by then).
@@ -154,8 +199,11 @@ class Replayer {
                                    ReplayReport& report) const;
 
  private:
+  void apply_decode_policy();
+
   StudyHeader header_;
   util::ColumnArchive archive_;
+  int decode_jobs_ = 1;
 };
 
 }  // namespace gorilla::study

@@ -60,6 +60,45 @@ namespace gorilla::util {
          (std::uint32_t{in[offset + 3]} << 24);
 }
 
+/// LEB128 varint decode at `pos`: the one decode kernel shared by every
+/// GORCOL container version (v1/v2 flat readers and the v3 streaming
+/// decoder). On success stores the value and returns the encoded length
+/// (1..10); returns 0 on truncation or an overlong (> 10 byte) encoding.
+/// The wide-window path is unrolled with a single up-front bounds check so
+/// the per-byte loop carries no branch besides the continuation bit.
+[[nodiscard]] constexpr int decode_varint(std::span<const std::uint8_t> in,
+                                          std::size_t pos,
+                                          std::uint64_t& out) noexcept {
+  if (pos >= in.size()) return 0;
+  std::uint64_t v = in[pos];
+  if ((v & 0x80) == 0) {  // 1-byte fast path: the dominant case
+    out = v;
+    return 1;
+  }
+  v &= 0x7f;
+  const std::size_t avail = in.size() - pos;
+  int n = 1;
+  std::uint64_t b = 0x80;
+  if (avail >= 10) {
+    // Full-width window: no per-byte bounds checks.
+    do {
+      b = in[pos + static_cast<std::size_t>(n)];
+      v |= (b & 0x7f) << (7 * n);
+      ++n;
+    } while ((b & 0x80) != 0 && n < 10);
+  } else {
+    while ((b & 0x80) != 0 && n < 10) {
+      if (static_cast<std::size_t>(n) >= avail) return 0;  // truncated
+      b = in[pos + static_cast<std::size_t>(n)];
+      v |= (b & 0x7f) << (7 * n);
+      ++n;
+    }
+  }
+  if ((b & 0x80) != 0) return 0;  // overlong encoding
+  out = v;
+  return n;
+}
+
 /// Checked positional store into a fixed buffer (the counterpart of
 /// load_u16be for packing into std::array-backed layouts). False when the
 /// 2-byte window does not fit; the buffer is untouched then.
@@ -252,6 +291,12 @@ class ByteWriter {
 /// This pair owns the one unavoidable byte<->char reinterpret_cast, so
 /// stream I/O elsewhere stays free of it.
 [[nodiscard]] bool read_exact(std::istream& in, std::span<std::uint8_t> buf);
+
+/// Reads up to `buf.size()` bytes, returning how many arrived. The partial
+/// variant the prefix loaders need: a torn final section is recovered from
+/// whatever bytes exist instead of being discarded wholesale.
+[[nodiscard]] std::size_t read_some(std::istream& in,
+                                    std::span<std::uint8_t> buf);
 
 /// Writes all of `buf` to `out`; false when the stream is failed afterwards
 /// (short device writes, closed pipes — and injected faults: this is the

@@ -1,7 +1,9 @@
 #include "util/columnar.h"
 
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -9,6 +11,7 @@
 #endif
 
 #include "util/crc32.h"
+#include "util/thread_pool.h"
 
 namespace gorilla::util {
 
@@ -16,7 +19,12 @@ namespace {
 
 constexpr std::uint8_t kMagicV1[8] = {'G', 'O', 'R', 'C', 'O', 'L', 'v', '1'};
 constexpr std::uint8_t kMagicV2[8] = {'G', 'O', 'R', 'C', 'O', 'L', 'v', '2'};
+constexpr std::uint8_t kMagicV3[8] = {'G', 'O', 'R', 'C', 'O', 'L', 'v', '3'};
 constexpr std::size_t kMaxSections = 4096;
+constexpr std::uint64_t kMaxPayload = 1ull << 40;
+/// Below this size the block header + section framing overhead outweighs
+/// any win; tiny sections are stored raw even in v3.
+constexpr std::size_t kCompressMin = 64;
 
 /// Flushes a closed file's (or directory's) pages to stable storage. The
 /// ofstream flush only reaches the kernel; without this a rename + crash
@@ -37,13 +45,37 @@ bool fsync_path(const char* path) {
 void fsync_parent_dir(const std::string& path) {
   // Best effort: syncing the directory makes the rename itself durable.
   const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
   (void)fsync_path(dir.c_str());
+}
+
+/// Keeps the longest intact block prefix of a damaged v3 section payload
+/// and pinpoints the first bad block in the report. `payload_offset` is
+/// the absolute stream offset of the section's stored bytes.
+void recover_block_prefix(std::vector<std::uint8_t>&& payload,
+                          std::string name, std::uint64_t payload_offset,
+                          ColumnArchive& archive, ArchiveReadReport& report) {
+  const BlockScan scan = scan_blocks(payload);
+  if (scan.crc_failed) ++report.crc_failures;
+  report.damaged_section = name;
+  report.bad_block = scan.blocks;
+  report.bad_block_offset = payload_offset + scan.stored_prefix;
+  if (scan.blocks == 0) return;
+  payload.resize(scan.stored_prefix);
+  ColumnArchive::Section section;
+  section.name = std::move(name);
+  section.bytes = std::move(payload);
+  section.storage = ColumnArchive::SectionStorage::kBlocks;
+  section.raw_len = scan.raw_prefix;
+  archive.sections.push_back(std::move(section));
+  report.partial_section = true;
 }
 
 /// Shared loader. Strict mode reproduces load()'s all-or-nothing contract;
 /// prefix mode keeps every section up to the first truncated or CRC-failed
-/// one and reports what it saw.
+/// one — and, for a v3 block-compressed section, every intact block of the
+/// damaged one — and reports what it saw.
 std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
                                        ArchiveReadReport& report) {
   report = ArchiveReadReport{};
@@ -64,6 +96,8 @@ std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
       version = 1;
     } else if (m == kMagicV2[7]) {
       version = 2;
+    } else if (m == kMagicV3[7]) {
+      version = 3;
     } else {
       return std::nullopt;
     }
@@ -73,6 +107,7 @@ std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
   offset += sizeof(fixed);
 
   ColumnArchive archive;
+  archive.version = version;
   archive.header.resize(header_len);
   if (header_len > 0 && !read_exact(in, archive.header)) {
     report.truncated_at = offset;
@@ -80,7 +115,7 @@ std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
   }
   offset += header_len;
 
-  if (version == 2) {
+  if (version >= 2) {
     std::uint8_t crc_raw[4];
     if (!read_exact(in, crc_raw)) {
       report.truncated_at = offset;
@@ -95,7 +130,7 @@ std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
     }
     offset += sizeof(crc_raw);
   }
-  // The header survived (and, for v2, checked out). From here on the prefix
+  // The header survived (and, for v2+, checked out). From here on the prefix
   // loader always has something to return: a file torn at the section count
   // — e.g. a recording killed before week 0 was flushed — yields a valid
   // header-only archive, not a load failure.
@@ -132,76 +167,194 @@ std::optional<ColumnArchive> load_impl(std::istream& in, bool strict,
       return archive;
     }
     offset += name_len;
+    std::string name(name_bytes.begin(), name_bytes.end());
 
-    const std::size_t frame_len = version == 2 ? 12 : 8;
-    std::uint8_t frame_raw[12];
+    // Section frame: v1 = u64be length; v2 = + u32le CRC; v3 = u8 storage,
+    // u64be stored length, u64be uncompressed length, u32le CRC.
+    const std::size_t frame_len = version == 3 ? 21 : (version == 2 ? 12 : 8);
+    std::uint8_t frame_raw[21];
     if (!read_exact(in, std::span<std::uint8_t>(frame_raw, frame_len))) {
       report.truncated_at = offset;
       if (strict) return std::nullopt;
       return archive;
     }
     ByteReader sr(std::span<const std::uint8_t>(frame_raw, frame_len));
+    const std::uint8_t storage = version == 3 ? sr.u8() : 0;
     const std::uint64_t payload_len = sr.u64be();
-    const std::uint32_t payload_crc = version == 2 ? sr.u32le() : 0;
+    const std::uint64_t raw_len = version == 3 ? sr.u64be() : payload_len;
+    const std::uint32_t payload_crc = version >= 2 ? sr.u32le() : 0;
     // A recorded study is bounded by memory anyway; refuse absurd sizes
-    // rather than let a corrupt length drive a giant allocation.
-    if (payload_len > (1ull << 40)) {
+    // rather than let a corrupt length drive a giant allocation. The rest
+    // of the frame must be self-consistent too.
+    const bool frame_bad =
+        payload_len > kMaxPayload || raw_len > kMaxPayload || storage > 1 ||
+        (storage == 0 && raw_len != payload_len);
+    if (frame_bad) {
       if (strict) return std::nullopt;
       report.truncated_at = offset;
       return archive;
     }
     offset += frame_len;
+    const bool blocks =
+        storage == static_cast<std::uint8_t>(
+                       ColumnArchive::SectionStorage::kBlocks);
 
     std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_len));
-    if (payload_len > 0 && !read_exact(in, payload)) {
+    const std::size_t got = payload_len > 0 ? read_some(in, payload) : 0;
+    if (got < payload_len) {
       report.truncated_at = offset;
       if (strict) return std::nullopt;
+      if (blocks) {
+        // Torn mid-section: keep the intact leading blocks.
+        payload.resize(got);
+        recover_block_prefix(std::move(payload), std::move(name), offset,
+                             archive, report);
+      }
+      return archive;
+    }
+    if (version >= 2 && crc32(payload) != payload_crc) {
+      if (strict) {
+        ++report.crc_failures;
+        return std::nullopt;
+      }
+      // Framing was intact but the bytes are damaged: the durable prefix
+      // ends inside this section — at the previous section for raw
+      // payloads, at the first damaged block for compressed ones.
+      if (blocks) {
+        recover_block_prefix(std::move(payload), std::move(name), offset,
+                             archive, report);
+      }
+      // At least one checksum failed by construction; recover_block_prefix
+      // already counted the block-level one when the scan pinned it down.
+      if (report.crc_failures == 0) ++report.crc_failures;
       return archive;
     }
     offset += payload_len;
-    if (version == 2 && crc32(payload) != payload_crc) {
-      ++report.crc_failures;
-      if (strict) return std::nullopt;
-      // Framing was intact but the bytes are damaged: the durable prefix
-      // ends at the previous section.
-      return archive;
-    }
-    std::string name(name_bytes.begin(), name_bytes.end());
-    archive.sections.emplace_back(std::move(name), std::move(payload));
+    ColumnArchive::Section section;
+    section.name = std::move(name);
+    section.bytes = std::move(payload);
+    section.storage = blocks ? ColumnArchive::SectionStorage::kBlocks
+                             : ColumnArchive::SectionStorage::kRaw;
+    section.raw_len = raw_len;
+    archive.sections.push_back(std::move(section));
     ++report.sections_ok;
   }
   report.complete = true;
   return archive;
 }
 
+void write_section_frame(ByteWriter& w, const std::string& name) {
+  w.u8(static_cast<std::uint8_t>(name.size()));
+  for (const char c : name) w.u8(static_cast<std::uint8_t>(c));
+}
+
 }  // namespace
 
-const std::vector<std::uint8_t>* ColumnArchive::find(
+const ColumnArchive::Section* ColumnArchive::find(
     std::string_view name) const noexcept {
-  for (const auto& [n, bytes] : sections) {
-    if (n == name) return &bytes;
+  for (const auto& section : sections) {
+    if (section.name == name) return &section;
   }
   return nullptr;
 }
 
+ColumnReader ColumnArchive::column(std::string_view name) const noexcept {
+  const Section* section = find(name);
+  if (section == nullptr) {
+    return ColumnReader(std::span<const std::uint8_t>{});
+  }
+  if (section->storage == SectionStorage::kBlocks) {
+    return {ColumnReader::BlocksTag{}, section->bytes};
+  }
+  return ColumnReader(std::span<const std::uint8_t>(section->bytes));
+}
+
+void ColumnArchive::inflate(ThreadPool* pool) {
+  const auto inflate_one = [](Section& s) {
+    if (s.storage != SectionStorage::kBlocks) return;
+    std::vector<std::uint8_t> raw;
+    raw.reserve(static_cast<std::size_t>(s.raw_len));
+    // A damaged tail (possible only on a prefix-recovered partial section)
+    // simply ends early — exactly where the streaming reader would stop.
+    (void)block_decompress(s.bytes, raw);
+    s.bytes = std::move(raw);
+    s.storage = SectionStorage::kRaw;
+    s.raw_len = s.bytes.size();
+  };
+  if (pool == nullptr || pool->size() <= 1) {
+    for (Section& s : sections) inflate_one(s);
+    return;
+  }
+  std::mutex mu;
+  std::condition_variable cv;
+  std::size_t pending = 0;
+  for (Section& s : sections) {
+    if (s.storage != SectionStorage::kBlocks) continue;
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      ++pending;
+    }
+    pool->submit([&inflate_one, &s, &mu, &cv, &pending] {
+      inflate_one(s);
+      const std::lock_guard<std::mutex> lock(mu);
+      --pending;  // NOLINT(shard-mutation): completion counter, held under mu
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&pending] { return pending == 0; });
+}
+
 bool ColumnArchive::save(std::ostream& out) const {
+  const bool v3 = version != 2;
   std::vector<std::uint8_t> scratch;
   ByteWriter w(scratch);
-  w.bytes(kMagicV2);
+  w.bytes(v3 ? kMagicV3 : kMagicV2);
   w.u32le(static_cast<std::uint32_t>(header.size()));
   w.bytes(header);
   w.u32le(crc32(header));
   w.u32le(static_cast<std::uint32_t>(sections.size()));
   if (!write_all(out, scratch)) return false;
-  for (const auto& [name, bytes] : sections) {
+  std::vector<std::uint8_t> stored;
+  for (const Section& section : sections) {
+    // Pick the stored representation. Compression happens here, at save
+    // time: in-memory sections stay raw so ColumnWriter appends stay O(1).
+    const std::vector<std::uint8_t>* payload = &section.bytes;
+    auto storage = section.storage;
+    std::uint64_t raw_len = section.raw_len;
+    stored.clear();
+    if (v3) {
+      if (storage == SectionStorage::kRaw &&
+          section.bytes.size() >= kCompressMin) {
+        stored = block_compress(section.bytes);
+        payload = &stored;
+        storage = SectionStorage::kBlocks;
+        raw_len = section.bytes.size();
+      }
+    } else if (storage == SectionStorage::kBlocks) {
+      // Legacy target but compressed in memory (a re-saved v3 load):
+      // inflate this section into the v2 frame.
+      if (!block_decompress(section.bytes, stored)) return false;
+      payload = &stored;
+      storage = SectionStorage::kRaw;
+    }
+    // Raw payloads carry their own length; never trust a stale raw_len
+    // from a caller that mutated `bytes` after construction.
+    if (storage == SectionStorage::kRaw) raw_len = payload->size();
     scratch.clear();
     ByteWriter sw(scratch);
-    sw.u8(static_cast<std::uint8_t>(name.size()));
-    for (const char c : name) sw.u8(static_cast<std::uint8_t>(c));
-    sw.u64be(bytes.size());
-    sw.u32le(crc32(bytes));
+    write_section_frame(sw, section.name);
+    if (v3) {
+      sw.u8(static_cast<std::uint8_t>(storage));
+      sw.u64be(payload->size());
+      sw.u64be(raw_len);
+      sw.u32le(crc32(*payload));
+    } else {
+      sw.u64be(payload->size());
+      sw.u32le(crc32(*payload));
+    }
     if (!write_all(out, scratch)) return false;
-    if (!write_all(out, bytes)) return false;
+    if (!write_all(out, *payload)) return false;
   }
   return true;
 }

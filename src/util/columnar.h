@@ -6,6 +6,13 @@
 // ByteReader/ByteWriter (the tree's one sanctioned byte<->integer seam), so
 // the artifact format inherits the same sticky-truncation discipline as the
 // wire parsers: a short or corrupt file reads as !ok(), never as garbage.
+//
+// GORCOLv3 adds an in-repo block codec (util/block_codec.h): section
+// payloads are stored as independently framed 64 KiB compressed blocks,
+// and ColumnReader decodes them block-by-block from the borrowed stored
+// bytes — the archive never inflates a whole file (or section) to a
+// vector unless ColumnArchive::inflate() is explicitly asked to trade
+// memory for flat-decode speed.
 #pragma once
 
 #include <bit>
@@ -19,9 +26,12 @@
 #include <utility>
 #include <vector>
 
+#include "util/block_codec.h"
 #include "util/bytes.h"
 
 namespace gorilla::util {
+
+class ThreadPool;
 
 /// ZigZag maps signed to unsigned so small-magnitude values varint-encode
 /// short regardless of sign.
@@ -72,45 +82,124 @@ class ColumnWriter {
   std::vector<std::uint8_t> buf_;
 };
 
-/// Forward-only typed reads over one column's bytes (borrowed). Failure is
-/// sticky: after any short or overlong read, ok() stays false and every
+/// Forward-only typed reads over one column. Failure is sticky: after any
+/// short, overlong, or block-damaged read, ok() stays false and every
 /// further get returns 0.
+///
+/// Two sources: a flat borrowed span (v1/v2 payloads, inflated sections),
+/// or a GORCOLv3 block stream decoded one block at a time into an internal
+/// scratch window — the streaming path borrows the stored bytes and never
+/// materializes the whole section. Values split across a block boundary
+/// are handled by carrying the unread tail (at most a few bytes) into the
+/// next window.
 class ColumnReader {
  public:
-  constexpr explicit ColumnReader(std::span<const std::uint8_t> data) noexcept
-      : reader_(data) {}
+  explicit ColumnReader(std::span<const std::uint8_t> data) noexcept
+      : win_(data) {}
 
-  [[nodiscard]] bool ok() const noexcept { return reader_.ok() && !bad_; }
+  struct BlocksTag {};
+  /// Streaming reader over block-compressed stored bytes (borrowed).
+  ColumnReader(BlocksTag, std::span<const std::uint8_t> stored) noexcept
+      : cursor_(stored), streaming_(true) {}
+
+  // The scratch window is self-referential: moving is safe (vector storage
+  // is stable across moves), copying would alias another reader's scratch.
+  ColumnReader(const ColumnReader&) = delete;
+  ColumnReader& operator=(const ColumnReader&) = delete;
+  ColumnReader(ColumnReader&&) noexcept = default;
+  ColumnReader& operator=(ColumnReader&&) noexcept = default;
+
+  [[nodiscard]] bool ok() const noexcept { return !bad_; }
   [[nodiscard]] bool at_end() const noexcept {
-    return reader_.remaining() == 0;
+    return win_.size() - pos_ == 0 && (!streaming_ || cursor_.exhausted());
   }
 
-  std::uint8_t get_u8() noexcept { return reader_.u8(); }
-  std::uint16_t get_u16() noexcept { return reader_.u16le(); }
-  std::uint32_t get_u32() noexcept { return reader_.u32le(); }
+  std::uint8_t get_u8() noexcept {
+    if (!ensure(1)) return fail();
+    return win_[pos_++];
+  }
+
+  std::uint16_t get_u16() noexcept {
+    if (!ensure(2)) return fail();
+    const std::uint16_t v = *load_u16le(win_, pos_);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t get_u32() noexcept {
+    if (!ensure(4)) return fail();
+    const std::uint32_t v = *load_u32le(win_, pos_);
+    pos_ += 4;
+    return v;
+  }
 
   std::uint64_t get_varint() noexcept {
+    if (bad_) return 0;
     std::uint64_t v = 0;
-    for (int shift = 0; shift < 64; shift += 7) {
-      const std::uint8_t b = reader_.u8();
-      if (!reader_.ok()) return 0;
-      v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-      if ((b & 0x80) == 0) return v;
+    int n = decode_varint(win_, pos_, v);
+    if (n == 0) {
+      // Truncated-in-window or genuinely bad: widen to a full 10-byte view
+      // (pulling blocks as needed), then the verdict is final.
+      while (win_.size() - pos_ < 10 && refill()) {
+      }
+      n = decode_varint(win_, pos_, v);
+      if (n == 0) return fail();
     }
-    bad_ = true;  // overlong encoding
-    return 0;
+    pos_ += static_cast<std::size_t>(n);
+    return v;
   }
 
   std::int64_t get_zigzag() noexcept { return zigzag_decode(get_varint()); }
 
   double get_f64() noexcept {
-    const auto lo = reader_.u32le();
-    const auto hi = reader_.u32le();
-    return std::bit_cast<double>((static_cast<std::uint64_t>(hi) << 32) | lo);
+    if (!ensure(8)) return 0.0;
+    const std::uint64_t lo = *load_u32le(win_, pos_);
+    const std::uint64_t hi = *load_u32le(win_, pos_ + 4);
+    pos_ += 8;
+    return std::bit_cast<double>((hi << 32) | lo);
   }
 
  private:
-  ByteReader reader_;
+  std::uint8_t fail() noexcept {
+    bad_ = true;
+    return 0;
+  }
+
+  [[nodiscard]] bool ensure(std::size_t n) noexcept {
+    if (bad_) return false;
+    while (win_.size() - pos_ < n) {
+      if (!refill()) {
+        bad_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Carries the unread tail to the front of the scratch buffer and
+  /// decodes the next block behind it. False at stream end or damage.
+  bool refill() noexcept {
+    if (!streaming_ || bad_) return false;
+    if (win_.data() == scratch_.data()) {
+      scratch_.erase(scratch_.begin(),
+                     scratch_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    } else {
+      // First refill: the window is still the (empty) constructor span.
+      scratch_.assign(win_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                      win_.end());
+    }
+    pos_ = 0;
+    const std::size_t before = scratch_.size();
+    const bool got = cursor_.next(scratch_);
+    win_ = scratch_;
+    return got && scratch_.size() > before;
+  }
+
+  std::span<const std::uint8_t> win_;
+  std::size_t pos_ = 0;
+  std::vector<std::uint8_t> scratch_;
+  BlockCursor cursor_{std::span<const std::uint8_t>{}};
+  bool streaming_ = false;
   bool bad_ = false;
 };
 
@@ -119,42 +208,83 @@ class ColumnReader {
 /// (`crc_failures` = 1) or short read (`truncated_at` = stream offset of
 /// the first field that could not be fully read). `complete` means every
 /// declared section was present and valid — the file is whole.
+///
+/// For GORCOLv3 block-compressed sections, damage degrades at block
+/// granularity: the longest run of intact blocks is kept as a PARTIAL
+/// trailing section (`partial_section`, name in `damaged_section`) and the
+/// first bad block is pinpointed by index and absolute file offset.
 struct ArchiveReadReport {
   std::size_t sections_ok = 0;
   std::size_t crc_failures = 0;
   std::optional<std::uint64_t> truncated_at;
   bool header_ok = false;
   bool complete = false;
+  bool partial_section = false;
+  std::string damaged_section;
+  std::optional<std::size_t> bad_block;
+  std::optional<std::uint64_t> bad_block_offset;
 };
 
-/// A named-section container: opaque header + ordered (name, bytes) columns.
+/// A named-section container: opaque header + ordered named columns.
 ///
-/// On-disk format GORCOLv2: magic "GORCOLv2", u32le header length, header
+/// On-disk format GORCOLv3: magic "GORCOLv3", u32le header length, header
 /// bytes, u32le header CRC-32, u32le section count, then per section a u8
-/// name length, the name, a u64be payload length, a u32le payload CRC-32,
-/// and the payload. v1 (no CRCs) is still readable; writers emit v2 only.
-/// The length+CRC framing makes every section independently validatable,
-/// so a torn tail is recoverable as a durable prefix (load_prefix) instead
-/// of poisoning the whole artifact.
+/// name length, the name, a u8 storage kind (0 = raw, 1 = block stream),
+/// a u64be stored length, a u64be uncompressed length, a u32le CRC-32 of
+/// the stored bytes, and the stored bytes. Block streams are framed by
+/// util/block_codec.h (64 KiB blocks, per-block length + CRC), so a torn
+/// tail degrades per BLOCK, not per section. v2 (raw sections + CRCs) and
+/// v1 (no CRCs) are still readable; writers emit v3 unless `version` is
+/// set to 2 (kept for size-comparison tooling).
 struct ColumnArchive {
+  enum class SectionStorage : std::uint8_t { kRaw = 0, kBlocks = 1 };
+
+  struct Section {
+    std::string name;
+    /// Payload for kRaw; block-codec stored bytes for kBlocks.
+    std::vector<std::uint8_t> bytes;
+    SectionStorage storage = SectionStorage::kRaw;
+    /// Uncompressed payload length (== bytes.size() for kRaw).
+    std::uint64_t raw_len = 0;
+
+    Section() = default;
+    Section(std::string n, std::vector<std::uint8_t> b)
+        : name(std::move(n)), bytes(std::move(b)), raw_len(bytes.size()) {}
+    friend bool operator==(const Section&, const Section&) = default;
+  };
+
   std::vector<std::uint8_t> header;
-  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> sections;
+  std::vector<Section> sections;
+  /// Container version this archive serializes as (after a load: the
+  /// version it was read from). Decoders key transform handling off this.
+  int version = 3;
 
-  /// Section bytes by name; nullptr when absent.
-  [[nodiscard]] const std::vector<std::uint8_t>* find(
-      std::string_view name) const noexcept;
+  /// Section by name; nullptr when absent.
+  [[nodiscard]] const Section* find(std::string_view name) const noexcept;
 
-  /// Serializes as GORCOLv2; false when the sink fails mid-write (the
-  /// stream then holds an undefined partial prefix — discard it).
+  /// Typed reader over a section's payload: flat for raw sections,
+  /// streaming block-by-block for compressed ones. Absent name reads as an
+  /// empty column.
+  [[nodiscard]] ColumnReader column(std::string_view name) const noexcept;
+
+  /// Decompresses every block-stored section in place (across `pool` when
+  /// given — sections are independent). Purely a speed/memory trade:
+  /// reads are byte-identical before and after.
+  void inflate(ThreadPool* pool = nullptr);
+
+  /// Serializes as GORCOLv3 (or legacy v2 when version == 2); false when
+  /// the sink fails mid-write (the stream then holds an undefined partial
+  /// prefix — discard it).
   [[nodiscard]] bool save(std::ostream& out) const;
 
-  /// Strict load (v1 or v2): nullopt on bad magic, truncation, any CRC
+  /// Strict load (v1/v2/v3): nullopt on bad magic, truncation, any CRC
   /// mismatch, or a malformed section table.
   [[nodiscard]] static std::optional<ColumnArchive> load(std::istream& in);
 
-  /// Prefix-tolerant load (v1 or v2): requires a valid magic/header, then
-  /// consumes the longest run of intact sections, stopping at the first
-  /// truncated or CRC-failed one. nullopt only when not even the header
+  /// Prefix-tolerant load (v1/v2/v3): requires a valid magic/header, then
+  /// consumes the longest run of intact sections — plus, for a v3
+  /// compressed section torn or corrupted mid-stream, the longest run of
+  /// intact blocks within it. nullopt only when not even the header
   /// survives. Details of what was recovered land in *report (optional).
   [[nodiscard]] static std::optional<ColumnArchive> load_prefix(
       std::istream& in, ArchiveReadReport* report = nullptr);

@@ -102,6 +102,66 @@ void emit_synthetic_stream(EventSink& sink) {
   sink.on_global_bytes(1, telemetry::ProtocolClass::kNtp, 9.0e9);
 }
 
+// A sink that journals each call as one line; the journal must equal the
+// journal of the original emission.
+struct JournalSink final : EventSink {
+  std::vector<std::string> lines;
+  [[nodiscard]] bool wants_flows() const override { return true; }
+  [[nodiscard]] bool wants_labels() const override { return true; }
+  void on_global_bytes(int day, telemetry::ProtocolClass p,
+                       double bytes) override {
+    lines.push_back("global " + std::to_string(day) + " " +
+                    std::to_string(static_cast<int>(p)) + " " +
+                    std::to_string(bytes));
+  }
+  void on_attack_label(const telemetry::LabeledAttack& label) override {
+    lines.push_back("label " + std::to_string(label.start) + " " +
+                    std::to_string(label.peak_bps));
+  }
+  void on_flow(const telemetry::FlowRecord& flow, int vantage) override {
+    lines.push_back("flow " + std::to_string(vantage) + " " +
+                    std::to_string(flow.src.value()) + " " +
+                    std::to_string(flow.bytes) + " " +
+                    std::to_string(flow.ttl));
+  }
+  void on_darknet_scan(net::Ipv4Address scanner, int day,
+                       std::uint64_t packets, bool benign) override {
+    lines.push_back("dark " + std::to_string(scanner.value()) + " " +
+                    std::to_string(day) + " " + std::to_string(packets) +
+                    " " + std::to_string(benign ? 1 : 0));
+  }
+  void on_sample_begin(int week, const util::Date& date) override {
+    lines.push_back("begin " + std::to_string(week) + " " +
+                    std::to_string(date.year) + "-" +
+                    std::to_string(date.month) + "-" +
+                    std::to_string(date.day));
+  }
+  void on_probe_observation(int week,
+                            const scan::AmplifierObservation& obs) override {
+    std::string line = "obs " + std::to_string(week) + " " +
+                       std::to_string(obs.server_index) + " " +
+                       std::to_string(obs.table.size());
+    for (const auto& e : obs.table) {
+      line += ' ';
+      line += std::to_string(e.address.value());
+      line += ':';
+      line += std::to_string(e.count);
+      line += ':';
+      line += std::to_string(e.port);
+    }
+    lines.push_back(line);
+  }
+  void on_monlist_summary(
+      const scan::MonlistSampleSummary& summary) override {
+    lines.push_back("sum " + std::to_string(summary.week) + " " +
+                    std::to_string(summary.responders) + " " +
+                    std::to_string(summary.rate_limited));
+  }
+  void on_sample_end(int week) override {
+    lines.push_back("end " + std::to_string(week));
+  }
+};
+
 TEST(RecorderTest, ConsumesEverything) {
   Recorder recorder(test_header());
   EXPECT_TRUE(recorder.wants_flows());
@@ -126,9 +186,9 @@ TEST(RecorderTest, ReplayedStreamReRecordsToIdenticalArchive) {
   EXPECT_EQ(rerecorded.header, original.header);
   ASSERT_EQ(rerecorded.sections.size(), original.sections.size());
   for (std::size_t i = 0; i < original.sections.size(); ++i) {
-    EXPECT_EQ(rerecorded.sections[i].first, original.sections[i].first);
-    EXPECT_EQ(rerecorded.sections[i].second, original.sections[i].second)
-        << "section " << original.sections[i].first;
+    EXPECT_EQ(rerecorded.sections[i].name, original.sections[i].name);
+    EXPECT_EQ(rerecorded.sections[i].bytes, original.sections[i].bytes)
+        << "section " << original.sections[i].name;
   }
 }
 
@@ -137,66 +197,6 @@ TEST(RecorderTest, ReplayPreservesPayloadsAndTotalOrder) {
   emit_synthetic_stream(recorder);
   Replayer replayer;
   ASSERT_TRUE(replayer.load_archive(recorder.to_archive()));
-
-  // A sink that journals each call as one line; the journal must equal the
-  // journal of the original emission.
-  struct JournalSink final : EventSink {
-    std::vector<std::string> lines;
-    [[nodiscard]] bool wants_flows() const override { return true; }
-    [[nodiscard]] bool wants_labels() const override { return true; }
-    void on_global_bytes(int day, telemetry::ProtocolClass p,
-                         double bytes) override {
-      lines.push_back("global " + std::to_string(day) + " " +
-                      std::to_string(static_cast<int>(p)) + " " +
-                      std::to_string(bytes));
-    }
-    void on_attack_label(const telemetry::LabeledAttack& label) override {
-      lines.push_back("label " + std::to_string(label.start) + " " +
-                      std::to_string(label.peak_bps));
-    }
-    void on_flow(const telemetry::FlowRecord& flow, int vantage) override {
-      lines.push_back("flow " + std::to_string(vantage) + " " +
-                      std::to_string(flow.src.value()) + " " +
-                      std::to_string(flow.bytes) + " " +
-                      std::to_string(flow.ttl));
-    }
-    void on_darknet_scan(net::Ipv4Address scanner, int day,
-                         std::uint64_t packets, bool benign) override {
-      lines.push_back("dark " + std::to_string(scanner.value()) + " " +
-                      std::to_string(day) + " " + std::to_string(packets) +
-                      " " + std::to_string(benign ? 1 : 0));
-    }
-    void on_sample_begin(int week, const util::Date& date) override {
-      lines.push_back("begin " + std::to_string(week) + " " +
-                      std::to_string(date.year) + "-" +
-                      std::to_string(date.month) + "-" +
-                      std::to_string(date.day));
-    }
-    void on_probe_observation(int week,
-                              const scan::AmplifierObservation& obs) override {
-      std::string line = "obs " + std::to_string(week) + " " +
-                         std::to_string(obs.server_index) + " " +
-                         std::to_string(obs.table.size());
-      for (const auto& e : obs.table) {
-        line += ' ';
-        line += std::to_string(e.address.value());
-        line += ':';
-        line += std::to_string(e.count);
-        line += ':';
-        line += std::to_string(e.port);
-      }
-      lines.push_back(line);
-    }
-    void on_monlist_summary(
-        const scan::MonlistSampleSummary& summary) override {
-      lines.push_back("sum " + std::to_string(summary.week) + " " +
-                      std::to_string(summary.responders) + " " +
-                      std::to_string(summary.rate_limited));
-    }
-    void on_sample_end(int week) override {
-      lines.push_back("end " + std::to_string(week));
-    }
-  };
 
   JournalSink direct;
   emit_synthetic_stream(direct);
@@ -245,8 +245,8 @@ TEST(ReplayerTest, TruncatedPayloadColumnFailsReplay) {
   Recorder recorder(test_header());
   emit_synthetic_stream(recorder);
   util::ColumnArchive archive = recorder.to_archive();
-  for (auto& [name, bytes] : archive.sections) {
-    if (name == "global") bytes.pop_back();
+  for (auto& section : archive.sections) {
+    if (section.name == "global") section.bytes.pop_back();
   }
   Replayer replayer;
   ASSERT_TRUE(replayer.load_archive(std::move(archive)));
@@ -258,8 +258,8 @@ TEST(ReplayerTest, UnknownTagFailsReplay) {
   Recorder recorder(test_header());
   emit_synthetic_stream(recorder);
   util::ColumnArchive archive = recorder.to_archive();
-  for (auto& [name, bytes] : archive.sections) {
-    if (name == "tape") bytes[0] = 0x7f;  // tag from a future format
+  for (auto& section : archive.sections) {
+    if (section.name == "tape") section.bytes[0] = 0x7f;  // future tag
   }
   Replayer replayer;
   ASSERT_TRUE(replayer.load_archive(std::move(archive)));
@@ -284,6 +284,113 @@ TEST(ReplayerTest, TruncatedFileRejected) {
 
   Replayer replayer;
   EXPECT_FALSE(replayer.load(path));
+}
+
+// ---- GORCOLv3: version matrix, parallel decode, block diagnostics ----
+
+TEST(RecorderTest, V2AndV3ArtifactsReplayIdentically) {
+  // The same stream recorded under each container version must replay to
+  // the same journal; each file must carry its version's magic.
+  JournalSink direct;
+  emit_synthetic_stream(direct);
+  for (const int version : {2, 3}) {
+    Recorder recorder(test_header(), version);
+    emit_synthetic_stream(recorder);
+    const std::string path = testing::TempDir() + "recorder_cross_v" +
+                             std::to_string(version) + ".study";
+    ASSERT_TRUE(recorder.save(path));
+
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    EXPECT_EQ(std::string(magic, 8),
+              "GORCOLv" + std::to_string(version));
+    in.close();
+
+    Replayer replayer;
+    ASSERT_TRUE(replayer.load(path));
+    EXPECT_EQ(replayer.artifact_version(), version);
+    JournalSink replayed;
+    ASSERT_TRUE(replayer.replay(replayed));
+    EXPECT_EQ(replayed.lines, direct.lines) << "version " << version;
+  }
+}
+
+TEST(RecorderTest, ParallelDecodeIsByteIdenticalToStreaming) {
+  // Big enough that the monitor-table columns block-compress, so --jobs
+  // actually exercises the parallel inflate path.
+  const std::string path = testing::TempDir() + "recorder_parallel.study";
+  Recorder recorder(test_header());
+  for (int i = 0; i < 300; ++i) emit_synthetic_stream(recorder);
+  ASSERT_TRUE(recorder.save(path));
+
+  const auto archive = util::ColumnArchive::load_file(path);
+  ASSERT_TRUE(archive.has_value());
+  bool any_compressed = false;
+  for (const auto& section : archive->sections) {
+    any_compressed |=
+        section.storage == util::ColumnArchive::SectionStorage::kBlocks;
+  }
+  EXPECT_TRUE(any_compressed);
+
+  JournalSink direct;
+  for (int i = 0; i < 300; ++i) emit_synthetic_stream(direct);
+
+  for (const int jobs : {1, 3}) {
+    Replayer replayer;
+    replayer.set_decode_jobs(jobs);
+    ASSERT_TRUE(replayer.load(path));
+    EXPECT_EQ(replayer.artifact_version(), 3);
+    JournalSink replayed;
+    ASSERT_TRUE(replayer.replay(replayed));
+    EXPECT_EQ(replayed.lines, direct.lines) << "jobs " << jobs;
+  }
+}
+
+TEST(ReplayerTest, DescribeLoadFailurePinpointsTheDamagedBlock) {
+  const std::string path = testing::TempDir() + "recorder_bad_block.study";
+  Recorder recorder(test_header());
+  for (int i = 0; i < 300; ++i) emit_synthetic_stream(recorder);
+  ASSERT_TRUE(recorder.save(path));
+
+  // Find a block-compressed section and flip a byte inside its first
+  // block's body.
+  const auto archive = util::ColumnArchive::load_file(path);
+  ASSERT_TRUE(archive.has_value());
+  const util::ColumnArchive::Section* victim = nullptr;
+  for (const auto& section : archive->sections) {
+    if (section.storage == util::ColumnArchive::SectionStorage::kBlocks &&
+        section.bytes.size() > util::kBlockHeaderSize + 8) {
+      victim = &section;
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  const std::size_t payload_off = bytes.find(
+      std::string(victim->bytes.begin(), victim->bytes.end()));
+  ASSERT_NE(payload_off, std::string::npos);
+  bytes[payload_off + util::kBlockHeaderSize + 3] ^= 0x01;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+
+  Replayer replayer;
+  EXPECT_FALSE(replayer.load(path));
+  const std::string diagnosis = Replayer::describe_load_failure(path);
+  EXPECT_NE(diagnosis.find("'" + victim->name + "'"), std::string::npos)
+      << diagnosis;
+  EXPECT_NE(diagnosis.find("compressed block 0"), std::string::npos)
+      << diagnosis;
+  EXPECT_NE(diagnosis.find("failed its checksum"), std::string::npos)
+      << diagnosis;
+  EXPECT_NE(diagnosis.find(std::to_string(payload_off)), std::string::npos)
+      << diagnosis;
+  std::remove(path.c_str());
 }
 
 }  // namespace

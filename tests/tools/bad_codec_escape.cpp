@@ -1,0 +1,13 @@
+// gorilla_lint self-test fixture: must trip exactly [codec-escape].
+// Not compiled into any target — scanned by `gorilla_lint --self-test`.
+#include <cstdint>
+#include <vector>
+
+std::uint64_t hand_rolled_decode(const std::vector<std::uint8_t>& buf) {
+  const std::uint8_t* cursor = buf.data();
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    v = (v << 7) + *cursor++;
+  }
+  return v;
+}

@@ -156,6 +156,38 @@ TEST(UnorderedIter, NameDeclaredInHeaderCaughtInCpp) {
   EXPECT_EQ(count_rule(fs, "unordered-iter"), 1u);
 }
 
+TEST(CodecEscape, FlagsPointerWalkAndByteCursorOutsideCodecLayer) {
+  const std::vector<Finding> fs =
+      run("src/study/x.cpp",
+          "int sum(const std::uint8_t* p, int n) {\n"
+          "  const std::uint8_t* cur = p;\n"
+          "  int s = 0;\n"
+          "  for (int i = 0; i < n; ++i) s += *cur++;\n"
+          "  return s;\n"
+          "}\n");
+  EXPECT_EQ(count_rule(fs, "codec-escape"), 2u);
+}
+
+TEST(CodecEscape, CodecLayerItselfIsExempt) {
+  const std::string code =
+      "static const std::uint8_t* cur = nullptr;\n"
+      "int next() { return *cur++; }\n";
+  EXPECT_EQ(count_rule(run("src/util/block_codec.cpp", code), "codec-escape"),
+            0u);
+  EXPECT_EQ(count_rule(run("src/util/columnar.cpp", code), "codec-escape"),
+            0u);
+  EXPECT_EQ(count_rule(run("src/study/x.cpp", code), "codec-escape"), 2u);
+}
+
+TEST(CodecEscape, PointerParamsAndMultiplicationAreClean) {
+  const std::vector<Finding> fs =
+      run("src/study/x.cpp",
+          "void feed(const std::uint8_t* buf, std::size_t n);\n"
+          "int scale(int a, int b) { return a * b; }\n"
+          "int bump(int* counts, int i) { return counts[i] + 1; }\n");
+  EXPECT_EQ(count_rule(fs, "codec-escape"), 0u);
+}
+
 TEST(Analyze, DeterministicAcrossJobCounts) {
   std::vector<SourceDoc> docs;
   for (int i = 0; i < 24; ++i) {

@@ -1,8 +1,10 @@
-// GORCOLv2 integrity contract: the CRC framing detects corruption the v1
+// GORCOL integrity contract: the CRC framing detects corruption the v1
 // format silently swallowed, the prefix loader recovers the longest run of
-// intact sections from a torn file, legacy v1 artifacts still load, and
-// save_file is atomic under injected short writes — the destination either
-// keeps its previous contents or becomes the complete new artifact.
+// intact sections from a torn file — and, for v3 block-compressed
+// sections, the longest run of intact 64 KiB blocks within the damaged
+// one — legacy v1/v2 artifacts still load, and save_file is atomic under
+// injected short writes: the destination either keeps its previous
+// contents or becomes the complete new artifact.
 #include "util/columnar.h"
 
 #include <gtest/gtest.h>
@@ -81,8 +83,8 @@ TEST(ColumnarV2Test, PayloadCorruptionFailsStrictAndEndsThePrefix) {
   EXPECT_EQ(report.crc_failures, 1u);
   EXPECT_FALSE(report.complete);
   ASSERT_EQ(loaded->sections.size(), 2u);
-  EXPECT_EQ(loaded->sections[0].first, "alpha");
-  EXPECT_EQ(loaded->sections[1].first, "empty");
+  EXPECT_EQ(loaded->sections[0].name, "alpha");
+  EXPECT_EQ(loaded->sections[1].name, "empty");
 }
 
 TEST(ColumnarV2Test, HeaderCorruptionIsFatalEvenForThePrefixLoader) {
@@ -163,12 +165,14 @@ TEST(ColumnarV1Test, LegacyArchiveStillLoads) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->header, header);
   ASSERT_EQ(loaded->sections.size(), 1u);
-  EXPECT_EQ(loaded->sections[0].first, "alpha");
-  EXPECT_EQ(loaded->sections[0].second, payload);
+  EXPECT_EQ(loaded->sections[0].name, "alpha");
+  EXPECT_EQ(loaded->sections[0].bytes, payload);
 }
 
-TEST(ColumnarV2Test, WriterEmitsV2Magic) {
-  const std::string bytes = serialize(make_archive());
+TEST(ColumnarV2Test, WriterStillEmitsV2MagicWhenAsked) {
+  ColumnArchive archive = make_archive();
+  archive.version = 2;
+  const std::string bytes = serialize(archive);
   EXPECT_EQ(bytes.substr(0, 8), "GORCOLv2");
 }
 
@@ -178,7 +182,8 @@ TEST(ColumnarV2Test, SaveFileIsAtomicUnderAnInjectedShortWrite) {
   ASSERT_TRUE(original.save_file(path));
 
   ColumnArchive modified = make_archive();
-  modified.sections[0].second.assign(64, 0x11);
+  modified.sections[0] =
+      ColumnArchive::Section("alpha", std::vector<std::uint8_t>(48, 0x11));
   {
     FaultPlan plan;
     plan.short_write_at = 20;  // tear the write mid-header-block
@@ -204,10 +209,10 @@ TEST(ColumnarV2Test, InjectedPayloadCorruptionIsCaughtByTheCrc) {
   const ColumnArchive archive = make_archive();
   {
     FaultPlan plan;
-    // The alpha payload spans sink offsets [41, 73) for a 3-byte header;
-    // flip a byte inside it. The write itself "succeeds" — only the CRC
-    // can tell.
-    plan.corrupt_at = 50;
+    // The v3 alpha payload spans sink offsets [50, 82) for a 3-byte
+    // header; flip a byte inside it. The write itself "succeeds" — only
+    // the CRC can tell.
+    plan.corrupt_at = 55;
     const ScopedPlan guard(plan);
     ASSERT_TRUE(archive.save_file(path));
   }
@@ -217,6 +222,140 @@ TEST(ColumnarV2Test, InjectedPayloadCorruptionIsCaughtByTheCrc) {
   ASSERT_TRUE(recovered.has_value());
   EXPECT_EQ(report.crc_failures, 1u);
   EXPECT_LT(recovered->sections.size(), archive.sections.size());
+  std::remove(path.c_str());
+}
+
+// ---- GORCOLv3: damage inside a block-compressed section degrades at
+// block granularity, not section granularity ----
+
+/// A tiny leading section plus a "bulk" one that compresses into several
+/// 64 KiB blocks (runs of repeated bytes, so every block shrinks).
+ColumnArchive make_blocky_archive() {
+  ColumnArchive archive;
+  archive.header = {0x33, 0x44};
+  archive.sections.emplace_back("lead", std::vector<std::uint8_t>{1, 2, 3});
+  std::vector<std::uint8_t> bulk(200 * 1024);
+  for (std::size_t i = 0; i < bulk.size(); ++i) {
+    bulk[i] = static_cast<std::uint8_t>((i / 7) % 251);
+  }
+  archive.sections.emplace_back("bulk", bulk);
+  return archive;
+}
+
+/// Where the bulk section's stored (compressed) bytes sit in the v3 file,
+/// plus the stored size of its first block frame.
+struct BulkLayout {
+  std::string file;
+  std::size_t payload_off = 0;
+  std::size_t frame0 = 0;  ///< header + body bytes of block 0
+  std::vector<std::uint8_t> raw;  ///< the original uncompressed payload
+};
+
+BulkLayout bulk_layout() {
+  BulkLayout out;
+  const ColumnArchive archive = make_blocky_archive();
+  out.raw = archive.sections[1].bytes;
+  out.file = serialize(archive);
+  std::istringstream in(out.file);
+  const auto loaded = ColumnArchive::load(in);
+  EXPECT_TRUE(loaded.has_value());
+  const auto* bulk = loaded->find("bulk");
+  EXPECT_NE(bulk, nullptr);
+  EXPECT_EQ(bulk->storage, ColumnArchive::SectionStorage::kBlocks);
+  const std::string stored(bulk->bytes.begin(), bulk->bytes.end());
+  out.payload_off = out.file.find(stored);
+  EXPECT_NE(out.payload_off, std::string::npos);
+  // Block frame: u32le raw_len, u32le body_len, u32le CRC, u8 method.
+  out.frame0 = kBlockHeaderSize + *load_u32le(bulk->bytes, 4);
+  EXPECT_GT(scan_blocks(bulk->bytes).blocks, 2u);
+  return out;
+}
+
+/// The recovered partial section must replay exactly the first
+/// `expect_raw` bytes of the original payload, then hit sticky failure
+/// territory (at_end for the streaming reader).
+void expect_prefix_reads(const ColumnArchive& archive,
+                         const std::vector<std::uint8_t>& raw,
+                         std::size_t expect_raw) {
+  ColumnReader r = archive.column("bulk");
+  for (std::size_t i = 0; i < expect_raw; ++i) {
+    ASSERT_EQ(r.get_u8(), raw[i]) << i;
+  }
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ColumnarV3FaultTest, TornAtABlockBoundaryKeepsTheWholeBlocks) {
+  const BulkLayout layout = bulk_layout();
+  ArchiveReadReport report;
+  const auto loaded = parse_prefix(
+      layout.file.substr(0, layout.payload_off + layout.frame0), report);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(report.sections_ok, 1u);  // "lead"
+  EXPECT_TRUE(report.partial_section);
+  EXPECT_EQ(report.damaged_section, "bulk");
+  ASSERT_TRUE(report.bad_block.has_value());
+  EXPECT_EQ(*report.bad_block, 1u);
+  ASSERT_TRUE(report.bad_block_offset.has_value());
+  EXPECT_EQ(*report.bad_block_offset, layout.payload_off + layout.frame0);
+  EXPECT_EQ(report.crc_failures, 0u);  // torn, not corrupt
+  ASSERT_EQ(loaded->sections.size(), 2u);
+  EXPECT_EQ(loaded->sections[1].raw_len, 64u * 1024u);
+  expect_prefix_reads(*loaded, layout.raw, 64 * 1024);
+}
+
+TEST(ColumnarV3FaultTest, TornMidBlockKeepsTheIntactLeadingBlocks) {
+  const BulkLayout layout = bulk_layout();
+  // Cut 20 bytes into block 1's frame: block 0 survives, block 1 is gone.
+  ArchiveReadReport report;
+  const auto loaded = parse_prefix(
+      layout.file.substr(0, layout.payload_off + layout.frame0 + 20), report);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(report.partial_section);
+  EXPECT_EQ(report.damaged_section, "bulk");
+  EXPECT_EQ(report.bad_block.value_or(99), 1u);
+  EXPECT_EQ(report.bad_block_offset.value_or(0),
+            layout.payload_off + layout.frame0);
+  expect_prefix_reads(*loaded, layout.raw, 64 * 1024);
+
+  // Torn inside block 0: nothing of the section survives, but the report
+  // still pinpoints the damage.
+  ArchiveReadReport none;
+  const auto bare =
+      parse_prefix(layout.file.substr(0, layout.payload_off + 5), none);
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_FALSE(none.partial_section);
+  EXPECT_EQ(none.damaged_section, "bulk");
+  EXPECT_EQ(none.bad_block.value_or(99), 0u);
+  EXPECT_EQ(none.bad_block_offset.value_or(1), layout.payload_off);
+  ASSERT_EQ(bare->sections.size(), 1u);
+  EXPECT_EQ(bare->sections[0].name, "lead");
+}
+
+TEST(ColumnarV3FaultTest, InjectedCorruptionInsideACompressedBlockBody) {
+  // The corrupt@OFF fault now lands INSIDE a compressed block body: the
+  // section CRC refuses the strict load, and the prefix loader narrows the
+  // damage to block 1, keeping block 0's 64 KiB of payload.
+  const BulkLayout layout = bulk_layout();
+  const std::string path = testing::TempDir() + "columnar_blocky.gorcol";
+  {
+    FaultPlan plan;
+    plan.corrupt_at =
+        layout.payload_off + layout.frame0 + kBlockHeaderSize + 10;
+    const ScopedPlan guard(plan);
+    ASSERT_TRUE(make_blocky_archive().save_file(path));
+  }
+  EXPECT_FALSE(ColumnArchive::load_file(path).has_value());
+  ArchiveReadReport report;
+  const auto recovered = ColumnArchive::load_file_prefix(path, &report);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_GE(report.crc_failures, 1u);
+  EXPECT_TRUE(report.partial_section);
+  EXPECT_EQ(report.damaged_section, "bulk");
+  EXPECT_EQ(report.bad_block.value_or(99), 1u);
+  EXPECT_EQ(report.bad_block_offset.value_or(0),
+            layout.payload_off + layout.frame0);
+  expect_prefix_reads(*recovered, layout.raw, 64 * 1024);
   std::remove(path.c_str());
 }
 

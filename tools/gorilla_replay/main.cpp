@@ -1,7 +1,8 @@
 // gorilla_replay — multi-backend replay driver (ROADMAP "Multi-backend
 // replay", DESIGN.md §3h).
 //
-// Loads a recorded study artifact (GORCOLv1/v2, torn-prefix tolerant) and
+// Loads a recorded study artifact (GORCOLv1 through v3, torn-prefix
+// tolerant) and
 // fans the typed event stream out to any combination of replay backends:
 //
 //   detector  study::DetectorSink   — streaming anomaly detection + quality
@@ -47,7 +48,7 @@ void usage(std::FILE* out, const char* argv0) {
       "usage: %s --artifact PATH [--sinks detector,pcap,csv] [--weeks N]\n"
       "       [--jobs K] [--out DIR] [--live] [--mem-report]\n"
       "\n"
-      "  --artifact PATH  recorded study (GORCOLv1/v2; torn prefixes OK)\n"
+      "  --artifact PATH  recorded study (GORCOLv1-v3; torn prefixes OK)\n"
       "  --sinks LIST     comma-separated backends (default: detector)\n"
       "  --weeks N        replay at most N complete weeks (N >= 0;\n"
       "                   StudyPipeline recordings only)\n"
@@ -251,6 +252,7 @@ int main(int argc, char** argv) {
   const Args args = read_args(argc, argv);
 
   study::Replayer replayer;
+  replayer.set_decode_jobs(args.jobs);
   study::ReplayReport load_report;
   if (!replayer.load_prefix(args.artifact, load_report)) {
     die(study::Replayer::describe_load_failure(args.artifact));

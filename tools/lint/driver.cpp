@@ -40,7 +40,7 @@ const std::vector<std::string>& all_rules() {
       "raw-decode",   "wall-clock",     "unordered-iter", "float-eq",
       "parse-optional", "worker-capture", "raw-ofstream",   "shard-mutation",
       "shared-rng",   "layer-break",    "layer-cycle",    "stale-waiver",
-      "heavy-node-container",
+      "heavy-node-container", "codec-escape",
   };
   return kRules;
 }

@@ -88,6 +88,33 @@ void rule_raw_decode(SourceFile& f, Sink& sink) {
                      "util::ByteReader");
 }
 
+// --- rule: codec-escape ----------------------------------------------------
+
+/// Raw pointer-walk decode loops — a byte-pointer cursor plus `*p++`
+/// dereference-advance — reimplement what the sanctioned codec layer
+/// (util/bytes, util/columnar, util/block_codec) already does with bounds
+/// checks, sticky failure, and CRC framing. Everyone else goes through
+/// ColumnReader / ByteReader / the block codec.
+void rule_codec_escape(SourceFile& f, Sink& sink) {
+  if (path_contains(f.path, "util/bytes.h") ||
+      path_contains(f.path, "util/bytes.cpp") ||
+      path_contains(f.path, "util/columnar.h") ||
+      path_contains(f.path, "util/columnar.cpp") ||
+      path_contains(f.path, "util/block_codec.h") ||
+      path_contains(f.path, "util/block_codec.cpp")) {
+    return;  // the codec layer itself
+  }
+  static const std::regex walk_re(R"(\*\s*[A-Za-z_][A-Za-z0-9_]*\s*\+\+)");
+  static const std::regex cursor_re(
+      R"(\b(?:std::)?uint8_t\s*(?:const\s*)?\*\s*(?:const\s*)?[A-Za-z_][A-Za-z0-9_]*\s*=)");
+  add_regex_findings(f, sink, walk_re, "codec-escape",
+                     "dereference-advance pointer walk; decode through "
+                     "util::ColumnReader/ByteReader or util/block_codec");
+  add_regex_findings(f, sink, cursor_re, "codec-escape",
+                     "byte-pointer decode cursor; spans + util::ByteReader "
+                     "replace raw cursor arithmetic");
+}
+
 // --- rule: wall-clock ------------------------------------------------------
 
 void rule_wall_clock(SourceFile& f, Sink& sink) {
@@ -647,6 +674,7 @@ void run_file_rules(SourceFile& f,
   f.results = FileResults{};
   Sink sink(f);
   rule_raw_decode(f, sink);
+  rule_codec_escape(f, sink);
   rule_wall_clock(f, sink);
   rule_unordered_iter(f, sink, unordered_names);
   rule_float_eq(f, sink);
